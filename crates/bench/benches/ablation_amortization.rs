@@ -1,0 +1,44 @@
+//! Ablation E5: what does amortising the preparation phase buy?
+//!
+//! UniGen runs lines 1–11 of Algorithm 1 (the `BSAT` probe plus the ApproxMC
+//! call) once per formula and reuses the result for every sample — the
+//! guarantee-preserving replacement for "leap-frogging". This bench compares
+//! the amortised per-witness cost against re-running the whole preparation
+//! for every single witness, quantifying the second advantage claimed in the
+//! paper's Section 5 discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use unigen::{UniGen, UniGenConfig, WitnessSampler};
+use unigen_circuit::benchmarks;
+use unigen_satsolver::Budget;
+
+fn amortization(c: &mut Criterion) {
+    let benchmark = benchmarks::parity_chain("ablation-amortize", 12, 3, 4, 0x0121);
+    let formula = benchmark.formula.clone();
+    let config = UniGenConfig::default()
+        .with_bsat_budget(Budget::new().with_time_limit(Duration::from_secs(10)));
+
+    let mut group = c.benchmark_group("ablation_amortization");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    let mut prepared = UniGen::new(&formula, config.clone()).expect("prepare");
+    let mut rng = StdRng::seed_from_u64(7);
+    group.bench_function("amortized_sample", |b| b.iter(|| prepared.sample(&mut rng)));
+
+    let mut rng = StdRng::seed_from_u64(8);
+    group.bench_function("fresh_preparation_per_sample", |b| {
+        b.iter(|| {
+            let mut sampler = UniGen::new(&formula, config.clone()).expect("prepare");
+            sampler.sample(&mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, amortization);
+criterion_main!(benches);

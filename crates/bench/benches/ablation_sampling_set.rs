@@ -1,0 +1,56 @@
+//! Ablation E4: what does hashing over the independent support buy?
+//!
+//! Section 4 of the paper argues that the "fundamental difference" between
+//! UniGen and its predecessors is drawing hash functions over `S` instead of
+//! the full support `X`, which shortens the xor clauses from `|X|/2` to
+//! `|S|/2` expected variables. This bench runs the *same* UniGen code twice
+//! on the same instance — once with the independent support as the sampling
+//! set, once with the full support — so the measured gap isolates exactly
+//! that design choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use unigen::{UniGen, UniGenConfig, WitnessSampler};
+use unigen_circuit::benchmarks;
+use unigen_cnf::Var;
+use unigen_satsolver::Budget;
+
+fn sampling_set_ablation(c: &mut Criterion) {
+    // A `case…`-style instance with ≈ 2^10 witnesses: large enough to force
+    // the hashed code path for both sampling-set choices, small enough that
+    // the full-support preparation stays affordable inside a bench run.
+    let benchmark = benchmarks::parity_chain("ablation-case", 14, 3, 4, 0x0121);
+    let formula = benchmark.formula.clone();
+    let independent_support = formula.sampling_set_or_all();
+    let full_support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
+
+    let mut group = c.benchmark_group("ablation_sampling_set");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    let config = UniGenConfig::default()
+        .with_bsat_budget(Budget::new().with_time_limit(Duration::from_secs(10)));
+
+    if let Ok(mut sampler) =
+        UniGen::with_sampling_set(&formula, &independent_support, config.clone())
+    {
+        let mut rng = StdRng::seed_from_u64(5);
+        group.bench_function("hash_over_independent_support", |b| {
+            b.iter(|| sampler.sample(&mut rng))
+        });
+    }
+
+    if let Ok(mut sampler) = UniGen::with_sampling_set(&formula, &full_support, config) {
+        let mut rng = StdRng::seed_from_u64(6);
+        group.bench_function("hash_over_full_support", |b| {
+            b.iter(|| sampler.sample(&mut rng))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, sampling_set_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the ApproxMC preparation step (line 9 of
+//! Algorithm 1): the one-off cost UniGen amortises over all samples, with and
+//! without the guarantee-voiding leap-frogging shortcut, compared against the
+//! exact counter on the instances where the latter is feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use unigen_circuit::benchmarks::{self, Benchmark};
+use unigen_counting::{ApproxMc, ApproxMcConfig, ExactCounter};
+
+fn instances() -> Vec<Benchmark> {
+    vec![
+        benchmarks::parity_chain("case121-small", 12, 3, 4, 0x0121),
+        benchmarks::iscas_like("s526-small", 10, 90, 4, 0x0526),
+    ]
+}
+
+fn counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approxmc");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    for benchmark in instances() {
+        group.bench_with_input(
+            BenchmarkId::new("approxmc", &benchmark.name),
+            &benchmark,
+            |b, benchmark| {
+                let counter = ApproxMc::new(ApproxMcConfig::default());
+                b.iter(|| counter.count(&benchmark.formula, 7).expect("count"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("approxmc_leapfrog", &benchmark.name),
+            &benchmark,
+            |b, benchmark| {
+                let counter = ApproxMc::new(ApproxMcConfig {
+                    leapfrog: true,
+                    ..ApproxMcConfig::default()
+                });
+                b.iter(|| counter.count(&benchmark.formula, 7).expect("count"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", &benchmark.name),
+            &benchmark,
+            |b, benchmark| {
+                b.iter(|| ExactCounter::new().count(&benchmark.formula).expect("count"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counting);
+criterion_main!(benches);

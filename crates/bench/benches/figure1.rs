@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 1: the cost of one UniGen draw versus one
+//! ideal-sampler draw on the uniformity-study instance, plus the exact count
+//! that the ideal sampler needs up front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use unigen::{UniGen, UniGenConfig, UniformSampler, WitnessSampler};
+use unigen_circuit::benchmarks;
+use unigen_counting::ExactCounter;
+
+fn figure1_sampling(c: &mut Criterion) {
+    let benchmark = benchmarks::figure1_instance();
+    let formula = benchmark.formula.clone();
+
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    group.bench_function("exact_count", |b| {
+        b.iter(|| ExactCounter::new().count(&formula).expect("countable"))
+    });
+
+    let mut unigen =
+        UniGen::new(&formula, UniGenConfig::default()).expect("prepare UniGen for figure 1");
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("unigen_sample", |b| b.iter(|| unigen.sample(&mut rng)));
+
+    let us = UniformSampler::new(&formula).expect("prepare US for figure 1");
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("us_sample_index", |b| b.iter(|| us.sample_index(&mut rng)));
+
+    group.finish();
+}
+
+criterion_group!(benches, figure1_sampling);
+criterion_main!(benches);

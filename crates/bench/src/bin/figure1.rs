@@ -1,0 +1,127 @@
+//! Regenerates Figure 1: the uniformity comparison between UniGen and the
+//! ideal sampler US on a `case110`-style instance.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p unigen-bench --release --bin figure1
+//! FIGURE1_SAMPLES=50000 cargo run -p unigen-bench --release --bin figure1
+//! ```
+//!
+//! The output lists, for each observed frequency `c`, how many distinct
+//! witnesses were generated exactly `c` times by each sampler (the two
+//! series plotted in the paper's Figure 1), followed by summary statistics
+//! (total variation distance from uniform, KL divergence, χ²) and the
+//! empirical Theorem 1 envelope check.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unigen::stats::{histogram_discrepancy, WitnessFrequencies};
+use unigen::{UniGen, UniGenConfig, UniformSampler, WitnessSampler};
+use unigen_circuit::benchmarks;
+
+fn read_env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let samples = read_env_usize("FIGURE1_SAMPLES", 20_000);
+    let seed = read_env_usize("HARNESS_SEED", 0x0110) as u64;
+
+    let benchmark = benchmarks::figure1_instance();
+    let formula = &benchmark.formula;
+    let sampling_set = formula.sampling_set_or_all();
+    eprintln!(
+        "figure1: instance `{}` with |X| = {}, |S| = {}",
+        benchmark.name,
+        formula.num_vars(),
+        sampling_set.len()
+    );
+
+    // Exact witness count (the paper uses sharpSAT here).
+    let us = UniformSampler::new(formula).expect("figure-1 instance is satisfiable and countable");
+    let witness_count = us.count();
+    eprintln!("figure1: |R_F| = {witness_count} (exact)");
+
+    // The same random source drives both samplers, as in the paper.
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // UniGen run.
+    let mut unigen =
+        UniGen::new(formula, UniGenConfig::default().with_seed(seed)).expect("prepare UniGen");
+    let mut unigen_freq = WitnessFrequencies::new();
+    let mut failures = 0usize;
+    for _ in 0..samples {
+        match unigen.sample(&mut rng).witness {
+            Some(witness) => {
+                unigen_freq.record(witness.project(&sampling_set).as_index());
+            }
+            None => failures += 1,
+        }
+    }
+
+    // Ideal sampler run (index draws, as described in Section 5).
+    let mut us_freq = WitnessFrequencies::new();
+    for _ in 0..samples {
+        us_freq.record(us.sample_index(&mut rng) as u64);
+    }
+
+    println!("# Figure 1 — count-of-counts (instance: {})", benchmark.name);
+    println!("# samples per sampler: {samples}, |R_F| = {witness_count}");
+    println!("count  unigen_witnesses  us_witnesses");
+    let unigen_hist = unigen_freq.count_of_counts();
+    let us_hist = us_freq.count_of_counts();
+    let keys: std::collections::BTreeSet<u64> =
+        unigen_hist.keys().chain(us_hist.keys()).copied().collect();
+    for count in keys {
+        println!(
+            "{count:>5}  {:>16}  {:>12}",
+            unigen_hist.get(&count).copied().unwrap_or(0),
+            us_hist.get(&count).copied().unwrap_or(0)
+        );
+    }
+
+    println!();
+    println!("# Summary");
+    println!(
+        "unigen: success prob = {:.4}, distinct witnesses seen = {}",
+        1.0 - failures as f64 / samples as f64,
+        unigen_freq.num_distinct()
+    );
+    println!(
+        "unigen: TV from uniform = {:.4}, KL = {:.4} bits, chi^2 = {:.1}",
+        unigen_freq.total_variation_from_uniform(witness_count),
+        unigen_freq.kl_divergence_from_uniform(witness_count),
+        unigen_freq.chi_square_against_uniform(witness_count)
+    );
+    println!(
+        "us:     TV from uniform = {:.4}, KL = {:.4} bits, chi^2 = {:.1}",
+        us_freq.total_variation_from_uniform(witness_count),
+        us_freq.kl_divergence_from_uniform(witness_count),
+        us_freq.chi_square_against_uniform(witness_count)
+    );
+    println!(
+        "histogram discrepancy (max normalised bin difference) = {:.4}",
+        histogram_discrepancy(&unigen_freq, &us_freq)
+    );
+
+    // Empirical Theorem 1 envelope: every observed witness frequency should
+    // lie within (1 + ε) of uniform (statistically, for large enough N).
+    let epsilon = unigen.config().epsilon;
+    let n = unigen_freq.num_samples() as f64;
+    let uniform = n / witness_count as f64;
+    let (lo, hi) = (uniform / (1.0 + epsilon), uniform * (1.0 + epsilon));
+    let outside = unigen_hist
+        .iter()
+        .filter(|(&count, _)| (count as f64) < lo || (count as f64) > hi)
+        .map(|(_, &num)| num)
+        .sum::<u64>();
+    println!(
+        "theorem-1 envelope [{lo:.1}, {hi:.1}] per witness: {outside} of {} observed witnesses outside",
+        unigen_freq.num_distinct()
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 1: runtime performance comparison of UniGen and UniWit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p unigen-bench --release --bin table1
+//! UNIGEN_SAMPLES=50 UNIWIT_SAMPLES=10 cargo run -p unigen-bench --release --bin table1
+//! ```
+//!
+//! The columns mirror the paper's Table 1: benchmark name, |X|, |S|, then
+//! success probability, average per-witness generation time and average
+//! xor-clause length for UniGen and for UniWit. A `-` entry means the
+//! sampler could not produce results within its budget, matching the paper's
+//! "—" entries for UniWit on the larger instances.
+
+use unigen_bench::harness::{render_csv, render_table, run_table, TableRunConfig};
+use unigen_circuit::benchmarks;
+
+fn main() {
+    let run = TableRunConfig::from_env();
+    let suite = benchmarks::table1_suite();
+    eprintln!(
+        "table1: {} benchmarks, {} UniGen samples and {} UniWit samples each",
+        suite.len(),
+        run.unigen_samples,
+        run.uniwit_samples
+    );
+    let rows = run_table(&suite, &run);
+    println!("{}", render_table(&rows));
+    println!();
+    println!("CSV:");
+    println!("{}", render_csv(&rows));
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 2 (the appendix's extended comparison) — same layout as
+//! `table1`, over the larger instance list.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p unigen-bench --release --bin table2
+//! ```
+
+use unigen_bench::harness::{render_csv, render_table, run_table, TableRunConfig};
+use unigen_circuit::benchmarks;
+
+fn main() {
+    let run = TableRunConfig::from_env();
+    let suite = benchmarks::table2_suite();
+    eprintln!(
+        "table2: {} benchmarks, {} UniGen samples and {} UniWit samples each",
+        suite.len(),
+        run.unigen_samples,
+        run.uniwit_samples
+    );
+    let rows = run_table(&suite, &run);
+    println!("{}", render_table(&rows));
+    println!();
+    println!("CSV:");
+    println!("{}", render_csv(&rows));
+}

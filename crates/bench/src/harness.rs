@@ -1,0 +1,336 @@
+//! Shared measurement and table-formatting code for the harness binaries.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unigen::{SampleStats, UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler};
+use unigen_circuit::benchmarks::Benchmark;
+use unigen_satsolver::Budget;
+
+/// Aggregate statistics for one sampler on one benchmark — one half of a
+/// table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerSummary {
+    /// Number of samples attempted.
+    pub attempts: usize,
+    /// Number of samples that produced a witness.
+    pub successes: usize,
+    /// Average wall-clock time per attempted sample (including preparation
+    /// amortised over the attempts, reported separately below).
+    pub avg_sample_time: Duration,
+    /// Time spent in the sampler's one-off preparation phase.
+    pub preparation_time: Duration,
+    /// Average xor-clause length over all hash draws.
+    pub avg_xor_length: f64,
+    /// `true` if the sampler could not even be constructed (corresponds to a
+    /// "—" entry in the paper's tables).
+    pub failed_to_prepare: bool,
+}
+
+impl SamplerSummary {
+    /// Observed success probability ("Succ Prob" column).
+    pub fn success_probability(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// A summary representing a sampler that failed to prepare within its
+    /// budget (a "—" table entry).
+    pub fn unavailable() -> Self {
+        SamplerSummary {
+            attempts: 0,
+            successes: 0,
+            avg_sample_time: Duration::ZERO,
+            preparation_time: Duration::ZERO,
+            avg_xor_length: 0.0,
+            failed_to_prepare: true,
+        }
+    }
+}
+
+/// One row of Table 1 / Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of CNF variables ("|X|").
+    pub num_vars: usize,
+    /// Sampling-set size ("|S|").
+    pub sampling_set_size: usize,
+    /// UniGen's results.
+    pub unigen: SamplerSummary,
+    /// UniWit's results.
+    pub uniwit: SamplerSummary,
+}
+
+/// Knobs for a table run, kept deliberately small so the harness finishes on
+/// a laptop; raise the sample counts to approach the paper's setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableRunConfig {
+    /// Number of witnesses requested from UniGen per benchmark.
+    pub unigen_samples: usize,
+    /// Number of witnesses requested from UniWit per benchmark.
+    pub uniwit_samples: usize,
+    /// Per-solver-call budget for UniGen.
+    pub unigen_budget: Budget,
+    /// Per-solver-call budget for UniWit (UniWit needs one: its full-support
+    /// xors regularly blow up, which is the paper's point).
+    pub uniwit_budget: Budget,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl Default for TableRunConfig {
+    fn default() -> Self {
+        TableRunConfig {
+            unigen_samples: 20,
+            uniwit_samples: 5,
+            unigen_budget: Budget::new().with_time_limit(Duration::from_secs(20)),
+            uniwit_budget: Budget::new().with_time_limit(Duration::from_secs(5)),
+            seed: 0xdac2014,
+        }
+    }
+}
+
+impl TableRunConfig {
+    /// Reads overrides from environment variables (`UNIGEN_SAMPLES`,
+    /// `UNIWIT_SAMPLES`, `HARNESS_SEED`), falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = TableRunConfig::default();
+        if let Some(n) = read_env_usize("UNIGEN_SAMPLES") {
+            config.unigen_samples = n;
+        }
+        if let Some(n) = read_env_usize("UNIWIT_SAMPLES") {
+            config.uniwit_samples = n;
+        }
+        if let Some(n) = read_env_usize("HARNESS_SEED") {
+            config.seed = n as u64;
+        }
+        config
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Runs a sampler `count` times and aggregates the outcome statistics.
+pub fn measure_sampler<S: WitnessSampler>(
+    sampler: &mut S,
+    count: usize,
+    rng: &mut StdRng,
+) -> (usize, SampleStats) {
+    let mut totals = SampleStats::default();
+    let mut successes = 0usize;
+    for _ in 0..count {
+        let outcome = sampler.sample(rng);
+        if outcome.is_success() {
+            successes += 1;
+        }
+        totals.accumulate(&outcome.stats);
+    }
+    (successes, totals)
+}
+
+/// Measures UniGen on one benchmark.
+pub fn measure_unigen(benchmark: &Benchmark, run: &TableRunConfig) -> SamplerSummary {
+    let config = UniGenConfig::default()
+        .with_seed(run.seed)
+        .with_bsat_budget(run.unigen_budget);
+    let prep_start = Instant::now();
+    let sampler = UniGen::new(&benchmark.formula, config);
+    let preparation_time = prep_start.elapsed();
+    let mut sampler = match sampler {
+        Ok(sampler) => sampler,
+        Err(_) => return SamplerSummary::unavailable(),
+    };
+    let mut rng = StdRng::seed_from_u64(run.seed ^ 0x1111);
+    let (successes, stats) = measure_sampler(&mut sampler, run.unigen_samples, &mut rng);
+    SamplerSummary {
+        attempts: run.unigen_samples,
+        successes,
+        avg_sample_time: average_duration(stats.wall_time, run.unigen_samples),
+        preparation_time,
+        avg_xor_length: stats.average_xor_length(),
+        failed_to_prepare: false,
+    }
+}
+
+/// Measures UniWit on one benchmark.
+pub fn measure_uniwit(benchmark: &Benchmark, run: &TableRunConfig) -> SamplerSummary {
+    let config = UniWitConfig {
+        bsat_budget: run.uniwit_budget,
+        ..UniWitConfig::default()
+    };
+    let prep_start = Instant::now();
+    let sampler = UniWit::new(&benchmark.formula, config);
+    let preparation_time = prep_start.elapsed();
+    let mut sampler = match sampler {
+        Ok(sampler) => sampler,
+        Err(_) => return SamplerSummary::unavailable(),
+    };
+    let mut rng = StdRng::seed_from_u64(run.seed ^ 0x2222);
+    let (successes, stats) = measure_sampler(&mut sampler, run.uniwit_samples, &mut rng);
+    SamplerSummary {
+        attempts: run.uniwit_samples,
+        successes,
+        avg_sample_time: average_duration(stats.wall_time, run.uniwit_samples),
+        preparation_time,
+        avg_xor_length: stats.average_xor_length(),
+        failed_to_prepare: false,
+    }
+}
+
+fn average_duration(total: Duration, count: usize) -> Duration {
+    if count == 0 {
+        Duration::ZERO
+    } else {
+        total / count as u32
+    }
+}
+
+/// Runs the full comparison over a suite of benchmarks.
+pub fn run_table(suite: &[Benchmark], run: &TableRunConfig) -> Vec<TableRow> {
+    suite
+        .iter()
+        .map(|benchmark| TableRow {
+            name: benchmark.name.clone(),
+            num_vars: benchmark.num_vars(),
+            sampling_set_size: benchmark.sampling_set_size(),
+            unigen: measure_unigen(benchmark, run),
+            uniwit: measure_uniwit(benchmark, run),
+        })
+        .collect()
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn format_seconds(duration: Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+fn summary_cells(summary: &SamplerSummary) -> (String, String, String) {
+    if summary.failed_to_prepare || summary.attempts == 0 {
+        ("-".into(), "-".into(), "-".into())
+    } else {
+        (
+            format!("{:.2}", summary.success_probability()),
+            format_seconds(summary.avg_sample_time),
+            format!("{:.1}", summary.avg_xor_length),
+        )
+    }
+}
+
+/// Renders the table in the layout of the paper's Table 1 / Table 2.
+pub fn render_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>7} {:>5} | {:>9} {:>12} {:>8} | {:>9} {:>12} {:>8}\n",
+        "Benchmark", "|X|", "|S|", "UG succ", "UG time(s)", "UG xlen", "UW succ", "UW time(s)", "UW xlen"
+    ));
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for row in rows {
+        let (ug_succ, ug_time, ug_xlen) = summary_cells(&row.unigen);
+        let (uw_succ, uw_time, uw_xlen) = summary_cells(&row.uniwit);
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>5} | {:>9} {:>12} {:>8} | {:>9} {:>12} {:>8}\n",
+            row.name,
+            row.num_vars,
+            row.sampling_set_size,
+            ug_succ,
+            ug_time,
+            ug_xlen,
+            uw_succ,
+            uw_time,
+            uw_xlen
+        ));
+    }
+    out
+}
+
+/// Renders the rows as CSV (one header line plus one line per row), for
+/// post-processing or plotting.
+pub fn render_csv(rows: &[TableRow]) -> String {
+    let mut out = String::from(
+        "benchmark,num_vars,sampling_set,unigen_succ_prob,unigen_avg_time_s,unigen_avg_xor_len,unigen_prep_s,uniwit_succ_prob,uniwit_avg_time_s,uniwit_avg_xor_len\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{:.6},{:.2},{:.6},{:.4},{:.6},{:.2}\n",
+            row.name,
+            row.num_vars,
+            row.sampling_set_size,
+            row.unigen.success_probability(),
+            row.unigen.avg_sample_time.as_secs_f64(),
+            row.unigen.avg_xor_length,
+            row.unigen.preparation_time.as_secs_f64(),
+            row.uniwit.success_probability(),
+            row.uniwit.avg_sample_time.as_secs_f64(),
+            row.uniwit.avg_xor_length,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigen_circuit::benchmarks;
+
+    #[test]
+    fn summary_probability_handles_zero_attempts() {
+        assert_eq!(SamplerSummary::unavailable().success_probability(), 0.0);
+    }
+
+    #[test]
+    fn table_row_rendering_contains_benchmark_names() {
+        let rows = vec![TableRow {
+            name: "demo".into(),
+            num_vars: 100,
+            sampling_set_size: 10,
+            unigen: SamplerSummary {
+                attempts: 4,
+                successes: 4,
+                avg_sample_time: Duration::from_millis(12),
+                preparation_time: Duration::from_millis(100),
+                avg_xor_length: 5.0,
+                failed_to_prepare: false,
+            },
+            uniwit: SamplerSummary::unavailable(),
+        }];
+        let text = render_table(&rows);
+        assert!(text.contains("demo"));
+        assert!(text.contains("1.00"));
+        assert!(text.contains('-'));
+        let csv = render_csv(&rows);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("demo,100,10"));
+    }
+
+    #[test]
+    fn measuring_a_tiny_benchmark_end_to_end() {
+        // A small instance keeps this unit test fast while exercising the
+        // full measurement path.
+        let benchmark = benchmarks::parity_chain("harness-smoke", 8, 2, 2, 3);
+        let run = TableRunConfig {
+            unigen_samples: 3,
+            uniwit_samples: 2,
+            ..TableRunConfig::default()
+        };
+        let row = &run_table(std::slice::from_ref(&benchmark), &run)[0];
+        assert_eq!(row.name, "harness-smoke");
+        assert!(row.unigen.attempts == 3);
+        assert!(row.unigen.successes >= 1);
+    }
+
+    #[test]
+    fn env_overrides_are_optional() {
+        let config = TableRunConfig::from_env();
+        assert!(config.unigen_samples > 0);
+    }
+}

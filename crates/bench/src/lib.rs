@@ -1,0 +1,20 @@
+//! Benchmark harness for regenerating the paper's tables and figure.
+//!
+//! The binaries in this crate print laptop-scale versions of the paper's
+//! evaluation artefacts:
+//!
+//! * `table1` — runtime/success/xor-length comparison of UniGen vs UniWit
+//!   over one representative instance per family (Table 1),
+//! * `table2` — the extended comparison (Table 2 in the appendix),
+//! * `figure1` — the count-of-counts uniformity comparison of UniGen against
+//!   the ideal sampler US (Figure 1), plus summary distances,
+//!
+//! while the Criterion benches under `benches/` time the individual steps
+//! (per-sample cost, ApproxMC, and the two ablations discussed in
+//! EXPERIMENTS.md). The [`harness`] module holds the shared measurement and
+//! formatting code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,507 @@
+//! Named benchmark families standing in for the paper's evaluation instances.
+//!
+//! The paper's Tables 1 and 2 draw on four kinds of CNF constraints:
+//! bit-blasted BMC instances (`case…`), ISCAS89 circuits with parity
+//! conditions on randomly chosen outputs (`s526`, `s953`, `s1196`, `s1238`),
+//! bit-blasted arithmetic from SMTLib (`Squaring…`), and program-synthesis
+//! constraints with deep control logic (`LoginService2`, `Sort`, `Karatsuba`,
+//! `LLReverse`, `EnqueueSeqSK`, `tutorial3`). None of those files are
+//! redistributable, so this module regenerates each *family* synthetically
+//! with the same structural signature: a large Tseitin-encoded support `X`, a
+//! small independent support `S` (the primary inputs), and output constraints
+//! that leave a non-trivial number of witnesses.
+//!
+//! Every generator guarantees satisfiability by construction: it simulates
+//! the circuit on a random input vector and derives the output constraints
+//! from the values observed, so at least that input vector remains a witness.
+//!
+//! The [`table1_suite`] and [`table2_suite`] functions return the instance
+//! lists used by the benchmark harness to regenerate the paper's tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unigen_cnf::CnfFormula;
+
+use crate::builder::{BitVector, CircuitBuilder};
+use crate::gate::NodeId;
+use crate::netlist::Circuit;
+use crate::tseitin;
+
+/// A generated benchmark instance: a formula with its sampling set plus
+/// provenance metadata.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Human-readable instance name (the "Benchmark" column of the tables).
+    pub name: String,
+    /// The CNF(+xor) formula, with the sampling set recorded.
+    pub formula: CnfFormula,
+    /// Which paper family this instance mirrors.
+    pub family: Family,
+}
+
+/// The paper benchmark family an instance mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Bit-blasted bounded-model-checking constraints (`case…`).
+    BmcCase,
+    /// ISCAS89-style circuits with parity observability conditions.
+    IscasParity,
+    /// Bit-vector squaring constraints (`Squaring…`).
+    Squaring,
+    /// Karatsuba multiplication constraints.
+    Karatsuba,
+    /// Sorting-network constraints (`Sort`).
+    Sorter,
+    /// Program-synthesis-style validation logic (`LoginService2`, …).
+    LoginLike,
+    /// Deep sequential chains with tiny supports (`LLReverse`, `TreeMax`).
+    LongChain,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::BmcCase => "bmc-case",
+            Family::IscasParity => "iscas-parity",
+            Family::Squaring => "squaring",
+            Family::Karatsuba => "karatsuba",
+            Family::Sorter => "sorter",
+            Family::LoginLike => "login-like",
+            Family::LongChain => "long-chain",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl Benchmark {
+    /// Number of CNF variables, the "|X|" / "#Variables" column.
+    pub fn num_vars(&self) -> usize {
+        self.formula.num_vars()
+    }
+
+    /// Size of the sampling set, the "|S|" column.
+    pub fn sampling_set_size(&self) -> usize {
+        self.formula
+            .sampling_set()
+            .map(|s| s.len())
+            .unwrap_or_else(|| self.formula.num_vars())
+    }
+}
+
+fn random_inputs<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Vec<bool> {
+    (0..circuit.num_inputs()).map(|_| rng.gen()).collect()
+}
+
+/// Picks `count` distinct random elements of `items`.
+fn choose_distinct<T: Copy, R: Rng + ?Sized>(items: &[T], count: usize, rng: &mut R) -> Vec<T> {
+    let mut indices: Vec<usize> = (0..items.len()).collect();
+    // Partial Fisher-Yates shuffle.
+    let count = count.min(items.len());
+    for i in 0..count {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices[..count].iter().map(|&i| items[i]).collect()
+}
+
+/// `case…`-style instance: a layered xor/and/or datapath over `num_inputs`
+/// primary inputs of `depth` layers, with `num_parity` parity conditions over
+/// randomly chosen internal signals.
+pub fn parity_chain(name: &str, num_inputs: usize, depth: usize, num_parity: usize, seed: u64) -> Benchmark {
+    assert!(num_inputs >= 2, "parity_chain needs at least two inputs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let inputs: Vec<NodeId> = (0..num_inputs).map(|i| b.input(format!("in{i}"))).collect();
+
+    let mut layer = inputs.clone();
+    let mut all_signals: Vec<NodeId> = Vec::new();
+    for level in 0..depth {
+        let mut next_layer = Vec::with_capacity(layer.len());
+        for i in 0..layer.len() {
+            let a = layer[i];
+            let c = layer[(i + 1 + level) % layer.len()];
+            let gate = match (i + level) % 3 {
+                0 => b.xor(a, c),
+                1 => b.and(a, c),
+                _ => b.or(a, c),
+            };
+            next_layer.push(gate);
+            all_signals.push(gate);
+        }
+        layer = next_layer;
+    }
+    for (i, &out) in layer.iter().enumerate() {
+        b.output(format!("out{i}"), out);
+    }
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let mut enc = tseitin::encode(&circuit);
+    for chunk_index in 0..num_parity {
+        let subset = choose_distinct(&all_signals, 3 + chunk_index % 3, &mut rng);
+        let rhs = subset.iter().fold(false, |acc, &id| acc ^ sim.value(id));
+        enc.assert_parity(subset, rhs);
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::BmcCase,
+    }
+}
+
+/// ISCAS89-like instance: a random combinational netlist over `num_inputs`
+/// inputs with `num_gates` gates, plus `num_parity` parity conditions on
+/// randomly chosen outputs — the construction the paper applies to the
+/// `s526`/`s953`/`s1196`/`s1238` circuits.
+pub fn iscas_like(name: &str, num_inputs: usize, num_gates: usize, num_parity: usize, seed: u64) -> Benchmark {
+    assert!(num_inputs >= 2, "iscas_like needs at least two inputs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let inputs: Vec<NodeId> = (0..num_inputs).map(|i| b.input(format!("pi{i}"))).collect();
+
+    let mut signals: Vec<NodeId> = inputs.clone();
+    for g in 0..num_gates {
+        let a = signals[rng.gen_range(0..signals.len())];
+        let c = signals[rng.gen_range(0..signals.len())];
+        let gate = match rng.gen_range(0..6) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            _ => {
+                let s = signals[rng.gen_range(0..signals.len())];
+                b.mux(s, a, c)
+            }
+        };
+        signals.push(gate);
+        if g % 7 == 0 {
+            b.output(format!("po{g}"), gate);
+        }
+    }
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let gate_signals: Vec<NodeId> = signals[num_inputs..].to_vec();
+    let mut enc = tseitin::encode(&circuit);
+    for i in 0..num_parity {
+        let subset = choose_distinct(&gate_signals, 4 + i % 4, &mut rng);
+        let rhs = subset.iter().fold(false, |acc, &id| acc ^ sim.value(id));
+        enc.assert_parity(subset, rhs);
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::IscasParity,
+    }
+}
+
+/// `Squaring…`-style instance: `z = x²` over a `bits`-wide input, with
+/// `constrained_bits` output bits pinned to values consistent with a random
+/// witness.
+pub fn squaring(name: &str, bits: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let x = b.input_word("x", bits);
+    let square = b.multiply(&x, &x);
+    b.output_word("square", &square);
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let mut enc = tseitin::encode(&circuit);
+    let chosen = choose_distinct(square.bits(), constrained_bits, &mut rng);
+    for node in chosen {
+        enc.assert_node(node, sim.value(node));
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::Squaring,
+    }
+}
+
+/// `Karatsuba`-style instance: `z = x · y` built with the Karatsuba
+/// decomposition, with `constrained_bits` product bits pinned to a witness.
+pub fn karatsuba(name: &str, bits: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let x = b.input_word("x", bits);
+    let y = b.input_word("y", bits);
+    let product = b.karatsuba(&x, &y);
+    b.output_word("product", &product);
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let mut enc = tseitin::encode(&circuit);
+    let chosen = choose_distinct(product.bits(), constrained_bits, &mut rng);
+    for node in chosen {
+        enc.assert_node(node, sim.value(node));
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::Karatsuba,
+    }
+}
+
+/// `Sort`-style instance: an odd-even transposition sorting network over
+/// `lanes` words of `width` bits, with `constrained_bits` sorted-output bits
+/// pinned to a witness.
+pub fn sorter(name: &str, lanes: usize, width: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let words: Vec<BitVector> = (0..lanes)
+        .map(|i| b.input_word(&format!("w{i}"), width))
+        .collect();
+    let sorted = b.sorting_network(&words);
+    for (i, word) in sorted.iter().enumerate() {
+        b.output_word(&format!("s{i}"), word);
+    }
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let all_output_bits: Vec<NodeId> = sorted.iter().flat_map(|w| w.bits().to_vec()).collect();
+    let mut enc = tseitin::encode(&circuit);
+    let chosen = choose_distinct(&all_output_bits, constrained_bits, &mut rng);
+    for node in chosen {
+        enc.assert_node(node, sim.value(node));
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::Sorter,
+    }
+}
+
+/// `LoginService2`-style instance: cascaded field-validation logic. Each of
+/// the `fields` input words must fall in a half-open range for the request to
+/// be accepted, and the formula asserts acceptance. Witnesses are the
+/// accepted stimuli — exactly the CRV scenario of the paper's introduction.
+pub fn login_like(name: &str, fields: usize, width: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let max_value = (1u64 << width) - 1;
+    let mut checks: Vec<NodeId> = Vec::new();
+    for i in 0..fields {
+        let field = b.input_word(&format!("field{i}"), width);
+        // Random non-empty admissible range [lo, hi).
+        let lo = rng.gen_range(0..max_value / 2);
+        let hi = rng.gen_range(lo + 1..=max_value);
+        let lo_word = b.constant_word(lo, width);
+        let hi_word = b.constant_word(hi, width);
+        let not_too_small = {
+            let lt = b.less_than(&field, &lo_word);
+            b.not(lt)
+        };
+        let below_hi = b.less_than(&field, &hi_word);
+        let in_range = b.and(not_too_small, below_hi);
+        checks.push(in_range);
+    }
+    // Chain the checks through muxes to mimic sequential validation logic
+    // (deepens the circuit without changing its function).
+    let mut accept = checks[0];
+    for &check in &checks[1..] {
+        let false_const = b.constant(false);
+        accept = b.mux(check, false_const, accept);
+    }
+    b.output("accept", accept);
+    let circuit = b.finish();
+
+    let mut enc = tseitin::encode(&circuit);
+    enc.assert_node(accept, true);
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::LoginLike,
+    }
+}
+
+/// `LLReverse`/`TreeMax`-style instance: a deep linear chain of word
+/// transformations over a tiny input word, so the support `X` is roughly
+/// `stages · width` while the independent support stays at `width` bits.
+pub fn long_chain(name: &str, width: usize, stages: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(name);
+    let input = b.input_word("x", width);
+    let mut word = input.clone();
+    for stage in 0..stages {
+        let constant = b.constant_word(rng.gen_range(1..(1 << width.min(16))), width);
+        word = match stage % 3 {
+            0 => {
+                let sum = b.add(&word, &constant);
+                b.truncate_or_extend(&sum, width)
+            }
+            1 => {
+                // Bitwise rotation by one plus an xor with a constant.
+                let rotated = BitVector::new(
+                    (0..width).map(|i| word.bit((i + 1) % width)).collect(),
+                );
+                BitVector::new(
+                    (0..width)
+                        .map(|i| b.xor(rotated.bit(i), constant.bit(i)))
+                        .collect(),
+                )
+            }
+            _ => {
+                let diff = b.subtract(&word, &constant);
+                b.truncate_or_extend(&diff, width)
+            }
+        };
+    }
+    b.output_word("y", &word);
+    let circuit = b.finish();
+
+    let witness = random_inputs(&circuit, &mut rng);
+    let sim = circuit.simulate(&witness);
+    let mut enc = tseitin::encode(&circuit);
+    let chosen = choose_distinct(word.bits(), constrained_bits, &mut rng);
+    for node in chosen {
+        enc.assert_node(node, sim.value(node));
+    }
+    Benchmark {
+        name: name.to_string(),
+        formula: enc.into_formula(),
+        family: Family::LongChain,
+    }
+}
+
+/// The instance list used to regenerate Table 1 (one representative per
+/// family, laptop-scale sizes).
+pub fn table1_suite() -> Vec<Benchmark> {
+    vec![
+        parity_chain("case121-like", 16, 4, 5, 0x0121),
+        iscas_like("s526-like", 14, 180, 5, 0x0526),
+        iscas_like("s953-like", 16, 320, 6, 0x0953),
+        squaring("squaring8-like", 8, 6, 0x0808),
+        karatsuba("karatsuba10-like", 10, 8, 0x0a0a),
+        sorter("sort4x4-like", 4, 4, 6, 0x5047),
+        login_like("login3x6-like", 3, 6, 0x1061),
+        long_chain("llreverse-like", 12, 60, 5, 0x11ef),
+    ]
+}
+
+/// The extended instance list used to regenerate Table 2 (more instances per
+/// family, still laptop-scale).
+pub fn table2_suite() -> Vec<Benchmark> {
+    let mut suite = table1_suite();
+    suite.extend(vec![
+        parity_chain("case110-like", 14, 3, 4, 0x0110),
+        parity_chain("case35-like", 18, 5, 7, 0x0035),
+        iscas_like("s1196-like", 18, 420, 7, 0x1196),
+        iscas_like("s1238-like", 18, 450, 8, 0x1238),
+        squaring("squaring10-like", 10, 8, 0x0a10),
+        squaring("squaring7-like", 7, 5, 0x0707),
+        karatsuba("karatsuba12-like", 12, 10, 0x0c0c),
+        sorter("sort5x4-like", 5, 4, 8, 0x5055),
+        login_like("login4x6-like", 4, 6, 0x1062),
+        long_chain("treemax-like", 10, 90, 4, 0x73ee),
+    ]);
+    suite
+}
+
+/// The instance used for the uniformity study (Figure 1): small enough for
+/// exact counting yet structured like the `case…` family. The paper's
+/// `case110` has 16 384 witnesses; this stand-in has a few thousand,
+/// adjustable through `num_inputs`/`num_parity`.
+pub fn figure1_instance() -> Benchmark {
+    parity_chain("case110-like", 14, 3, 4, 0x0110)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigen_satsolver::{SolveResult, Solver};
+
+    fn assert_satisfiable_and_well_formed(benchmark: &Benchmark) {
+        let sampling = benchmark.formula.sampling_set().expect("sampling set recorded");
+        assert!(!sampling.is_empty());
+        assert!(
+            sampling.len() < benchmark.formula.num_vars(),
+            "{}: sampling set should be a strict subset of the support",
+            benchmark.name
+        );
+        let mut solver = Solver::from_formula(&benchmark.formula);
+        match solver.solve() {
+            SolveResult::Sat(model) => assert!(benchmark.formula.evaluate(&model)),
+            other => panic!("{} should be satisfiable, got {other:?}", benchmark.name),
+        }
+    }
+
+    #[test]
+    fn parity_chain_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&parity_chain("t", 10, 3, 3, 1));
+    }
+
+    #[test]
+    fn iscas_like_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&iscas_like("t", 10, 80, 4, 2));
+    }
+
+    #[test]
+    fn squaring_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&squaring("t", 6, 4, 3));
+    }
+
+    #[test]
+    fn karatsuba_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&karatsuba("t", 6, 5, 4));
+    }
+
+    #[test]
+    fn sorter_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&sorter("t", 3, 3, 4, 5));
+    }
+
+    #[test]
+    fn login_like_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&login_like("t", 2, 5, 6));
+    }
+
+    #[test]
+    fn long_chain_is_satisfiable() {
+        assert_satisfiable_and_well_formed(&long_chain("t", 8, 20, 3, 7));
+    }
+
+    #[test]
+    fn long_chain_support_dwarfs_sampling_set() {
+        let benchmark = long_chain("t", 10, 50, 3, 8);
+        assert!(
+            benchmark.num_vars() > 20 * benchmark.sampling_set_size(),
+            "|X| = {} should be ≫ |S| = {}",
+            benchmark.num_vars(),
+            benchmark.sampling_set_size()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = squaring("t", 6, 4, 99);
+        let b = squaring("t", 6, 4, 99);
+        assert_eq!(a.formula, b.formula);
+        let c = squaring("t", 6, 4, 100);
+        assert_ne!(a.formula, c.formula);
+    }
+
+    #[test]
+    fn table_suites_have_distinct_names() {
+        let suite = table2_suite();
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        assert!(suite.len() >= 15);
+    }
+
+    #[test]
+    fn figure1_instance_is_exactly_countable_scale() {
+        let benchmark = figure1_instance();
+        assert!(benchmark.sampling_set_size() <= 16);
+        assert_satisfiable_and_well_formed(&benchmark);
+    }
+}

@@ -1,0 +1,625 @@
+//! Word-level circuit construction.
+
+use crate::gate::{GateKind, NodeId};
+use crate::netlist::{Circuit, Node};
+
+/// Incremental builder for [`Circuit`]s, with bit-level and word-level
+/// operations.
+///
+/// The builder enforces the topological order of the netlist by construction:
+/// every gate can only reference node identifiers that the builder has
+/// already handed out.
+///
+/// # Example
+///
+/// ```
+/// use unigen_circuit::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new("square");
+/// let x = b.input_word("x", 4);
+/// let square = b.multiply(&x, &x);
+/// b.output_word("x2", &square);
+/// let circuit = b.finish();
+/// assert_eq!(circuit.num_inputs(), 4);
+/// // 5² = 25
+/// let sim = circuit.simulate(&[true, false, true, false]);
+/// let value: u32 = circuit
+///     .outputs()
+///     .iter()
+///     .enumerate()
+///     .fold(0, |acc, (i, (_, id))| acc | ((sim.value(*id) as u32) << i));
+/// assert_eq!(value, 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+/// A little-endian vector of circuit signals representing a machine word.
+///
+/// Bit 0 is the least-significant bit. Words are the unit the arithmetic
+/// helpers of [`CircuitBuilder`] operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVector {
+    bits: Vec<NodeId>,
+}
+
+impl BitVector {
+    /// Wraps an explicit list of signals (least-significant bit first).
+    pub fn new(bits: Vec<NodeId>) -> Self {
+        BitVector { bits }
+    }
+
+    /// Returns the width of the word in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns the signals, least-significant bit first.
+    pub fn bits(&self) -> &[NodeId] {
+        &self.bits
+    }
+
+    /// Returns the signal of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> NodeId {
+        self.bits[i]
+    }
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Returns the number of nodes created so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Creates a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(Node::Input { name: name.into() });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Creates a word of `width` named primary inputs (`name[0]`,
+    /// `name[1]`, …), least-significant bit first.
+    pub fn input_word(&mut self, name: &str, width: usize) -> BitVector {
+        BitVector::new(
+            (0..width)
+                .map(|i| self.input(format!("{name}[{i}]")))
+                .collect(),
+        )
+    }
+
+    /// Creates a constant signal.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Node::Const(value))
+    }
+
+    /// Creates a constant word of `width` bits holding `value`.
+    pub fn constant_word(&mut self, value: u64, width: usize) -> BitVector {
+        BitVector::new(
+            (0..width)
+                .map(|i| self.constant(value & (1 << i) != 0))
+                .collect(),
+        )
+    }
+
+    fn gate(&mut self, kind: GateKind, fanin: Vec<NodeId>) -> NodeId {
+        assert!(
+            kind.accepts_arity(fanin.len()),
+            "{kind} gate does not accept {} operands",
+            fanin.len()
+        );
+        for f in &fanin {
+            assert!(
+                f.index() < self.nodes.len(),
+                "fan-in {f} does not exist yet"
+            );
+        }
+        self.push(Node::Gate { kind, fanin })
+    }
+
+    /// Two-input AND gate.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::And, vec![a, b])
+    }
+
+    /// N-ary AND gate.
+    pub fn and_many(&mut self, operands: &[NodeId]) -> NodeId {
+        self.gate(GateKind::And, operands.to_vec())
+    }
+
+    /// Two-input OR gate.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::Or, vec![a, b])
+    }
+
+    /// N-ary OR gate.
+    pub fn or_many(&mut self, operands: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Or, operands.to_vec())
+    }
+
+    /// Two-input XOR gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::Xor, vec![a, b])
+    }
+
+    /// N-ary XOR (parity) gate.
+    pub fn xor_many(&mut self, operands: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Xor, operands.to_vec())
+    }
+
+    /// Two-input NAND gate.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::Nand, vec![a, b])
+    }
+
+    /// Two-input NOR gate.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::Nor, vec![a, b])
+    }
+
+    /// Two-input XNOR (equivalence) gate.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate(GateKind::Xnor, vec![a, b])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.gate(GateKind::Not, vec![a])
+    }
+
+    /// Two-to-one multiplexer: `select ? if_true : if_false`.
+    pub fn mux(&mut self, select: NodeId, if_false: NodeId, if_true: NodeId) -> NodeId {
+        self.gate(GateKind::Mux, vec![select, if_false, if_true])
+    }
+
+    /// Declares a named single-bit output.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Declares a named word output (`name[0]`, `name[1]`, …).
+    pub fn output_word(&mut self, name: &str, word: &BitVector) {
+        for (i, &bit) in word.bits().iter().enumerate() {
+            self.output(format!("{name}[{i}]"), bit);
+        }
+    }
+
+    /// Finalises the builder into an immutable [`Circuit`].
+    pub fn finish(self) -> Circuit {
+        Circuit::new(self.name, self.nodes, self.inputs, self.outputs)
+    }
+
+    // ------------------------------------------------------------------
+    // Word-level arithmetic
+    // ------------------------------------------------------------------
+
+    /// Ripple-carry addition of two equal-width words. Returns a word one bit
+    /// wider than the operands (the extra bit is the carry out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn add(&mut self, a: &BitVector, b: &BitVector) -> BitVector {
+        assert_eq!(a.width(), b.width(), "addition requires equal widths");
+        let mut carry = self.constant(false);
+        let mut sum = Vec::with_capacity(a.width() + 1);
+        for i in 0..a.width() {
+            let (s, c) = self.full_adder(a.bit(i), b.bit(i), carry);
+            sum.push(s);
+            carry = c;
+        }
+        sum.push(carry);
+        BitVector::new(sum)
+    }
+
+    /// A single full adder; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let c1 = self.and(a, b);
+        let c2 = self.and(axb, cin);
+        let carry = self.or(c1, c2);
+        (sum, carry)
+    }
+
+    /// Shift-and-add multiplication. Returns a word of width
+    /// `a.width() + b.width()`.
+    pub fn multiply(&mut self, a: &BitVector, b: &BitVector) -> BitVector {
+        let out_width = a.width() + b.width();
+        let mut accumulator = self.constant_word(0, out_width);
+        for (shift, &b_bit) in b.bits().iter().enumerate() {
+            // Partial product: (a << shift) AND b_bit, zero-extended.
+            let mut partial = Vec::with_capacity(out_width);
+            for i in 0..out_width {
+                if i >= shift && i - shift < a.width() {
+                    partial.push(self.and(a.bit(i - shift), b_bit));
+                } else {
+                    partial.push(self.constant(false));
+                }
+            }
+            let partial = BitVector::new(partial);
+            let wide = self.add(&accumulator, &partial);
+            // Drop the final carry: the result cannot exceed out_width bits.
+            accumulator = BitVector::new(wide.bits()[..out_width].to_vec());
+        }
+        accumulator
+    }
+
+    /// Karatsuba multiplication (recursive three-multiplication scheme),
+    /// falling back to [`CircuitBuilder::multiply`] below 4 bits. Returns a
+    /// word of width `2 * max(a.width(), b.width())`.
+    pub fn karatsuba(&mut self, a: &BitVector, b: &BitVector) -> BitVector {
+        let width = a.width().max(b.width());
+        let a = self.zero_extend(a, width);
+        let b = self.zero_extend(b, width);
+        let product = self.karatsuba_rec(&a, &b);
+        self.truncate_or_extend(&product, 2 * width)
+    }
+
+    fn karatsuba_rec(&mut self, a: &BitVector, b: &BitVector) -> BitVector {
+        let width = a.width();
+        debug_assert_eq!(width, b.width());
+        if width < 4 {
+            return self.multiply(a, b);
+        }
+        let half = width / 2;
+        let a_lo = BitVector::new(a.bits()[..half].to_vec());
+        let a_hi = BitVector::new(a.bits()[half..].to_vec());
+        let b_lo = BitVector::new(b.bits()[..half].to_vec());
+        let b_hi = BitVector::new(b.bits()[half..].to_vec());
+
+        let lo = self.karatsuba_rec(&a_lo, &b_lo);
+        let hi_width = a_hi.width();
+        let a_hi_ext = self.zero_extend(&a_hi, hi_width);
+        let b_hi_ext = self.zero_extend(&b_hi, hi_width);
+        let hi = self.karatsuba_rec(&a_hi_ext, &b_hi_ext);
+
+        // (a_lo + a_hi) and (b_lo + b_hi), both extended to a common width.
+        let sum_width = half.max(hi_width) + 1;
+        let a_lo_ext = self.zero_extend(&a_lo, sum_width);
+        let a_hi_ext = self.zero_extend(&a_hi, sum_width);
+        let b_lo_ext = self.zero_extend(&b_lo, sum_width);
+        let b_hi_ext = self.zero_extend(&b_hi, sum_width);
+        let a_sum_raw = self.add(&a_lo_ext, &a_hi_ext);
+        let b_sum_raw = self.add(&b_lo_ext, &b_hi_ext);
+        let a_sum = self.truncate_or_extend(&a_sum_raw, sum_width);
+        let b_sum = self.truncate_or_extend(&b_sum_raw, sum_width);
+        let middle_full = self.karatsuba_rec(&a_sum, &b_sum);
+
+        // middle = middle_full - lo - hi  (computed via two's-complement
+        // subtraction to keep everything purely combinational).
+        let target = middle_full.width().max(lo.width()).max(hi.width()) + 1;
+        let middle_full = self.truncate_or_extend(&middle_full, target);
+        let lo_ext = self.truncate_or_extend(&lo, target);
+        let hi_ext = self.truncate_or_extend(&hi, target);
+        let tmp = self.subtract(&middle_full, &lo_ext);
+        let middle = self.subtract(&tmp, &hi_ext);
+
+        // result = lo + middle · 2^half + hi · 2^(2·half)
+        let out_width = 2 * width;
+        let lo_out = self.truncate_or_extend(&lo, out_width);
+        let middle_shifted = self.shift_left(&middle, half, out_width);
+        let hi_shifted = self.shift_left(&hi, 2 * half, out_width);
+        let partial_raw = self.add(&lo_out, &middle_shifted);
+        let partial = self.truncate_or_extend(&partial_raw, out_width);
+        let total_raw = self.add(&partial, &hi_shifted);
+        self.truncate_or_extend(&total_raw, out_width)
+    }
+
+    /// Two's-complement subtraction `a - b`, truncated to `a.width()` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn subtract(&mut self, a: &BitVector, b: &BitVector) -> BitVector {
+        assert_eq!(a.width(), b.width(), "subtraction requires equal widths");
+        let not_b = BitVector::new(b.bits().iter().map(|&bit| self.not(bit)).collect());
+        let mut carry = self.constant(true);
+        let mut bits = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (s, c) = self.full_adder(a.bit(i), not_b.bit(i), carry);
+            bits.push(s);
+            carry = c;
+        }
+        BitVector::new(bits)
+    }
+
+    /// Zero-extends (or returns unchanged) a word to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is wider than `width`.
+    pub fn zero_extend(&mut self, word: &BitVector, width: usize) -> BitVector {
+        assert!(word.width() <= width, "cannot zero-extend to a smaller width");
+        let mut bits = word.bits().to_vec();
+        while bits.len() < width {
+            bits.push(self.constant(false));
+        }
+        BitVector::new(bits)
+    }
+
+    /// Truncates or zero-extends a word to exactly `width` bits.
+    pub fn truncate_or_extend(&mut self, word: &BitVector, width: usize) -> BitVector {
+        if word.width() >= width {
+            BitVector::new(word.bits()[..width].to_vec())
+        } else {
+            self.zero_extend(word, width)
+        }
+    }
+
+    /// Logical left shift by a constant amount, producing a word of exactly
+    /// `out_width` bits.
+    pub fn shift_left(&mut self, word: &BitVector, amount: usize, out_width: usize) -> BitVector {
+        let mut bits = Vec::with_capacity(out_width);
+        for i in 0..out_width {
+            if i >= amount && i - amount < word.width() {
+                bits.push(word.bit(i - amount));
+            } else {
+                bits.push(self.constant(false));
+            }
+        }
+        BitVector::new(bits)
+    }
+
+    /// Word equality comparator (`a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn equals(&mut self, a: &BitVector, b: &BitVector) -> NodeId {
+        assert_eq!(a.width(), b.width(), "equality requires equal widths");
+        let bit_eq: Vec<NodeId> = (0..a.width())
+            .map(|i| self.xnor(a.bit(i), b.bit(i)))
+            .collect();
+        self.and_many(&bit_eq)
+    }
+
+    /// Unsigned less-than comparator (`a < b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn less_than(&mut self, a: &BitVector, b: &BitVector) -> NodeId {
+        assert_eq!(a.width(), b.width(), "comparison requires equal widths");
+        // Iterate from the most significant bit down, tracking "all higher
+        // bits equal".
+        let mut result = self.constant(false);
+        let mut all_equal = self.constant(true);
+        for i in (0..a.width()).rev() {
+            let a_bit = a.bit(i);
+            let b_bit = b.bit(i);
+            let not_a = self.not(a_bit);
+            let lt_here = self.and(not_a, b_bit);
+            let contributes = self.and(all_equal, lt_here);
+            result = self.or(result, contributes);
+            let eq_here = self.xnor(a_bit, b_bit);
+            all_equal = self.and(all_equal, eq_here);
+        }
+        result
+    }
+
+    /// Compare-and-swap of two words: returns `(min, max)`.
+    pub fn compare_exchange(&mut self, a: &BitVector, b: &BitVector) -> (BitVector, BitVector) {
+        let swap = self.less_than(b, a);
+        let min = BitVector::new(
+            (0..a.width())
+                .map(|i| self.mux(swap, a.bit(i), b.bit(i)))
+                .collect(),
+        );
+        let max = BitVector::new(
+            (0..a.width())
+                .map(|i| self.mux(swap, b.bit(i), a.bit(i)))
+                .collect(),
+        );
+        (min, max)
+    }
+
+    /// Odd-even transposition sorting network over `words.len()` lanes.
+    /// Returns the lanes in non-decreasing order.
+    pub fn sorting_network(&mut self, words: &[BitVector]) -> Vec<BitVector> {
+        let mut lanes: Vec<BitVector> = words.to_vec();
+        let n = lanes.len();
+        for round in 0..n {
+            let start = round % 2;
+            let mut i = start;
+            while i + 1 < n {
+                let (min, max) = self.compare_exchange(&lanes[i], &lanes[i + 1]);
+                lanes[i] = min;
+                lanes[i + 1] = max;
+                i += 2;
+            }
+        }
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_value(circuit: &Circuit, sim: &crate::netlist::Simulation<'_>, word: &BitVector) -> u64 {
+        let _ = circuit;
+        word.bits()
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | ((sim.value(bit) as u64) << i))
+    }
+
+    fn input_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| value & (1 << i) != 0).collect()
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let mut b = CircuitBuilder::new("add");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let sum = b.add(&x, &y);
+        let circuit = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let mut inputs = input_bits(xv, 4);
+                inputs.extend(input_bits(yv, 4));
+                let sim = circuit.simulate(&inputs);
+                assert_eq!(word_value(&circuit, &sim, &sum), xv + yv);
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_matches_wrapping_arithmetic() {
+        let mut b = CircuitBuilder::new("sub");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let diff = b.subtract(&x, &y);
+        let circuit = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let mut inputs = input_bits(xv, 4);
+                inputs.extend(input_bits(yv, 4));
+                let sim = circuit.simulate(&inputs);
+                assert_eq!(
+                    word_value(&circuit, &sim, &diff),
+                    (xv.wrapping_sub(yv)) & 0xF
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic() {
+        let mut b = CircuitBuilder::new("mul");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let product = b.multiply(&x, &y);
+        let circuit = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let mut inputs = input_bits(xv, 4);
+                inputs.extend(input_bits(yv, 4));
+                let sim = circuit.simulate(&inputs);
+                assert_eq!(word_value(&circuit, &sim, &product), xv * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_plain_multiplication() {
+        let mut b = CircuitBuilder::new("karatsuba");
+        let x = b.input_word("x", 6);
+        let y = b.input_word("y", 6);
+        let product = b.karatsuba(&x, &y);
+        let circuit = b.finish();
+        // Spot-check a grid of values (the full 4096-point product space is
+        // covered by the coarser step to keep the test fast).
+        for xv in (0..64u64).step_by(5) {
+            for yv in (0..64u64).step_by(7) {
+                let mut inputs = input_bits(xv, 6);
+                inputs.extend(input_bits(yv, 6));
+                let sim = circuit.simulate(&inputs);
+                assert_eq!(
+                    word_value(&circuit, &sim, &product),
+                    xv * yv,
+                    "karatsuba mismatch at {xv} * {yv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_match_integers() {
+        let mut b = CircuitBuilder::new("cmp");
+        let x = b.input_word("x", 3);
+        let y = b.input_word("y", 3);
+        let eq = b.equals(&x, &y);
+        let lt = b.less_than(&x, &y);
+        let circuit = b.finish();
+        for xv in 0..8u64 {
+            for yv in 0..8u64 {
+                let mut inputs = input_bits(xv, 3);
+                inputs.extend(input_bits(yv, 3));
+                let sim = circuit.simulate(&inputs);
+                assert_eq!(sim.value(eq), xv == yv);
+                assert_eq!(sim.value(lt), xv < yv);
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_network_sorts() {
+        let mut b = CircuitBuilder::new("sort");
+        let words: Vec<BitVector> = (0..4).map(|i| b.input_word(&format!("w{i}"), 3)).collect();
+        let sorted = b.sorting_network(&words);
+        let circuit = b.finish();
+        let cases = [[5u64, 1, 7, 3], [0, 0, 2, 1], [7, 6, 5, 4], [3, 3, 3, 3]];
+        for case in cases {
+            let mut inputs = Vec::new();
+            for v in case {
+                inputs.extend(input_bits(v, 3));
+            }
+            let sim = circuit.simulate(&inputs);
+            let values: Vec<u64> = sorted
+                .iter()
+                .map(|w| word_value(&circuit, &sim, w))
+                .collect();
+            let mut expected = case.to_vec();
+            expected.sort_unstable();
+            assert_eq!(values, expected, "failed to sort {case:?}");
+        }
+    }
+
+    #[test]
+    fn constant_word_encodes_value() {
+        let mut b = CircuitBuilder::new("const");
+        let w = b.constant_word(0b1010, 4);
+        let circuit = b.finish();
+        let sim = circuit.simulate(&[]);
+        assert_eq!(word_value(&circuit, &sim, &w), 0b1010);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_widths_panic() {
+        let mut b = CircuitBuilder::new("bad");
+        let x = b.input_word("x", 3);
+        let y = b.input_word("y", 4);
+        let _ = b.add(&x, &y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn foreign_node_id_panics() {
+        let mut a = CircuitBuilder::new("a");
+        let x = a.input("x");
+        let y = a.input("y");
+        let _ = a.and(x, y);
+        let mut b = CircuitBuilder::new("b");
+        // NodeId(1) does not exist in builder `b` yet.
+        let z = b.input("z");
+        let _ = b.and(z, y);
+    }
+}

@@ -1,0 +1,171 @@
+//! Gate kinds and node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (input, constant or gate) inside a [`crate::Circuit`].
+///
+/// Node identifiers are indices into the circuit's node table; they are only
+/// meaningful for the circuit that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The logic function computed by a gate.
+///
+/// `And`, `Or`, `Xor` and their negated forms accept an arbitrary fan-in of
+/// at least one; `Not` takes exactly one operand and `Mux` exactly three
+/// (`select`, `if_false`, `if_true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Conjunction of all fan-in signals.
+    And,
+    /// Disjunction of all fan-in signals.
+    Or,
+    /// Parity of all fan-in signals.
+    Xor,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Negated parity.
+    Xnor,
+    /// Negation of a single signal.
+    Not,
+    /// Two-to-one multiplexer: `fanin[0] ? fanin[2] : fanin[1]`.
+    Mux,
+}
+
+impl GateKind {
+    /// Evaluates the gate over its fan-in values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the gate's arity
+    /// requirements (see the type-level documentation).
+    pub fn evaluate(self, values: &[bool]) -> bool {
+        match self {
+            GateKind::And => {
+                assert!(!values.is_empty(), "AND needs at least one operand");
+                values.iter().all(|&v| v)
+            }
+            GateKind::Or => {
+                assert!(!values.is_empty(), "OR needs at least one operand");
+                values.iter().any(|&v| v)
+            }
+            GateKind::Xor => {
+                assert!(!values.is_empty(), "XOR needs at least one operand");
+                values.iter().fold(false, |acc, &v| acc ^ v)
+            }
+            GateKind::Nand => !GateKind::And.evaluate(values),
+            GateKind::Nor => !GateKind::Or.evaluate(values),
+            GateKind::Xnor => !GateKind::Xor.evaluate(values),
+            GateKind::Not => {
+                assert_eq!(values.len(), 1, "NOT takes exactly one operand");
+                !values[0]
+            }
+            GateKind::Mux => {
+                assert_eq!(values.len(), 3, "MUX takes exactly three operands");
+                if values[0] {
+                    values[2]
+                } else {
+                    values[1]
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the kind accepts the given fan-in arity.
+    pub fn accepts_arity(self, arity: usize) -> bool {
+        match self {
+            GateKind::Not => arity == 1,
+            GateKind::Mux => arity == 3,
+            _ => arity >= 1,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Xor => "XOR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Mux => "MUX",
+        };
+        write!(f, "{text}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_for_binary_gates() {
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (a, b) in cases {
+            assert_eq!(GateKind::And.evaluate(&[a, b]), a && b);
+            assert_eq!(GateKind::Or.evaluate(&[a, b]), a || b);
+            assert_eq!(GateKind::Xor.evaluate(&[a, b]), a ^ b);
+            assert_eq!(GateKind::Nand.evaluate(&[a, b]), !(a && b));
+            assert_eq!(GateKind::Nor.evaluate(&[a, b]), !(a || b));
+            assert_eq!(GateKind::Xnor.evaluate(&[a, b]), !(a ^ b));
+        }
+    }
+
+    #[test]
+    fn not_and_mux() {
+        assert!(GateKind::Not.evaluate(&[false]));
+        assert!(!GateKind::Not.evaluate(&[true]));
+        // MUX: select ? if_true : if_false
+        assert!(!GateKind::Mux.evaluate(&[false, false, true]));
+        assert!(GateKind::Mux.evaluate(&[true, false, true]));
+    }
+
+    #[test]
+    fn wide_gates() {
+        assert!(GateKind::And.evaluate(&[true; 5]));
+        assert!(!GateKind::And.evaluate(&[true, true, false, true]));
+        assert!(GateKind::Xor.evaluate(&[true, true, true]));
+        assert!(!GateKind::Xor.evaluate(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::Mux.accepts_arity(3));
+        assert!(!GateKind::Mux.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(4));
+        assert!(!GateKind::And.accepts_arity(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_and_panics() {
+        let _ = GateKind::And.evaluate(&[]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::Nand.to_string(), "NAND");
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,57 @@
+//! Gate-level circuit substrate and CRV benchmark families.
+//!
+//! The paper evaluates UniGen on constraints that all originate from
+//! hardware-flavoured sources: bit-blasted bounded-model-checking instances,
+//! ISCAS89 circuits with parity conditions on randomly chosen outputs,
+//! bit-blasted SMTLib arithmetic and program-synthesis constraints. Those
+//! exact files are proprietary or unavailable, so this crate rebuilds the
+//! *kind* of constraint they exercise:
+//!
+//! * [`Circuit`] — a combinational gate-level netlist (AND/OR/XOR/NOT/MUX/…)
+//!   with named primary inputs and outputs and a cycle-free topological
+//!   order, plus a reference simulator,
+//! * [`CircuitBuilder`] and [`BitVector`] — a word-level construction API
+//!   (ripple-carry adders, shift-add and Karatsuba multipliers, comparators,
+//!   sorting networks) used to grow realistic arithmetic circuits,
+//! * [`tseitin`] — the Tseitin encoder that turns a circuit plus output
+//!   constraints into a [`unigen_cnf::CnfFormula`] whose **sampling set is
+//!   the set of primary inputs** (by construction an independent support,
+//!   exactly the situation the paper describes for CRV constraints),
+//! * [`benchmarks`] — named instance families (`parity_chain`,
+//!   `iscas_like`, `squaring`, `karatsuba`, `sorter`, `login_like`,
+//!   `long_chain`) mirroring the rows of Tables 1 and 2.
+//!
+//! # Example
+//!
+//! ```
+//! use unigen_circuit::{CircuitBuilder, tseitin};
+//!
+//! // z = (a AND b) XOR c, constrained to 1.
+//! let mut builder = CircuitBuilder::new("demo");
+//! let a = builder.input("a");
+//! let b = builder.input("b");
+//! let c = builder.input("c");
+//! let ab = builder.and(a, b);
+//! let z = builder.xor(ab, c);
+//! builder.output("z", z);
+//! let circuit = builder.finish();
+//!
+//! let mut encoding = tseitin::encode(&circuit);
+//! encoding.assert_node(z, true);
+//! let formula = encoding.into_formula();
+//! assert_eq!(formula.sampling_set().unwrap().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod gate;
+mod netlist;
+
+pub mod benchmarks;
+pub mod tseitin;
+
+pub use builder::{BitVector, CircuitBuilder};
+pub use gate::{GateKind, NodeId};
+pub use netlist::{Circuit, Node};

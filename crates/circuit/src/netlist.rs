@@ -1,0 +1,286 @@
+//! Combinational netlists and their reference simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::{GateKind, NodeId};
+
+/// One node of a [`Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A primary input with a human-readable name.
+    Input {
+        /// Name of the input signal.
+        name: String,
+    },
+    /// A constant signal.
+    Const(bool),
+    /// A gate over previously created nodes.
+    Gate {
+        /// Logic function of the gate.
+        kind: GateKind,
+        /// Fan-in nodes (all created before this node, so the node order is
+        /// a valid topological order).
+        fanin: Vec<NodeId>,
+    },
+}
+
+/// A combinational gate-level circuit.
+///
+/// Circuits are built through [`crate::CircuitBuilder`]; nodes are stored in
+/// creation order, which is guaranteed to be a topological order because a
+/// gate can only reference already-existing nodes. The struct carries named
+/// outputs so benchmarks can constrain them symbolically.
+///
+/// # Example
+///
+/// ```
+/// use unigen_circuit::CircuitBuilder;
+///
+/// let mut builder = CircuitBuilder::new("majority");
+/// let a = builder.input("a");
+/// let b = builder.input("b");
+/// let c = builder.input("c");
+/// let ab = builder.and(a, b);
+/// let bc = builder.and(b, c);
+/// let ca = builder.and(c, a);
+/// let maj = builder.or_many(&[ab, bc, ca]);
+/// builder.output("maj", maj);
+/// let circuit = builder.finish();
+///
+/// assert_eq!(circuit.num_inputs(), 3);
+/// assert!(circuit.simulate(&[true, true, false]).output("maj"));
+/// assert!(!circuit.simulate(&[true, false, false]).output("maj"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Circuit {
+    pub(crate) fn new(name: String, nodes: Vec<Node>, inputs: Vec<NodeId>, outputs: Vec<(String, NodeId)>) -> Self {
+        Circuit {
+            name,
+            nodes,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Returns the circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of nodes (inputs, constants and gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns the number of gates (nodes that are neither inputs nor
+    /// constants).
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Gate { .. }))
+            .count()
+    }
+
+    /// Returns the primary inputs in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Returns the named outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Returns the node with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this circuit.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns an iterator over `(NodeId, &Node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Simulates the circuit on the given input values (aligned with
+    /// [`Circuit::inputs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of input values differs from the number of
+    /// primary inputs.
+    pub fn simulate(&self, input_values: &[bool]) -> Simulation<'_> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values, got {}",
+            self.inputs.len(),
+            input_values.len()
+        );
+        let mut values = vec![false; self.nodes.len()];
+        let input_map: HashMap<NodeId, bool> = self
+            .inputs
+            .iter()
+            .copied()
+            .zip(input_values.iter().copied())
+            .collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                Node::Input { .. } => input_map[&NodeId(i as u32)],
+                Node::Const(b) => *b,
+                Node::Gate { kind, fanin } => {
+                    let fanin_values: Vec<bool> =
+                        fanin.iter().map(|f| values[f.index()]).collect();
+                    kind.evaluate(&fanin_values)
+                }
+            };
+        }
+        Simulation {
+            circuit: self,
+            values,
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit `{}`: {} inputs, {} gates, {} outputs",
+            self.name,
+            self.num_inputs(),
+            self.num_gates(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// The value of every node after one [`Circuit::simulate`] call.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    circuit: &'a Circuit,
+    values: Vec<bool>,
+}
+
+impl Simulation<'_> {
+    /// Returns the value of an arbitrary node.
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Returns the value of a named output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output with that name exists.
+    pub fn output(&self, name: &str) -> bool {
+        let (_, id) = self
+            .circuit
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no output named `{name}`"));
+        self.values[id.index()]
+    }
+
+    /// Returns the values of all nodes in topological order.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    fn full_adder() -> Circuit {
+        let mut b = CircuitBuilder::new("full_adder");
+        let a = b.input("a");
+        let x = b.input("b");
+        let cin = b.input("cin");
+        let s1 = b.xor(a, x);
+        let sum = b.xor(s1, cin);
+        let c1 = b.and(a, x);
+        let c2 = b.and(s1, cin);
+        let cout = b.or(c1, c2);
+        b.output("sum", sum);
+        b.output("cout", cout);
+        b.finish()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let circuit = full_adder();
+        for mask in 0u32..8 {
+            let a = mask & 1 != 0;
+            let b = mask & 2 != 0;
+            let cin = mask & 4 != 0;
+            let sim = circuit.simulate(&[a, b, cin]);
+            let expected = (a as u8) + (b as u8) + (cin as u8);
+            assert_eq!(sim.output("sum"), expected & 1 == 1);
+            assert_eq!(sim.output("cout"), expected >= 2);
+        }
+    }
+
+    #[test]
+    fn node_counts() {
+        let circuit = full_adder();
+        assert_eq!(circuit.num_inputs(), 3);
+        assert_eq!(circuit.num_gates(), 5);
+        assert_eq!(circuit.num_nodes(), 8);
+        assert_eq!(circuit.outputs().len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_topological() {
+        let circuit = full_adder();
+        for (id, node) in circuit.iter() {
+            if let Node::Gate { fanin, .. } = node {
+                for f in fanin {
+                    assert!(f.index() < id.index(), "fan-in must precede the gate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_arity_panics() {
+        let circuit = full_adder();
+        let _ = circuit.simulate(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_output_panics() {
+        let circuit = full_adder();
+        let _ = circuit.simulate(&[true, false, true]).output("nope");
+    }
+
+    #[test]
+    fn display_summarises_structure() {
+        let text = full_adder().to_string();
+        assert!(text.contains("full_adder"));
+        assert!(text.contains("3 inputs"));
+    }
+}

@@ -1,0 +1,382 @@
+//! Tseitin encoding of circuits into CNF (+ xor clauses).
+//!
+//! Every circuit node is given one CNF variable; primary inputs are assigned
+//! the **first** variables, so the sampling set recorded in the resulting
+//! formula is exactly the set of primary inputs. Because every other variable
+//! is functionally defined by the inputs, that set is an independent support
+//! of the formula by construction — the situation the paper describes for
+//! CNF obtained from CRV and BMC front ends ("the variables introduced by the
+//! encoding form a dependent support").
+//!
+//! Gates are encoded with the standard Tseitin clauses; XOR/XNOR gates are
+//! encoded as native xor clauses so that the solver's xor engine (and not a
+//! clause blow-up) handles parity logic, mirroring how the paper's benchmarks
+//! feed CryptoMiniSAT.
+
+use unigen_cnf::{CnfFormula, Lit, Var, XorClause};
+
+use crate::gate::{GateKind, NodeId};
+use crate::netlist::{Circuit, Node};
+
+/// The result of encoding a circuit: a growing formula plus the mapping from
+/// circuit nodes to CNF variables.
+///
+/// After [`encode`] the formula contains only the gate-consistency clauses;
+/// use the `assert_*` methods to constrain outputs (turning the circuit into
+/// a constraint whose witnesses are the interesting input stimuli), then call
+/// [`CircuitEncoding::into_formula`].
+#[derive(Debug, Clone)]
+pub struct CircuitEncoding {
+    formula: CnfFormula,
+    node_vars: Vec<Var>,
+    num_inputs: usize,
+}
+
+/// Encodes a circuit into CNF with the Tseitin construction.
+///
+/// # Example
+///
+/// ```
+/// use unigen_circuit::{tseitin, CircuitBuilder};
+///
+/// let mut b = CircuitBuilder::new("xor2");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let z = b.xor(x, y);
+/// b.output("z", z);
+/// let circuit = b.finish();
+///
+/// let mut enc = tseitin::encode(&circuit);
+/// enc.assert_node(z, true);
+/// let formula = enc.into_formula();
+/// // Two witnesses: x ≠ y.
+/// assert_eq!(formula.enumerate_models_brute_force().len(), 2);
+/// ```
+pub fn encode(circuit: &Circuit) -> CircuitEncoding {
+    let mut formula = CnfFormula::new(circuit.num_nodes());
+    let mut node_vars = vec![Var::new(0); circuit.num_nodes()];
+
+    // Assign variables: inputs first (variables 0..num_inputs), then the
+    // remaining nodes in topological order.
+    let mut next = 0usize;
+    for &input in circuit.inputs() {
+        node_vars[input.index()] = Var::new(next);
+        next += 1;
+    }
+    let num_inputs = next;
+    for (id, node) in circuit.iter() {
+        if matches!(node, Node::Input { .. }) {
+            continue;
+        }
+        node_vars[id.index()] = Var::new(next);
+        next += 1;
+    }
+    debug_assert_eq!(next, circuit.num_nodes());
+
+    formula
+        .set_sampling_set((0..num_inputs).map(Var::new))
+        .expect("input variables are within range");
+
+    for (id, node) in circuit.iter() {
+        let y = node_vars[id.index()];
+        match node {
+            Node::Input { .. } => {}
+            Node::Const(value) => {
+                formula
+                    .add_clause([y.lit(*value)])
+                    .expect("constant clause in range");
+            }
+            Node::Gate { kind, fanin } => {
+                let fanin_vars: Vec<Var> =
+                    fanin.iter().map(|f| node_vars[f.index()]).collect();
+                encode_gate(&mut formula, *kind, y, &fanin_vars);
+            }
+        }
+    }
+
+    CircuitEncoding {
+        formula,
+        node_vars,
+        num_inputs,
+    }
+}
+
+fn encode_gate(formula: &mut CnfFormula, kind: GateKind, y: Var, fanin: &[Var]) {
+    let add = |formula: &mut CnfFormula, lits: Vec<Lit>| {
+        formula.add_clause(lits).expect("gate clause in range");
+    };
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            // y ↔ AND(fanin)   (for NAND, flip y's polarity).
+            let y_lit = if kind == GateKind::And {
+                y.positive()
+            } else {
+                y.negative()
+            };
+            for &a in fanin {
+                add(formula, vec![!y_lit, a.positive()]);
+            }
+            let mut long: Vec<Lit> = fanin.iter().map(|&a| a.negative()).collect();
+            long.push(y_lit);
+            add(formula, long);
+        }
+        GateKind::Or | GateKind::Nor => {
+            // y ↔ OR(fanin)   (for NOR, flip y's polarity).
+            let y_lit = if kind == GateKind::Or {
+                y.positive()
+            } else {
+                y.negative()
+            };
+            for &a in fanin {
+                add(formula, vec![y_lit, a.negative()]);
+            }
+            let mut long: Vec<Lit> = fanin.iter().map(|&a| a.positive()).collect();
+            long.push(!y_lit);
+            add(formula, long);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // y ⊕ fanin… = 0 for XOR (y equals the parity), = 1 for XNOR.
+            let mut vars = vec![y];
+            vars.extend_from_slice(fanin);
+            let rhs = kind == GateKind::Xnor;
+            formula
+                .add_xor_clause(XorClause::new(vars, rhs))
+                .expect("gate xor in range");
+        }
+        GateKind::Not => {
+            let a = fanin[0];
+            add(formula, vec![y.negative(), a.negative()]);
+            add(formula, vec![y.positive(), a.positive()]);
+        }
+        GateKind::Mux => {
+            let (s, f, t) = (fanin[0], fanin[1], fanin[2]);
+            // s = 1 ⇒ y = t
+            add(formula, vec![s.negative(), t.negative(), y.positive()]);
+            add(formula, vec![s.negative(), t.positive(), y.negative()]);
+            // s = 0 ⇒ y = f
+            add(formula, vec![s.positive(), f.negative(), y.positive()]);
+            add(formula, vec![s.positive(), f.positive(), y.negative()]);
+        }
+    }
+}
+
+impl CircuitEncoding {
+    /// Returns the CNF variable carrying the value of a circuit node.
+    pub fn node_var(&self, id: NodeId) -> Var {
+        self.node_vars[id.index()]
+    }
+
+    /// Returns the number of primary inputs (the size of the sampling set).
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Constrains a node to a constant value.
+    pub fn assert_node(&mut self, id: NodeId, value: bool) {
+        let var = self.node_var(id);
+        self.formula
+            .add_clause([var.lit(value)])
+            .expect("assertion clause in range");
+    }
+
+    /// Constrains two nodes to carry equal values.
+    pub fn assert_equal(&mut self, a: NodeId, b: NodeId) {
+        let (va, vb) = (self.node_var(a), self.node_var(b));
+        self.formula
+            .add_xor_clause(XorClause::new([va, vb], false))
+            .expect("equality xor in range");
+    }
+
+    /// Adds a parity condition over a set of nodes: `⊕ nodes = rhs`.
+    ///
+    /// This is the "parity conditions on randomly chosen subsets of outputs"
+    /// construction the paper applies to the ISCAS89 circuits.
+    pub fn assert_parity<I>(&mut self, nodes: I, rhs: bool)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let vars: Vec<Var> = nodes.into_iter().map(|id| self.node_var(id)).collect();
+        self.formula
+            .add_xor_clause(XorClause::new(vars, rhs))
+            .expect("parity xor in range");
+    }
+
+    /// Adds an arbitrary extra clause over circuit nodes, given as
+    /// `(node, polarity)` pairs.
+    pub fn assert_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = (NodeId, bool)>,
+    {
+        let lits: Vec<Lit> = lits
+            .into_iter()
+            .map(|(id, polarity)| self.node_var(id).lit(polarity))
+            .collect();
+        self.formula
+            .add_clause(lits)
+            .expect("constraint clause in range");
+    }
+
+    /// Finalises the encoding into a formula (sampling set = primary inputs).
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+
+    /// Returns a reference to the formula built so far.
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use unigen_cnf::Model;
+
+    /// Checks that the encoding is consistent with the simulator: for every
+    /// input assignment, the (unique) extension to all Tseitin variables
+    /// satisfies the formula, and the formula forces output variables to the
+    /// simulated values.
+    fn check_circuit(circuit: &Circuit) {
+        let encoding = encode(circuit);
+        let formula = encoding.formula().clone();
+        let n_inputs = circuit.num_inputs();
+        assert!(n_inputs <= 10, "test helper limited to 10 inputs");
+        for mask in 0u64..(1 << n_inputs) {
+            let inputs: Vec<bool> = (0..n_inputs).map(|i| mask & (1 << i) != 0).collect();
+            let sim = circuit.simulate(&inputs);
+            // Build the model implied by the simulation.
+            let mut values = vec![false; formula.num_vars()];
+            for (id, _) in circuit.iter() {
+                values[encoding.node_var(id).index()] = sim.value(id);
+            }
+            let model = Model::new(values);
+            assert!(
+                formula.evaluate(&model),
+                "simulation of inputs {mask:b} does not satisfy the encoding"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_matches_simulation_for_adder() {
+        let mut b = CircuitBuilder::new("adder");
+        let x = b.input_word("x", 3);
+        let y = b.input_word("y", 3);
+        let sum = b.add(&x, &y);
+        b.output_word("sum", &sum);
+        check_circuit(&b.finish());
+    }
+
+    #[test]
+    fn encoding_matches_simulation_for_mux_tree() {
+        let mut b = CircuitBuilder::new("mux_tree");
+        let s0 = b.input("s0");
+        let s1 = b.input("s1");
+        let d: Vec<_> = (0..4).map(|i| b.input(format!("d{i}"))).collect();
+        let m0 = b.mux(s0, d[0], d[1]);
+        let m1 = b.mux(s0, d[2], d[3]);
+        let out = b.mux(s1, m0, m1);
+        b.output("out", out);
+        check_circuit(&b.finish());
+    }
+
+    #[test]
+    fn encoding_matches_simulation_for_all_gate_kinds() {
+        let mut b = CircuitBuilder::new("gates");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let g1 = b.nand(x, y);
+        let g2 = b.nor(y, z);
+        let g3 = b.xnor(g1, g2);
+        let g4 = b.not(g3);
+        let g5 = b.xor_many(&[x, y, z, g4]);
+        let g6 = b.and_many(&[g1, g2, g5]);
+        let g7 = b.or_many(&[g3, g6, x]);
+        b.output("out", g7);
+        check_circuit(&b.finish());
+    }
+
+    #[test]
+    fn sampling_set_is_exactly_the_inputs() {
+        let mut b = CircuitBuilder::new("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(x, y);
+        b.output("g", g);
+        let circuit = b.finish();
+        let formula = encode(&circuit).into_formula();
+        let set = formula.sampling_set().unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set, &[Var::new(0), Var::new(1)]);
+    }
+
+    #[test]
+    fn witness_count_matches_constrained_outputs() {
+        // out = x AND y, constrained to 1 → exactly one witness.
+        let mut b = CircuitBuilder::new("and_constraint");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(x, y);
+        b.output("g", g);
+        let circuit = b.finish();
+        let mut enc = encode(&circuit);
+        enc.assert_node(g, true);
+        let formula = enc.into_formula();
+        assert_eq!(formula.enumerate_models_brute_force().len(), 1);
+    }
+
+    #[test]
+    fn parity_condition_halves_the_witness_count() {
+        // Unconstrained 4-input circuit: every node forced by inputs, 16
+        // witnesses. A parity condition over two internal signals roughly
+        // halves that (exactly halves it here because the parity is a free
+        // xor of inputs).
+        let mut b = CircuitBuilder::new("parity");
+        let inputs: Vec<_> = (0..4).map(|i| b.input(format!("i{i}"))).collect();
+        let g1 = b.xor(inputs[0], inputs[1]);
+        let g2 = b.xor(inputs[2], inputs[3]);
+        b.output("g1", g1);
+        b.output("g2", g2);
+        let circuit = b.finish();
+
+        let unconstrained = encode(&circuit).into_formula();
+        assert_eq!(unconstrained.enumerate_models_brute_force().len(), 16);
+
+        let mut enc = encode(&circuit);
+        enc.assert_parity([g1, g2], true);
+        let constrained = enc.into_formula();
+        assert_eq!(constrained.enumerate_models_brute_force().len(), 8);
+    }
+
+    #[test]
+    fn assert_equal_links_two_nodes() {
+        let mut b = CircuitBuilder::new("eq");
+        let x = b.input("x");
+        let y = b.input("y");
+        let not_y = b.not(y);
+        b.output("ny", not_y);
+        let circuit = b.finish();
+        let mut enc = encode(&circuit);
+        enc.assert_equal(x, not_y);
+        let formula = enc.into_formula();
+        // Witnesses: x = ¬y, so 2 of the 4 input combinations.
+        assert_eq!(formula.enumerate_models_brute_force().len(), 2);
+    }
+
+    #[test]
+    fn assert_clause_adds_arbitrary_constraints() {
+        let mut b = CircuitBuilder::new("clause");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.or(x, y);
+        b.output("g", g);
+        let circuit = b.finish();
+        let mut enc = encode(&circuit);
+        // Require ¬x ∨ ¬y (NAND) on top of the circuit definition.
+        enc.assert_clause([(x, false), (y, false)]);
+        let formula = enc.into_formula();
+        assert_eq!(formula.enumerate_models_brute_force().len(), 3);
+    }
+}

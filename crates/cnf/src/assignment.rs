@@ -1,0 +1,306 @@
+//! Partial assignments and total models.
+
+use std::fmt;
+
+use crate::{Lit, Var};
+
+/// A total truth assignment over variables `0..n`.
+///
+/// A `Model` is what a SAT solver or a sampler returns: every variable of the
+/// formula has a definite value. Models compare equal iff they assign the
+/// same values, which makes them usable as keys when counting how often each
+/// witness is produced (the Figure 1 experiment).
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{Model, Var};
+/// let m = Model::new(vec![true, false, true]);
+/// assert!(m.value(Var::new(0)));
+/// assert!(!m.value(Var::new(1)));
+/// assert_eq!(m.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Creates a model from a vector of truth values indexed by variable.
+    pub fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// Returns the number of variables covered by this model.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the model covers no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the truth value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not covered by this model.
+    #[inline]
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Returns the truth value of a literal under this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is not covered by this model.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        lit.evaluate(self.value(lit.var()))
+    }
+
+    /// Returns the underlying values, indexed by variable.
+    #[inline]
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Projects this model onto a set of variables, producing the
+    /// sub-assignment restricted to those variables (in the order given).
+    ///
+    /// UniGen distinguishes witnesses only by their projection on the
+    /// sampling set `S`; this is the operation that computes that projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable in `vars` is not covered by this model.
+    pub fn project(&self, vars: &[Var]) -> Projection {
+        Projection {
+            vars: vars.to_vec(),
+            values: vars.iter().map(|&v| self.value(v)).collect(),
+        }
+    }
+
+    /// Returns the model as a list of literals (positive when the variable is
+    /// true).
+    pub fn to_lits(&self) -> Vec<Lit> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Var::new(i).lit(b))
+            .collect()
+    }
+}
+
+impl FromIterator<bool> for Model {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Model::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, lit) in self.to_lits().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A projection of a model onto a subset of variables.
+///
+/// Two projections compare equal iff they assign the same values to the same
+/// variables, which is exactly the equivalence UniGen uses when it blocks
+/// already-generated witnesses on the sampling set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Projection {
+    vars: Vec<Var>,
+    values: Vec<bool>,
+}
+
+impl Projection {
+    /// Returns the projected variables.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Returns the projected values, aligned with [`Projection::vars`].
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Returns the projection as literals (positive when the variable is
+    /// true), suitable for building a blocking clause.
+    pub fn to_lits(&self) -> Vec<Lit> {
+        self.vars
+            .iter()
+            .zip(&self.values)
+            .map(|(&v, &b)| v.lit(b))
+            .collect()
+    }
+
+    /// Interprets the projection as an unsigned integer, treating the first
+    /// variable as the least-significant bit. Useful for compact bookkeeping
+    /// in tests and in the Figure 1 histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection covers more than 64 variables.
+    pub fn as_index(&self) -> u64 {
+        assert!(self.values.len() <= 64, "projection too wide for u64");
+        self.values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+}
+
+/// A partial assignment: each variable is true, false, or unassigned.
+///
+/// This is the working structure used by the solver trail and by the exact
+/// model counter while it descends the search tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    values: Vec<Option<bool>>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![None; num_vars],
+        }
+    }
+
+    /// Returns the number of variables tracked by this assignment.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value assigned to `var`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[inline]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values[var.index()]
+    }
+
+    /// Returns the value of a literal under this assignment, if its variable
+    /// is assigned.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| lit.evaluate(v))
+    }
+
+    /// Assigns `value` to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[inline]
+    pub fn assign(&mut self, var: Var, value: bool) {
+        self.values[var.index()] = Some(value);
+    }
+
+    /// Removes the assignment of `var`.
+    #[inline]
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.index()] = None;
+    }
+
+    /// Returns `true` if `var` currently has a value.
+    #[inline]
+    pub fn is_assigned(&self, var: Var) -> bool {
+        self.values[var.index()].is_some()
+    }
+
+    /// Returns the number of assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Converts this assignment into a total model, filling unassigned
+    /// variables with `default`.
+    pub fn to_model(&self, default: bool) -> Model {
+        Model::new(self.values.iter().map(|v| v.unwrap_or(default)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_lit_value() {
+        let m = Model::new(vec![true, false]);
+        assert!(m.lit_value(Lit::from_dimacs(1)));
+        assert!(!m.lit_value(Lit::from_dimacs(-1)));
+        assert!(m.lit_value(Lit::from_dimacs(-2)));
+    }
+
+    #[test]
+    fn projection_index_is_lsb_first() {
+        let m = Model::new(vec![true, false, true, true]);
+        let p = m.project(&[Var::new(0), Var::new(2), Var::new(3)]);
+        // vars 0, 2, 3 are all true -> bits 0, 1, 2 set
+        assert_eq!(p.as_index(), 0b111);
+        let q = m.project(&[Var::new(1), Var::new(3)]);
+        // var 1 is false (bit 0 clear), var 3 is true (bit 1 set)
+        assert_eq!(q.as_index(), 0b10);
+    }
+
+    #[test]
+    fn projection_index_simple() {
+        let m = Model::new(vec![true, false, true]);
+        let p = m.project(&[Var::new(0), Var::new(1), Var::new(2)]);
+        assert_eq!(p.as_index(), 0b101);
+        let q = m.project(&[Var::new(1)]);
+        assert_eq!(q.as_index(), 0);
+    }
+
+    #[test]
+    fn projection_equality_ignores_other_vars() {
+        let a = Model::new(vec![true, false, true]);
+        let b = Model::new(vec![true, true, true]);
+        let s = [Var::new(0), Var::new(2)];
+        assert_eq!(a.project(&s), b.project(&s));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let mut a = Assignment::new(3);
+        assert_eq!(a.num_assigned(), 0);
+        a.assign(Var::new(1), true);
+        assert!(a.is_assigned(Var::new(1)));
+        assert_eq!(a.value(Var::new(1)), Some(true));
+        assert_eq!(a.lit_value(Lit::from_dimacs(-2)), Some(false));
+        assert_eq!(a.lit_value(Lit::from_dimacs(1)), None);
+        a.unassign(Var::new(1));
+        assert_eq!(a.num_assigned(), 0);
+    }
+
+    #[test]
+    fn assignment_to_model_fills_defaults() {
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), true);
+        let m = a.to_model(false);
+        assert_eq!(m.values(), &[true, false, false]);
+    }
+
+    #[test]
+    fn model_display_lists_dimacs_literals() {
+        let m = Model::new(vec![true, false]);
+        assert_eq!(m.to_string(), "1 -2");
+    }
+}

@@ -1,0 +1,197 @@
+//! Disjunctive clauses.
+
+use std::fmt;
+
+use crate::{Lit, Model, Var};
+
+/// A disjunction of literals.
+///
+/// Clauses produced by [`Clause::new`] are *normalised*: literals are sorted,
+/// duplicates removed, and [`Clause::is_tautology`] reports whether the
+/// clause contains a complementary pair (and is therefore always satisfied).
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{Clause, Lit};
+/// let clause = Clause::new(vec![Lit::from_dimacs(3), Lit::from_dimacs(-1), Lit::from_dimacs(3)]);
+/// assert_eq!(clause.len(), 2);
+/// assert!(!clause.is_tautology());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    tautology: bool,
+}
+
+impl Clause {
+    /// Creates a normalised clause from the given literals.
+    pub fn new<I>(lits: I) -> Self
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        let tautology = lits.windows(2).any(|w| w[0].var() == w[1].var());
+        Clause { lits, tautology }
+    }
+
+    /// Creates a clause directly from signed DIMACS integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is zero.
+    pub fn from_dimacs<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = i64>,
+    {
+        Clause::new(values.into_iter().map(Lit::from_dimacs))
+    }
+
+    /// Returns the literals of this clause in sorted order.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Returns the number of (distinct) literals in this clause.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` if the clause has no literals (i.e. is unsatisfiable).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if the clause contains both a literal and its negation.
+    #[inline]
+    pub fn is_tautology(&self) -> bool {
+        self.tautology
+    }
+
+    /// Returns `true` if the clause contains exactly one literal.
+    #[inline]
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Returns an iterator over the literals of this clause.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Returns the largest variable mentioned by this clause, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.lits.iter().map(|l| l.var()).max()
+    }
+
+    /// Evaluates the clause under a total assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not cover every variable of the clause.
+    pub fn evaluate(&self, model: &Model) -> bool {
+        self.lits.iter().any(|l| l.evaluate(model.value(l.var())))
+    }
+
+    /// Returns `true` if `lit` occurs in this clause.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.binary_search(&lit).is_ok()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, lit) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, " 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_sorts_and_dedups() {
+        let c = Clause::from_dimacs([5, -2, 5, 1]);
+        let dimacs: Vec<i64> = c.iter().map(|l| l.to_dimacs()).collect();
+        assert_eq!(dimacs, vec![1, -2, 5]);
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::from_dimacs([1, -1, 3]).is_tautology());
+        assert!(!Clause::from_dimacs([1, 2, 3]).is_tautology());
+    }
+
+    #[test]
+    fn empty_clause_properties() {
+        let c = Clause::new([]);
+        assert!(c.is_empty());
+        assert!(!c.is_unit());
+        assert!(!c.is_tautology());
+        assert_eq!(c.max_var(), None);
+    }
+
+    #[test]
+    fn unit_clause_detection() {
+        assert!(Clause::from_dimacs([7]).is_unit());
+        assert!(!Clause::from_dimacs([7, 8]).is_unit());
+    }
+
+    #[test]
+    fn evaluation_against_model() {
+        let c = Clause::from_dimacs([1, -3]);
+        let m = Model::new(vec![false, true, true]);
+        // lit 1 is false, lit -3 is false -> clause false
+        assert!(!c.evaluate(&m));
+        let m = Model::new(vec![true, true, true]);
+        assert!(c.evaluate(&m));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let c = Clause::from_dimacs([1, -2, 5]);
+        assert!(c.contains(Lit::from_dimacs(-2)));
+        assert!(!c.contains(Lit::from_dimacs(2)));
+    }
+
+    #[test]
+    fn display_is_dimacs_terminated() {
+        let c = Clause::from_dimacs([2, -1]);
+        assert_eq!(c.to_string(), "-1 2 0");
+    }
+}

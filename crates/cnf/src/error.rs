@@ -1,0 +1,89 @@
+//! Error type for formula construction and DIMACS parsing.
+
+use std::fmt;
+
+/// Errors produced while building formulas or parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CnfError {
+    /// A clause or xor constraint mentioned a variable outside the declared
+    /// range of the formula.
+    VariableOutOfRange {
+        /// The offending (zero-based) variable index.
+        var_index: usize,
+        /// The number of variables declared by the formula.
+        num_vars: usize,
+    },
+    /// A sampling-set declaration mentioned a variable outside the declared
+    /// range of the formula.
+    SamplingVarOutOfRange {
+        /// The offending (zero-based) variable index.
+        var_index: usize,
+        /// The number of variables declared by the formula.
+        num_vars: usize,
+    },
+    /// The DIMACS input was malformed.
+    ParseDimacs {
+        /// One-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing DIMACS data.
+    Io(String),
+}
+
+impl fmt::Display for CnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CnfError::VariableOutOfRange { var_index, num_vars } => write!(
+                f,
+                "clause mentions variable {} but the formula declares only {} variables",
+                var_index + 1,
+                num_vars
+            ),
+            CnfError::SamplingVarOutOfRange { var_index, num_vars } => write!(
+                f,
+                "sampling set mentions variable {} but the formula declares only {} variables",
+                var_index + 1,
+                num_vars
+            ),
+            CnfError::ParseDimacs { line, message } => {
+                write!(f, "DIMACS parse error on line {line}: {message}")
+            }
+            CnfError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CnfError {}
+
+impl From<std::io::Error> for CnfError {
+    fn from(err: std::io::Error) -> Self {
+        CnfError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CnfError::VariableOutOfRange {
+            var_index: 9,
+            num_vars: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains('5'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: CnfError = io.into();
+        assert!(matches!(err, CnfError::Io(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,371 @@
+//! CNF formulas with xor constraints and sampling-set metadata.
+
+use std::fmt;
+
+use crate::{Clause, CnfError, Lit, Model, Var, XorClause};
+
+/// A CNF formula, optionally extended with xor constraints and annotated
+/// with a *sampling set*.
+///
+/// The sampling set corresponds to the paper's set `S` of sampling variables:
+/// an independent support of the formula over which UniGen draws its random
+/// xor constraints and restricts its blocking clauses. When no sampling set
+/// is declared, the full support is used (which is exactly what UniWit and
+/// XORSample′ do, and the source of their scalability problems).
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{CnfFormula, Lit, Var, XorClause};
+///
+/// # fn main() -> Result<(), unigen_cnf::CnfError> {
+/// let mut f = CnfFormula::new(4);
+/// f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])?;
+/// f.add_xor_clause(XorClause::from_dimacs([3, 4], true))?;
+/// f.set_sampling_set([Var::from_dimacs(1), Var::from_dimacs(2)])?;
+/// assert_eq!(f.sampling_set().unwrap().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    xor_clauses: Vec<XorClause>,
+    sampling_set: Option<Vec<Var>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+            xor_clauses: Vec::new(),
+            sampling_set: None,
+        }
+    }
+
+    /// Returns the number of variables declared by this formula.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of CNF clauses.
+    #[inline]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the number of xor constraints.
+    #[inline]
+    pub fn num_xor_clauses(&self) -> usize {
+        self.xor_clauses.len()
+    }
+
+    /// Grows the variable range to at least `num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars > self.num_vars {
+            self.num_vars = num_vars;
+        }
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::new(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// Adds a clause built from the given literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::VariableOutOfRange`] if the clause mentions a
+    /// variable outside the declared range.
+    pub fn add_clause<I>(&mut self, lits: I) -> Result<(), CnfError>
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause = Clause::new(lits);
+        self.check_vars(clause.iter().map(|l| l.var()))?;
+        self.clauses.push(clause);
+        Ok(())
+    }
+
+    /// Adds an already-constructed clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::VariableOutOfRange`] if the clause mentions a
+    /// variable outside the declared range.
+    pub fn push_clause(&mut self, clause: Clause) -> Result<(), CnfError> {
+        self.check_vars(clause.iter().map(|l| l.var()))?;
+        self.clauses.push(clause);
+        Ok(())
+    }
+
+    /// Adds an xor constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::VariableOutOfRange`] if the constraint mentions a
+    /// variable outside the declared range.
+    pub fn add_xor_clause(&mut self, xor: XorClause) -> Result<(), CnfError> {
+        self.check_vars(xor.iter().copied())?;
+        self.xor_clauses.push(xor);
+        Ok(())
+    }
+
+    /// Declares the sampling set (the paper's independent support `S`).
+    ///
+    /// The set is deduplicated and sorted. Declaring an empty iterator clears
+    /// an existing sampling set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::SamplingVarOutOfRange`] if the set mentions a
+    /// variable outside the declared range.
+    pub fn set_sampling_set<I>(&mut self, vars: I) -> Result<(), CnfError>
+    where
+        I: IntoIterator<Item = Var>,
+    {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        for &v in &vars {
+            if v.index() >= self.num_vars {
+                return Err(CnfError::SamplingVarOutOfRange {
+                    var_index: v.index(),
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        self.sampling_set = if vars.is_empty() { None } else { Some(vars) };
+        Ok(())
+    }
+
+    /// Returns the declared sampling set, if any.
+    #[inline]
+    pub fn sampling_set(&self) -> Option<&[Var]> {
+        self.sampling_set.as_deref()
+    }
+
+    /// Returns the sampling set if declared, or the full variable range
+    /// otherwise.
+    ///
+    /// This mirrors how UniGen treats a missing `S`: it falls back to the
+    /// full support `X` (and loses the short-xor advantage).
+    pub fn sampling_set_or_all(&self) -> Vec<Var> {
+        match &self.sampling_set {
+            Some(set) => set.clone(),
+            None => (0..self.num_vars).map(Var::new).collect(),
+        }
+    }
+
+    /// Returns the CNF clauses.
+    #[inline]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Returns the xor constraints.
+    #[inline]
+    pub fn xor_clauses(&self) -> &[XorClause] {
+        &self.xor_clauses
+    }
+
+    /// Returns an iterator over the variables of this formula.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.num_vars).map(Var::new)
+    }
+
+    /// Evaluates the formula under a total assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers fewer variables than the formula declares.
+    pub fn evaluate(&self, model: &Model) -> bool {
+        assert!(
+            model.len() >= self.num_vars,
+            "model covers {} variables but the formula declares {}",
+            model.len(),
+            self.num_vars
+        );
+        self.clauses.iter().all(|c| c.evaluate(model))
+            && self.xor_clauses.iter().all(|x| x.evaluate(model))
+    }
+
+    /// Returns a copy of this formula with all xor constraints expanded into
+    /// equivalent CNF clauses.
+    ///
+    /// Only intended for small constraints (tests, brute-force baselines);
+    /// see [`XorClause::to_cnf_clauses`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any xor constraint has more than 20 variables.
+    pub fn expand_xor_to_cnf(&self) -> CnfFormula {
+        let mut out = CnfFormula::new(self.num_vars);
+        out.sampling_set = self.sampling_set.clone();
+        out.clauses = self.clauses.clone();
+        for xor in &self.xor_clauses {
+            out.clauses.extend(xor.to_cnf_clauses());
+        }
+        out
+    }
+
+    /// Merges another formula's clauses and xor constraints into this one.
+    ///
+    /// The variable ranges are united; the other formula's sampling set (if
+    /// any) is ignored.
+    pub fn extend_from(&mut self, other: &CnfFormula) {
+        self.ensure_vars(other.num_vars);
+        self.clauses.extend(other.clauses.iter().cloned());
+        self.xor_clauses.extend(other.xor_clauses.iter().cloned());
+    }
+
+    /// Exhaustively enumerates all models of the formula.
+    ///
+    /// Only intended for formulas with at most 24 variables (tests and the
+    /// brute-force baselines used to validate the solver and the counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn enumerate_models_brute_force(&self) -> Vec<Model> {
+        assert!(
+            self.num_vars <= 24,
+            "brute-force enumeration limited to 24 variables, got {}",
+            self.num_vars
+        );
+        let mut models = Vec::new();
+        for mask in 0u64..(1u64 << self.num_vars) {
+            let model = Model::new((0..self.num_vars).map(|i| mask & (1 << i) != 0).collect());
+            if self.evaluate(&model) {
+                models.push(model);
+            }
+        }
+        models
+    }
+
+    fn check_vars<I>(&self, vars: I) -> Result<(), CnfError>
+    where
+        I: IntoIterator<Item = Var>,
+    {
+        for v in vars {
+            if v.index() >= self.num_vars {
+                return Err(CnfError::VariableOutOfRange {
+                    var_index: v.index(),
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::dimacs::to_dimacs_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_formula() -> CnfFormula {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (x2 ⊕ x3 = 1)
+        let mut f = CnfFormula::new(3);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(3)]).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([2, 3], true)).unwrap();
+        f
+    }
+
+    #[test]
+    fn out_of_range_clause_is_rejected() {
+        let mut f = CnfFormula::new(2);
+        let err = f.add_clause([Lit::from_dimacs(3)]).unwrap_err();
+        assert!(matches!(err, CnfError::VariableOutOfRange { .. }));
+    }
+
+    #[test]
+    fn out_of_range_sampling_set_is_rejected() {
+        let mut f = CnfFormula::new(2);
+        let err = f.set_sampling_set([Var::from_dimacs(5)]).unwrap_err();
+        assert!(matches!(err, CnfError::SamplingVarOutOfRange { .. }));
+    }
+
+    #[test]
+    fn sampling_set_is_sorted_and_deduped() {
+        let mut f = CnfFormula::new(5);
+        f.set_sampling_set([Var::from_dimacs(4), Var::from_dimacs(1), Var::from_dimacs(4)])
+            .unwrap();
+        let set = f.sampling_set().unwrap();
+        assert_eq!(set, &[Var::from_dimacs(1), Var::from_dimacs(4)]);
+    }
+
+    #[test]
+    fn sampling_set_or_all_falls_back_to_full_support() {
+        let f = CnfFormula::new(3);
+        assert_eq!(f.sampling_set_or_all().len(), 3);
+    }
+
+    #[test]
+    fn evaluate_checks_both_clause_kinds() {
+        let f = simple_formula();
+        // x1=T, x2=F, x3=T : clause1 ok, clause2 ok, xor (F ⊕ T = T) ok
+        assert!(f.evaluate(&Model::new(vec![true, false, true])));
+        // x1=T, x2=T, x3=T : xor violated
+        assert!(!f.evaluate(&Model::new(vec![true, true, true])));
+        // x1=F, x2=F, x3=T : clause1 violated
+        assert!(!f.evaluate(&Model::new(vec![false, false, true])));
+    }
+
+    #[test]
+    fn xor_expansion_preserves_models() {
+        let f = simple_formula();
+        let expanded = f.expand_xor_to_cnf();
+        assert_eq!(expanded.num_xor_clauses(), 0);
+        assert_eq!(
+            f.enumerate_models_brute_force(),
+            expanded.enumerate_models_brute_force()
+        );
+    }
+
+    #[test]
+    fn brute_force_enumeration_counts_models() {
+        let f = simple_formula();
+        // Enumerate by hand: need (x1∨x2), (¬x1∨x3), x2⊕x3 = 1.
+        // Satisfied only by (F,T,F) and (T,F,T).
+        let models = f.enumerate_models_brute_force();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            assert!(f.evaluate(m));
+        }
+    }
+
+    #[test]
+    fn new_var_grows_range() {
+        let mut f = CnfFormula::new(0);
+        let a = f.new_var();
+        let b = f.new_var();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn extend_from_unions_variable_ranges() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::from_dimacs(1)]).unwrap();
+        let mut g = CnfFormula::new(4);
+        g.add_clause([Lit::from_dimacs(4)]).unwrap();
+        f.extend_from(&g);
+        assert_eq!(f.num_vars(), 4);
+        assert_eq!(f.num_clauses(), 2);
+    }
+}

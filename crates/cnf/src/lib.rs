@@ -1,0 +1,50 @@
+//! Propositional formula substrate for the UniGen reproduction.
+//!
+//! This crate provides the basic vocabulary shared by every other crate in
+//! the workspace:
+//!
+//! * [`Var`] and [`Lit`] — compact, copyable identifiers for Boolean
+//!   variables and literals,
+//! * [`Clause`] — a disjunction of literals,
+//! * [`XorClause`] — a parity (xor) constraint over a set of variables, the
+//!   building block of the `H_xor(n, m, 3)` hash family used by UniGen,
+//! * [`Assignment`] and [`Model`] — partial and total truth assignments,
+//! * [`CnfFormula`] — a CNF formula with optional xor constraints and an
+//!   optional *sampling set* (the paper's independent support `S`),
+//! * [`dimacs`] — DIMACS CNF reading and writing, including the
+//!   CryptoMiniSAT-style `x …` xor-clause lines and `c ind … 0` sampling-set
+//!   comments used by the original UniGen tool chain.
+//!
+//! # Example
+//!
+//! ```
+//! use unigen_cnf::{CnfFormula, Lit, Var};
+//!
+//! # fn main() -> Result<(), unigen_cnf::CnfError> {
+//! // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+//! let mut formula = CnfFormula::new(3);
+//! formula.add_clause([Lit::positive(Var::new(0)), Lit::negative(Var::new(1))])?;
+//! formula.add_clause([Lit::positive(Var::new(1)), Lit::positive(Var::new(2))])?;
+//! assert_eq!(formula.num_clauses(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod clause;
+mod error;
+mod formula;
+mod lit;
+mod xor;
+
+pub mod dimacs;
+
+pub use assignment::{Assignment, Model};
+pub use clause::Clause;
+pub use error::CnfError;
+pub use formula::CnfFormula;
+pub use lit::{Lit, Var};
+pub use xor::XorClause;

@@ -1,0 +1,273 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by a zero-based index.
+///
+/// Variables are displayed one-based (DIMACS convention), so `Var::new(0)`
+/// prints as `1`.
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::Var;
+/// let v = Var::new(4);
+/// assert_eq!(v.index(), 4);
+/// assert_eq!(v.to_string(), "5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX / 2`, the largest index for which
+    /// a literal can still be encoded.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index <= (u32::MAX / 2) as usize,
+            "variable index {index} too large"
+        );
+        Var(index as u32)
+    }
+
+    /// Returns the zero-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable from its one-based DIMACS identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs` is zero.
+    #[inline]
+    pub fn from_dimacs(dimacs: usize) -> Self {
+        assert!(dimacs > 0, "DIMACS variable identifiers are one-based");
+        Var::new(dimacs - 1)
+    }
+
+    /// Returns the one-based DIMACS identifier of this variable.
+    #[inline]
+    pub fn to_dimacs(self) -> usize {
+        self.index() + 1
+    }
+
+    /// Returns the positive literal over this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::positive(self)
+    }
+
+    /// Returns the negative literal over this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::negative(self)
+    }
+
+    /// Returns the literal over this variable with the given polarity
+    /// (`true` = positive).
+    #[inline]
+    pub fn lit(self, polarity: bool) -> Lit {
+        Lit::new(self, polarity)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally a literal is encoded as `2 * var + (negated as u32)`, the
+/// usual MiniSat-style packing, which makes literals cheap to use as array
+/// indices in the solver's watch lists.
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{Lit, Var};
+/// let v = Var::new(2);
+/// let p = Lit::positive(v);
+/// let n = !p;
+/// assert_eq!(n, Lit::negative(v));
+/// assert_eq!(p.var(), n.var());
+/// assert!(p.is_positive() && n.is_negative());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, polarity: bool) -> Self {
+        Lit(var.0 * 2 + u32::from(!polarity))
+    }
+
+    /// Creates the positive literal over `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// Creates the negative literal over `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// Creates a literal from a signed DIMACS integer (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    #[inline]
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "DIMACS literals are non-zero");
+        let var = Var::from_dimacs(value.unsigned_abs() as usize);
+        Lit::new(var, value > 0)
+    }
+
+    /// Returns the signed DIMACS representation of this literal.
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().to_dimacs() as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Returns the variable of this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this literal is the positive occurrence of its
+    /// variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this literal is the negative occurrence of its
+    /// variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        !self.is_positive()
+    }
+
+    /// Returns the underlying code of this literal (`2 * var + negated`).
+    ///
+    /// Useful for indexing per-literal data structures such as watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from a code previously produced by
+    /// [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// Evaluates this literal under a truth value for its variable.
+    #[inline]
+    pub fn evaluate(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+impl From<Var> for Lit {
+    fn from(var: Var) -> Self {
+        Lit::positive(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip_dimacs() {
+        for i in 1..100 {
+            let v = Var::from_dimacs(i);
+            assert_eq!(v.to_dimacs(), i);
+            assert_eq!(v.index(), i - 1);
+        }
+    }
+
+    #[test]
+    fn lit_encoding_is_minisat_style() {
+        let v = Var::new(3);
+        assert_eq!(Lit::positive(v).code(), 6);
+        assert_eq!(Lit::negative(v).code(), 7);
+    }
+
+    #[test]
+    fn lit_negation_is_involutive() {
+        let l = Lit::from_dimacs(-17);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn lit_dimacs_roundtrip() {
+        for value in [-42i64, -1, 1, 7, 1000] {
+            assert_eq!(Lit::from_dimacs(value).to_dimacs(), value);
+        }
+    }
+
+    #[test]
+    fn lit_evaluate_matches_polarity() {
+        let v = Var::new(0);
+        assert!(Lit::positive(v).evaluate(true));
+        assert!(!Lit::positive(v).evaluate(false));
+        assert!(Lit::negative(v).evaluate(false));
+        assert!(!Lit::negative(v).evaluate(true));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimacs_literal_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_uses_dimacs_convention() {
+        assert_eq!(Var::new(0).to_string(), "1");
+        assert_eq!(Lit::negative(Var::new(4)).to_string(), "-5");
+    }
+
+    #[test]
+    fn from_code_roundtrip() {
+        for code in 0..64 {
+            assert_eq!(Lit::from_code(code).code(), code);
+        }
+    }
+}

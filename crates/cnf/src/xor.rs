@@ -1,0 +1,251 @@
+//! Parity (xor) constraints.
+
+use std::fmt;
+
+use crate::{Model, Var};
+
+/// An xor (parity) constraint: `v_1 ⊕ v_2 ⊕ … ⊕ v_k = rhs`.
+///
+/// Xor clauses are the raw material of the `H_xor(n, m, 3)` hash family used
+/// by UniGen, UniWit and ApproxMC: each hash output bit is an xor of a random
+/// subset of the sampling variables and a random constant.
+///
+/// Constraints produced by [`XorClause::new`] are *normalised*: variables are
+/// sorted and duplicate pairs are cancelled (because `v ⊕ v = 0`).
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{Var, XorClause};
+/// // x1 ⊕ x3 = 1
+/// let xor = XorClause::new(vec![Var::new(0), Var::new(2)], true);
+/// assert_eq!(xor.len(), 2);
+/// assert!(xor.rhs());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XorClause {
+    vars: Vec<Var>,
+    rhs: bool,
+}
+
+impl XorClause {
+    /// Creates a normalised xor constraint over `vars` with parity `rhs`.
+    ///
+    /// Duplicate variables cancel in pairs; the right-hand side is left
+    /// untouched by normalisation.
+    pub fn new<I>(vars: I, rhs: bool) -> Self
+    where
+        I: IntoIterator<Item = Var>,
+    {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        // Cancel pairs of equal variables: v ⊕ v = 0.
+        let mut deduped: Vec<Var> = Vec::with_capacity(vars.len());
+        let mut i = 0;
+        while i < vars.len() {
+            if i + 1 < vars.len() && vars[i] == vars[i + 1] {
+                i += 2;
+            } else {
+                deduped.push(vars[i]);
+                i += 1;
+            }
+        }
+        XorClause { vars: deduped, rhs }
+    }
+
+    /// Creates an xor constraint from one-based DIMACS variable identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any identifier is zero.
+    pub fn from_dimacs<I>(vars: I, rhs: bool) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        XorClause::new(vars.into_iter().map(Var::from_dimacs), rhs)
+    }
+
+    /// Returns the variables of this constraint in sorted order.
+    #[inline]
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Returns the required parity of the constraint.
+    #[inline]
+    pub fn rhs(&self) -> bool {
+        self.rhs
+    }
+
+    /// Returns the number of (distinct, non-cancelled) variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if the constraint mentions no variables.
+    ///
+    /// An empty constraint is satisfied iff its right-hand side is `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Returns `true` if this (empty) constraint is trivially unsatisfiable,
+    /// i.e. it reads `0 = 1`.
+    #[inline]
+    pub fn is_trivially_false(&self) -> bool {
+        self.vars.is_empty() && self.rhs
+    }
+
+    /// Returns `true` if this (empty) constraint is trivially satisfied,
+    /// i.e. it reads `0 = 0`.
+    #[inline]
+    pub fn is_trivially_true(&self) -> bool {
+        self.vars.is_empty() && !self.rhs
+    }
+
+    /// Returns an iterator over the variables of this constraint.
+    pub fn iter(&self) -> std::slice::Iter<'_, Var> {
+        self.vars.iter()
+    }
+
+    /// Returns the largest variable mentioned by this constraint, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.vars.last().copied()
+    }
+
+    /// Evaluates the constraint under a total assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not cover every variable of the constraint.
+    pub fn evaluate(&self, model: &Model) -> bool {
+        let parity = self
+            .vars
+            .iter()
+            .fold(false, |acc, &v| acc ^ model.value(v));
+        parity == self.rhs
+    }
+
+    /// Converts this xor constraint into an equivalent set of CNF clauses.
+    ///
+    /// The expansion enumerates all assignments of the constraint's variables
+    /// with the *wrong* parity and forbids each one, producing `2^(k-1)`
+    /// clauses for a constraint of length `k`. This is only intended for
+    /// small constraints (tests, brute-force checks); the solver handles xor
+    /// constraints natively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint has more than 20 variables (the expansion
+    /// would exceed half a million clauses).
+    pub fn to_cnf_clauses(&self) -> Vec<crate::Clause> {
+        assert!(
+            self.vars.len() <= 20,
+            "refusing to expand an xor constraint of length {}",
+            self.vars.len()
+        );
+        if self.vars.is_empty() {
+            return if self.rhs {
+                vec![crate::Clause::new([])]
+            } else {
+                vec![]
+            };
+        }
+        let k = self.vars.len();
+        let mut clauses = Vec::new();
+        for mask in 0u32..(1 << k) {
+            // `mask` encodes an assignment: bit i set => var i true.
+            let parity = (mask.count_ones() % 2 == 1) == self.rhs;
+            if parity {
+                continue; // satisfying assignment, nothing to forbid
+            }
+            let lits = self.vars.iter().enumerate().map(|(i, &v)| {
+                // Forbid this assignment: add the negation of each literal.
+                if mask & (1 << i) != 0 {
+                    v.negative()
+                } else {
+                    v.positive()
+                }
+            });
+            clauses.push(crate::Clause::new(lits));
+        }
+        clauses
+    }
+}
+
+impl fmt::Display for XorClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // CryptoMiniSAT-style: `x` prefix, first literal carries the parity
+        // (negated first literal means rhs = 0).
+        write!(f, "x")?;
+        if self.vars.is_empty() {
+            return write!(f, " 0");
+        }
+        for (i, var) in self.vars.iter().enumerate() {
+            if i == 0 && !self.rhs {
+                write!(f, " -{var}")?;
+            } else {
+                write!(f, " {var}")?;
+            }
+        }
+        write!(f, " 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn duplicate_variables_cancel() {
+        let xor = XorClause::from_dimacs([1, 2, 1], true);
+        assert_eq!(xor.len(), 1);
+        assert_eq!(xor.vars()[0], Var::from_dimacs(2));
+    }
+
+    #[test]
+    fn four_duplicates_cancel_completely() {
+        let xor = XorClause::from_dimacs([3, 3, 3, 3], false);
+        assert!(xor.is_trivially_true());
+        let xor = XorClause::from_dimacs([3, 3], true);
+        assert!(xor.is_trivially_false());
+    }
+
+    #[test]
+    fn evaluation_checks_parity() {
+        let xor = XorClause::from_dimacs([1, 2, 3], true);
+        assert!(xor.evaluate(&Model::new(vec![true, false, false])));
+        assert!(!xor.evaluate(&Model::new(vec![true, true, false])));
+        assert!(xor.evaluate(&Model::new(vec![true, true, true])));
+    }
+
+    #[test]
+    fn cnf_expansion_agrees_with_direct_evaluation() {
+        let xor = XorClause::from_dimacs([1, 2, 3], false);
+        let clauses = xor.to_cnf_clauses();
+        assert_eq!(clauses.len(), 4); // 2^(3-1)
+        for mask in 0u32..8 {
+            let model = Model::new((0..3).map(|i| mask & (1 << i) != 0).collect());
+            let direct = xor.evaluate(&model);
+            let expanded = clauses.iter().all(|c| c.evaluate(&model));
+            assert_eq!(direct, expanded, "mismatch for assignment {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn empty_xor_expansion() {
+        assert!(XorClause::new([], true).to_cnf_clauses()[0].is_empty());
+        assert!(XorClause::new([], false).to_cnf_clauses().is_empty());
+    }
+
+    #[test]
+    fn display_uses_cryptominisat_convention() {
+        let xor = XorClause::from_dimacs([1, 3], false);
+        assert_eq!(xor.to_string(), "x -1 3 0");
+        let xor = XorClause::from_dimacs([1, 3], true);
+        assert_eq!(xor.to_string(), "x 1 3 0");
+    }
+}

@@ -1,0 +1,243 @@
+//! Command-line front end: sample almost-uniform witnesses from a DIMACS CNF
+//! file, in the spirit of the original UniGen tool.
+//!
+//! ```text
+//! unigen_cli [OPTIONS] <FILE.cnf>
+//!
+//! Options:
+//!   --samples N      number of witnesses to generate            [default: 10]
+//!   --epsilon E      tolerance ε (> 1.71)                       [default: 6.0]
+//!   --seed S         random seed                                [default: 1]
+//!   --timeout SECS   per-solver-call budget in seconds          [default: none]
+//!   --verbose        print per-sample statistics to stderr
+//! ```
+//!
+//! The sampling set is taken from `c ind … 0` comment lines in the input
+//! file (the convention of the original UniGen benchmark suite); without
+//! them, the full support is used.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unigen::{PreparedMode, UniGen, UniGenConfig, WitnessSampler};
+use unigen_cnf::dimacs;
+use unigen_satsolver::Budget;
+
+#[derive(Debug)]
+struct CliOptions {
+    file: String,
+    samples: usize,
+    epsilon: f64,
+    seed: u64,
+    timeout: Option<Duration>,
+    verbose: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: unigen_cli [--samples N] [--epsilon E] [--seed S] [--timeout SECS] [--verbose] <FILE.cnf>"
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        file: String::new(),
+        samples: 10,
+        epsilon: 6.0,
+        seed: 1,
+        timeout: None,
+        verbose: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--samples" => {
+                options.samples = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--samples needs a positive integer")?;
+            }
+            "--epsilon" => {
+                options.epsilon = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--epsilon needs a number > 1.71")?;
+            }
+            "--seed" => {
+                options.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--timeout" => {
+                let secs: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--timeout needs a number of seconds")?;
+                options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--verbose" => options.verbose = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            file => {
+                if !options.file.is_empty() {
+                    return Err(format!("unexpected extra argument `{file}`\n{}", usage()));
+                }
+                options.file = file.to_string();
+            }
+        }
+    }
+    if options.file.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(options)
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let formula = dimacs::parse_file(&options.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", options.file))?;
+    let sampling_set = formula.sampling_set_or_all();
+    eprintln!(
+        "c parsed `{}`: {} variables, {} clauses, {} xor clauses, |S| = {}",
+        options.file,
+        formula.num_vars(),
+        formula.num_clauses(),
+        formula.num_xor_clauses(),
+        sampling_set.len()
+    );
+
+    let mut budget = Budget::new();
+    if let Some(timeout) = options.timeout {
+        budget = budget.with_time_limit(timeout);
+    }
+    let config = UniGenConfig::default()
+        .with_epsilon(options.epsilon)
+        .with_seed(options.seed)
+        .with_bsat_budget(budget);
+
+    let mut sampler = UniGen::new(&formula, config).map_err(|e| format!("preparation failed: {e}"))?;
+    match sampler.prepared_mode() {
+        PreparedMode::Enumerated { witnesses } => {
+            eprintln!("c preparation: {} witnesses enumerated directly", witnesses.len());
+        }
+        PreparedMode::Hashed { approx_count, q } => {
+            eprintln!(
+                "c preparation: ApproxMC estimate {approx_count}, hash widths {}..{q}",
+                q.saturating_sub(3)
+            );
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut produced = 0usize;
+    for i in 0..options.samples {
+        let outcome = sampler.sample(&mut rng);
+        match outcome.witness {
+            Some(witness) => {
+                produced += 1;
+                // Print the witness as the projection on the sampling set in
+                // DIMACS literal form, matching the original tool's output.
+                let lits: Vec<String> = witness
+                    .project(&sampling_set)
+                    .to_lits()
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect();
+                println!("v {} 0", lits.join(" "));
+            }
+            None => println!("c sample {i} failed"),
+        }
+        if options.verbose {
+            eprintln!(
+                "c sample {i}: bsat_calls={} avg_xor_len={:.1} time={:?}",
+                outcome.stats.bsat_calls,
+                outcome.stats.average_xor_length(),
+                outcome.stats.wall_time
+            );
+        }
+    }
+    eprintln!(
+        "c produced {produced}/{} witnesses (observed success probability {:.2})",
+        options.samples,
+        produced as f64 / options.samples.max(1) as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_file() {
+        let options = parse_args(&args(&["input.cnf"])).unwrap();
+        assert_eq!(options.file, "input.cnf");
+        assert_eq!(options.samples, 10);
+        assert_eq!(options.epsilon, 6.0);
+        assert!(!options.verbose);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let options = parse_args(&args(&[
+            "--samples", "25", "--epsilon", "3.5", "--seed", "9", "--timeout", "30", "--verbose",
+            "foo.cnf",
+        ]))
+        .unwrap();
+        assert_eq!(options.samples, 25);
+        assert_eq!(options.epsilon, 3.5);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.timeout, Some(Duration::from_secs(30)));
+        assert!(options.verbose);
+        assert_eq!(options.file, "foo.cnf");
+    }
+
+    #[test]
+    fn rejects_missing_file_and_unknown_options() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--bogus", "x.cnf"])).is_err());
+        assert!(parse_args(&args(&["a.cnf", "b.cnf"])).is_err());
+        assert!(parse_args(&args(&["--samples", "nope", "a.cnf"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_a_temporary_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("unigen_cli_smoke.cnf");
+        std::fs::write(&path, "c ind 1 2 0\np cnf 3 2\n1 2 0\nx 1 3 0\n").unwrap();
+        let options = CliOptions {
+            file: path.to_string_lossy().into_owned(),
+            samples: 3,
+            epsilon: 6.0,
+            seed: 7,
+            timeout: None,
+            verbose: true,
+        };
+        run(&options).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,85 @@
+//! Sampler configuration.
+
+use unigen_counting::ApproxMcConfig;
+use unigen_satsolver::Budget;
+
+/// Configuration of [`crate::UniGen`].
+///
+/// The defaults mirror the paper's experimental setup scaled to a laptop:
+/// tolerance ε = 6 (the value used for every row of Tables 1 and 2),
+/// `ApproxMC(F, 0.8, 0.8)` for the one-off count, and a generous per-`BSAT`
+/// budget standing in for the 2 500-second per-call timeout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniGenConfig {
+    /// Tolerance ε (> 1.71). Smaller values give stronger uniformity but
+    /// larger cells and therefore more expensive `BSAT` calls.
+    pub epsilon: f64,
+    /// Seed for every random choice the sampler's *preparation* makes (the
+    /// per-sample randomness comes from the RNG passed to `sample`).
+    pub seed: u64,
+    /// Budget for each underlying solver call.
+    pub bsat_budget: Budget,
+    /// Configuration of the approximate model counter used in line 9.
+    pub approxmc: ApproxMcConfig,
+    /// How many times a failed (budget-exhausted) `BSAT` call on line 16 is
+    /// retried with fresh randomness without advancing the hash width — the
+    /// paper repeats lines 14–16 when a call times out.
+    pub bsat_retries: usize,
+}
+
+impl Default for UniGenConfig {
+    fn default() -> Self {
+        UniGenConfig {
+            epsilon: 6.0,
+            seed: 0x0u64 ^ 0xdac2_0140,
+            bsat_budget: Budget::new(),
+            approxmc: ApproxMcConfig::default(),
+            bsat_retries: 2,
+        }
+    }
+}
+
+impl UniGenConfig {
+    /// Returns a copy of this configuration with a different tolerance.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Returns a copy of this configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy of this configuration with a per-call solver budget.
+    pub fn with_bsat_budget(mut self, budget: Budget) -> Self {
+        self.bsat_budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let config = UniGenConfig::default();
+        assert_eq!(config.epsilon, 6.0);
+        assert!(config.bsat_budget.is_unlimited());
+        assert_eq!(config.approxmc.tolerance, 0.8);
+        assert_eq!(config.approxmc.confidence, 0.8);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let config = UniGenConfig::default()
+            .with_epsilon(8.0)
+            .with_seed(42)
+            .with_bsat_budget(Budget::new().with_conflict_limit(10));
+        assert_eq!(config.epsilon, 8.0);
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.bsat_budget.conflict_limit(), Some(10));
+    }
+}

@@ -1,0 +1,94 @@
+//! Errors reported by the samplers.
+
+use std::fmt;
+
+use unigen_counting::CountingError;
+
+/// Errors that can occur while constructing or preparing a sampler.
+///
+/// Note that an *unsuccessful sample* (the paper's `⊥` outcome) is not an
+/// error: probabilistic generators are allowed to fail occasionally, and the
+/// failure is reported through [`crate::SampleOutcome::witness`] being
+/// `None`. Errors are reserved for conditions that make sampling impossible
+/// or meaningless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SamplerError {
+    /// The tolerance ε is at or below the theoretical minimum of 1.71 for
+    /// which `ComputeKappaPivot` has a solution (Algorithm 2).
+    EpsilonTooSmall {
+        /// The rejected tolerance.
+        epsilon_milli: u64,
+    },
+    /// The formula has no witnesses at all.
+    Unsatisfiable,
+    /// The formula (or the caller) declared an empty sampling set.
+    EmptySamplingSet,
+    /// The approximate model counter failed (line 9 of Algorithm 1).
+    Counting(CountingError),
+    /// The initial bounded enumeration (line 4 of Algorithm 1) exceeded its
+    /// budget, so the sampler could not be prepared.
+    PreparationBudgetExhausted,
+}
+
+impl fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerError::EpsilonTooSmall { epsilon_milli } => write!(
+                f,
+                "tolerance {:.3} is not above the minimum of 1.71 required by ComputeKappaPivot",
+                *epsilon_milli as f64 / 1000.0
+            ),
+            SamplerError::Unsatisfiable => write!(f, "the formula has no witnesses"),
+            SamplerError::EmptySamplingSet => write!(f, "the sampling set is empty"),
+            SamplerError::Counting(err) => write!(f, "model counting failed: {err}"),
+            SamplerError::PreparationBudgetExhausted => {
+                write!(f, "the preparation phase exhausted its budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplerError::Counting(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CountingError> for SamplerError {
+    fn from(err: CountingError) -> Self {
+        SamplerError::Counting(err)
+    }
+}
+
+impl SamplerError {
+    /// Convenience constructor carrying the rejected ε (stored in
+    /// thousandths to keep the error type `Eq`).
+    pub fn epsilon_too_small(epsilon: f64) -> Self {
+        SamplerError::EpsilonTooSmall {
+            epsilon_milli: (epsilon * 1000.0).round().max(0.0) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_error_reports_value() {
+        let err = SamplerError::epsilon_too_small(1.5);
+        assert!(err.to_string().contains("1.500"));
+    }
+
+    #[test]
+    fn counting_errors_convert_and_chain() {
+        use std::error::Error;
+        let err: SamplerError = CountingError::NoEstimate.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("counting"));
+    }
+}

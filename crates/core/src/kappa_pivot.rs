@@ -1,0 +1,144 @@
+//! `ComputeKappaPivot` (Algorithm 2 of the paper).
+
+use crate::error::SamplerError;
+
+/// The pair computed by Algorithm 2: the cell-size tolerance κ and the
+/// expected "small cell" size pivot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KappaPivot {
+    /// Cell-size tolerance κ ∈ [0, 1).
+    pub kappa: f64,
+    /// Expected size of a small cell, `⌈3·e^{1/2}·(1 + 1/κ)²⌉`.
+    pub pivot: u64,
+}
+
+impl KappaPivot {
+    /// The high cell-size threshold `1 + (1 + κ)·pivot` (line 2 of
+    /// Algorithm 1).
+    pub fn hi_thresh(&self) -> f64 {
+        1.0 + (1.0 + self.kappa) * self.pivot as f64
+    }
+
+    /// The low cell-size threshold `pivot / (1 + κ)` (line 3 of
+    /// Algorithm 1).
+    pub fn lo_thresh(&self) -> f64 {
+        self.pivot as f64 / (1.0 + self.kappa)
+    }
+
+    /// The largest integer cell size accepted by the high threshold.
+    pub fn hi_thresh_count(&self) -> usize {
+        self.hi_thresh().floor() as usize
+    }
+}
+
+/// The left-hand side of the ε–κ relation used by Algorithm 2:
+/// `ε = (1 + κ)(2.23 + 0.48 / (1 − κ)²) − 1`.
+fn epsilon_of_kappa(kappa: f64) -> f64 {
+    (1.0 + kappa) * (2.23 + 0.48 / (1.0 - kappa).powi(2)) - 1.0
+}
+
+/// Computes κ and pivot from the tolerance ε (Algorithm 2).
+///
+/// The relation `ε(κ)` is strictly increasing on `[0, 1)` with `ε(0) = 1.71`,
+/// so a solution exists exactly when `ε > 1.71`; it is found by bisection to
+/// within `1e-12`.
+///
+/// # Errors
+///
+/// Returns [`SamplerError::EpsilonTooSmall`] when `ε ≤ 1.71`.
+///
+/// # Example
+///
+/// ```
+/// use unigen::compute_kappa_pivot;
+///
+/// # fn main() -> Result<(), unigen::SamplerError> {
+/// // The value used throughout the paper's experiments.
+/// let kp = compute_kappa_pivot(6.0)?;
+/// assert!(kp.kappa > 0.0 && kp.kappa < 1.0);
+/// assert!(kp.pivot >= 17);
+/// assert!(kp.hi_thresh() > kp.lo_thresh());
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_kappa_pivot(epsilon: f64) -> Result<KappaPivot, SamplerError> {
+    if !(epsilon > 1.71) {
+        return Err(SamplerError::epsilon_too_small(epsilon));
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0 - 1e-9;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if epsilon_of_kappa(mid) < epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let kappa = 0.5 * (lo + hi);
+    let pivot = (3.0 * std::f64::consts::E.sqrt() * (1.0 + 1.0 / kappa).powi(2)).ceil() as u64;
+    Ok(KappaPivot { kappa, pivot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_at_most_1_71_is_rejected() {
+        assert!(compute_kappa_pivot(1.71).is_err());
+        assert!(compute_kappa_pivot(1.0).is_err());
+        assert!(compute_kappa_pivot(0.0).is_err());
+        assert!(compute_kappa_pivot(f64::NAN).is_err());
+        assert!(compute_kappa_pivot(1.7100001).is_ok());
+    }
+
+    #[test]
+    fn kappa_solves_the_relation() {
+        for epsilon in [1.72, 2.0, 3.0, 6.0, 10.0, 50.0] {
+            let kp = compute_kappa_pivot(epsilon).unwrap();
+            let back = epsilon_of_kappa(kp.kappa);
+            assert!(
+                (back - epsilon).abs() < 1e-6,
+                "ε = {epsilon}: κ = {} maps back to {back}",
+                kp.kappa
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_is_at_least_17() {
+        // The appendix notes that the pivot expression guarantees pivot ≥ 17
+        // (approached as ε → ∞, i.e. κ → 1).
+        for epsilon in [1.72, 2.0, 6.0, 20.0, 1000.0] {
+            let kp = compute_kappa_pivot(epsilon).unwrap();
+            assert!(kp.pivot >= 17, "ε = {epsilon} gave pivot {}", kp.pivot);
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_means_smaller_pivot() {
+        // Looser tolerance → smaller cells suffice → cheaper BSAT calls; this
+        // is the "knob" discussed at the end of Section 4.
+        let small = compute_kappa_pivot(2.0).unwrap();
+        let large = compute_kappa_pivot(16.0).unwrap();
+        assert!(large.pivot < small.pivot);
+        assert!(large.kappa > small.kappa);
+    }
+
+    #[test]
+    fn thresholds_bracket_the_pivot() {
+        let kp = compute_kappa_pivot(6.0).unwrap();
+        assert!(kp.lo_thresh() < kp.pivot as f64);
+        assert!(kp.hi_thresh() > kp.pivot as f64);
+        assert_eq!(kp.hi_thresh_count(), kp.hi_thresh().floor() as usize);
+    }
+
+    #[test]
+    fn epsilon_six_matches_hand_computation() {
+        // For ε = 6 the solution is κ ≈ 0.547…, pivot = ⌈3√e (1+1/κ)²⌉ = 40.
+        let kp = compute_kappa_pivot(6.0).unwrap();
+        assert!((kp.kappa - 0.547).abs() < 0.01, "κ = {}", kp.kappa);
+        assert_eq!(kp.pivot, 40);
+    }
+}

@@ -1,0 +1,135 @@
+//! The common sampler interface and per-sample bookkeeping.
+
+use std::time::Duration;
+
+use rand::RngCore;
+use unigen_cnf::Model;
+
+/// Statistics describing the work a single sample cost.
+///
+/// These are the quantities the paper's tables report per benchmark: the
+/// average generation time, the average xor-clause length, and (implicitly,
+/// through the success probability) how often the generator returns `⊥`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleStats {
+    /// Number of bounded-enumeration (`BSAT`) calls issued.
+    pub bsat_calls: usize,
+    /// Number of xor clauses added across all hash draws of this sample.
+    pub xor_clauses_added: usize,
+    /// Total number of variables across those xor clauses (so the average
+    /// xor length is `xor_vars_total / xor_clauses_added`).
+    pub xor_vars_total: usize,
+    /// Wall-clock time spent producing this sample.
+    pub wall_time: Duration,
+}
+
+impl SampleStats {
+    /// Average xor-clause length used while producing this sample (the
+    /// "Avg XOR len" column), or 0 if no xor clause was added.
+    pub fn average_xor_length(&self) -> f64 {
+        if self.xor_clauses_added == 0 {
+            0.0
+        } else {
+            self.xor_vars_total as f64 / self.xor_clauses_added as f64
+        }
+    }
+
+    /// Accumulates another sample's statistics into this one (used by the
+    /// harness when averaging over many samples).
+    pub fn accumulate(&mut self, other: &SampleStats) {
+        self.bsat_calls += other.bsat_calls;
+        self.xor_clauses_added += other.xor_clauses_added;
+        self.xor_vars_total += other.xor_vars_total;
+        self.wall_time += other.wall_time;
+    }
+}
+
+/// The result of one sampling attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleOutcome {
+    /// The generated witness, or `None` for the paper's `⊥` outcome.
+    pub witness: Option<Model>,
+    /// What the attempt cost.
+    pub stats: SampleStats,
+}
+
+impl SampleOutcome {
+    /// Returns `true` if a witness was produced.
+    pub fn is_success(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Common interface implemented by every witness generator in this crate
+/// (UniGen, UniWit, XORSample′ and the ideal sampler US).
+///
+/// A sampler is created per formula, may perform arbitrary preparation work
+/// in its constructor, and is then asked for witnesses one at a time. All
+/// per-sample randomness comes from the `rng` argument so experiments can be
+/// made reproducible and so UniGen and US can share one random source in the
+/// uniformity study, as the paper does.
+pub trait WitnessSampler {
+    /// Produces one witness (or reports failure).
+    fn sample(&mut self, rng: &mut dyn RngCore) -> SampleOutcome;
+
+    /// Produces `count` witnesses, collecting the outcomes.
+    fn sample_many(&mut self, count: usize, rng: &mut dyn RngCore) -> Vec<SampleOutcome> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// A short human-readable name used by the benchmark harness ("UniGen",
+    /// "UniWit", …).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_xor_length_handles_zero_division() {
+        let stats = SampleStats::default();
+        assert_eq!(stats.average_xor_length(), 0.0);
+        let stats = SampleStats {
+            xor_clauses_added: 4,
+            xor_vars_total: 36,
+            ..SampleStats::default()
+        };
+        assert_eq!(stats.average_xor_length(), 9.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = SampleStats {
+            bsat_calls: 1,
+            xor_clauses_added: 2,
+            xor_vars_total: 10,
+            wall_time: Duration::from_millis(5),
+        };
+        let b = SampleStats {
+            bsat_calls: 3,
+            xor_clauses_added: 4,
+            xor_vars_total: 6,
+            wall_time: Duration::from_millis(7),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.bsat_calls, 4);
+        assert_eq!(a.xor_clauses_added, 6);
+        assert_eq!(a.xor_vars_total, 16);
+        assert_eq!(a.wall_time, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn outcome_success_reflects_witness_presence() {
+        let success = SampleOutcome {
+            witness: Some(Model::new(vec![true])),
+            stats: SampleStats::default(),
+        };
+        let failure = SampleOutcome {
+            witness: None,
+            stats: SampleStats::default(),
+        };
+        assert!(success.is_success());
+        assert!(!failure.is_success());
+    }
+}

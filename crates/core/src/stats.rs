@@ -1,0 +1,232 @@
+//! Distribution statistics for the uniformity study (Figure 1).
+//!
+//! The paper's Figure 1 plots, for UniGen and for the ideal sampler US, the
+//! *count-of-counts* distribution: after drawing `N` samples, how many
+//! distinct witnesses were generated exactly `c` times, for each `c`. Two
+//! samplers with indistinguishable curves produce indistinguishable
+//! distributions in practice. This module builds that histogram and a few
+//! summary distances (total variation, Kullback–Leibler, Pearson χ²) used by
+//! the tests and the `figure1` harness binary.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Frequencies of individual witnesses across a sampling run.
+///
+/// Witnesses are identified by an opaque `u64` label — typically the
+/// projection of the model onto the sampling set interpreted as an integer
+/// (see [`unigen_cnf::Model::project`]), or the index drawn by the ideal
+/// sampler.
+///
+/// # Example
+///
+/// ```
+/// use unigen::stats::WitnessFrequencies;
+///
+/// let freq: WitnessFrequencies = [1u64, 2, 2, 3, 3, 3].into_iter().collect();
+/// assert_eq!(freq.num_samples(), 6);
+/// assert_eq!(freq.num_distinct(), 3);
+/// let histogram = freq.count_of_counts();
+/// assert_eq!(histogram[&1], 1); // one witness seen once
+/// assert_eq!(histogram[&2], 1); // one witness seen twice
+/// assert_eq!(histogram[&3], 1); // one witness seen three times
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WitnessFrequencies {
+    counts: HashMap<u64, u64>,
+    samples: u64,
+}
+
+impl WitnessFrequencies {
+    /// Creates an empty frequency table.
+    pub fn new() -> Self {
+        WitnessFrequencies::default()
+    }
+
+    /// Records one generated witness.
+    pub fn record(&mut self, witness_id: u64) {
+        *self.counts.entry(witness_id).or_insert(0) += 1;
+        self.samples += 1;
+    }
+
+    /// Total number of samples recorded.
+    pub fn num_samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of distinct witnesses observed at least once.
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns the frequency of a specific witness.
+    pub fn count(&self, witness_id: u64) -> u64 {
+        self.counts.get(&witness_id).copied().unwrap_or(0)
+    }
+
+    /// The Figure 1 series: for each observed frequency `c`, the number of
+    /// distinct witnesses generated exactly `c` times.
+    pub fn count_of_counts(&self) -> BTreeMap<u64, u64> {
+        let mut histogram = BTreeMap::new();
+        for &count in self.counts.values() {
+            *histogram.entry(count).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Total variation distance between the empirical distribution and the
+    /// uniform distribution over `num_witnesses` witnesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_witnesses` is zero or no samples were recorded.
+    pub fn total_variation_from_uniform(&self, num_witnesses: u128) -> f64 {
+        assert!(num_witnesses > 0, "need at least one witness");
+        assert!(self.samples > 0, "need at least one sample");
+        let uniform = 1.0 / num_witnesses as f64;
+        let n = self.samples as f64;
+        let mut distance = 0.0;
+        for &count in self.counts.values() {
+            distance += (count as f64 / n - uniform).abs();
+        }
+        // Witnesses never observed each contribute `uniform`.
+        let unseen = num_witnesses as f64 - self.counts.len() as f64;
+        distance += unseen.max(0.0) * uniform;
+        distance / 2.0
+    }
+
+    /// Kullback–Leibler divergence `D(empirical ‖ uniform)` in bits, summed
+    /// over the observed witnesses (unobserved witnesses contribute zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_witnesses` is zero or no samples were recorded.
+    pub fn kl_divergence_from_uniform(&self, num_witnesses: u128) -> f64 {
+        assert!(num_witnesses > 0, "need at least one witness");
+        assert!(self.samples > 0, "need at least one sample");
+        let uniform = 1.0 / num_witnesses as f64;
+        let n = self.samples as f64;
+        self.counts
+            .values()
+            .map(|&count| {
+                let p = count as f64 / n;
+                p * (p / uniform).log2()
+            })
+            .sum()
+    }
+
+    /// Pearson χ² statistic against the uniform distribution over
+    /// `num_witnesses` witnesses (including the unobserved ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_witnesses` is zero or no samples were recorded.
+    pub fn chi_square_against_uniform(&self, num_witnesses: u128) -> f64 {
+        assert!(num_witnesses > 0, "need at least one witness");
+        assert!(self.samples > 0, "need at least one sample");
+        let expected = self.samples as f64 / num_witnesses as f64;
+        let observed_sum: f64 = self
+            .counts
+            .values()
+            .map(|&count| {
+                let diff = count as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        let unseen = (num_witnesses as f64 - self.counts.len() as f64).max(0.0);
+        observed_sum + unseen * expected
+    }
+}
+
+impl FromIterator<u64> for WitnessFrequencies {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut freq = WitnessFrequencies::new();
+        for id in iter {
+            freq.record(id);
+        }
+        freq
+    }
+}
+
+/// Largest absolute difference between the two count-of-count histograms,
+/// normalised by the number of distinct witnesses — a crude but readable
+/// "can you tell the curves apart" score for Figure 1 style comparisons.
+pub fn histogram_discrepancy(a: &WitnessFrequencies, b: &WitnessFrequencies) -> f64 {
+    let ha = a.count_of_counts();
+    let hb = b.count_of_counts();
+    let keys: std::collections::BTreeSet<u64> =
+        ha.keys().chain(hb.keys()).copied().collect();
+    let denom = a.num_distinct().max(b.num_distinct()).max(1) as f64;
+    keys.into_iter()
+        .map(|k| {
+            let va = ha.get(&k).copied().unwrap_or(0) as f64;
+            let vb = hb.get(&k).copied().unwrap_or(0) as f64;
+            (va - vb).abs() / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_and_count() {
+        let mut freq = WitnessFrequencies::new();
+        freq.record(10);
+        freq.record(10);
+        freq.record(20);
+        assert_eq!(freq.num_samples(), 3);
+        assert_eq!(freq.num_distinct(), 2);
+        assert_eq!(freq.count(10), 2);
+        assert_eq!(freq.count(99), 0);
+    }
+
+    #[test]
+    fn count_of_counts_matches_hand_computation() {
+        let freq: WitnessFrequencies = [1u64, 1, 1, 2, 2, 3].into_iter().collect();
+        let histogram = freq.count_of_counts();
+        assert_eq!(histogram[&3], 1);
+        assert_eq!(histogram[&2], 1);
+        assert_eq!(histogram[&1], 1);
+    }
+
+    #[test]
+    fn perfect_uniformity_has_zero_distance() {
+        // Every one of 4 witnesses sampled exactly 5 times.
+        let freq: WitnessFrequencies = (0u64..4).flat_map(|w| [w; 5]).collect();
+        assert!(freq.total_variation_from_uniform(4) < 1e-12);
+        assert!(freq.kl_divergence_from_uniform(4).abs() < 1e-12);
+        assert!(freq.chi_square_against_uniform(4) < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_distribution_has_large_distance() {
+        // All mass on a single witness out of 10.
+        let freq: WitnessFrequencies = std::iter::repeat(7u64).take(100).collect();
+        let tv = freq.total_variation_from_uniform(10);
+        assert!((tv - 0.9).abs() < 1e-9, "tv = {tv}");
+        assert!(freq.kl_divergence_from_uniform(10) > 3.0);
+        assert!(freq.chi_square_against_uniform(10) > 100.0);
+    }
+
+    #[test]
+    fn uniform_random_sampler_has_small_distance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let num_witnesses = 64u64;
+        let freq: WitnessFrequencies = (0..20_000)
+            .map(|_| rng.gen_range(0..num_witnesses))
+            .collect();
+        assert!(freq.total_variation_from_uniform(num_witnesses as u128) < 0.1);
+    }
+
+    #[test]
+    fn discrepancy_between_identical_runs_is_small() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: WitnessFrequencies = (0..5000).map(|_| rng.gen_range(0u64..32)).collect();
+        let b: WitnessFrequencies = (0..5000).map(|_| rng.gen_range(0u64..32)).collect();
+        assert!(histogram_discrepancy(&a, &b) < 0.5);
+        assert_eq!(histogram_discrepancy(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,507 @@
+//! The UniGen algorithm (Algorithm 1 of the paper).
+
+use std::time::Instant;
+
+use rand::{Rng, RngCore};
+
+use unigen_cnf::{CnfFormula, Model, Var};
+use unigen_counting::ApproxMc;
+use unigen_hashing::XorHashFamily;
+use unigen_satsolver::{Enumerator, Solver};
+
+use crate::config::UniGenConfig;
+use crate::error::SamplerError;
+use crate::kappa_pivot::{compute_kappa_pivot, KappaPivot};
+use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
+
+/// What the one-off preparation phase (lines 1–11 of Algorithm 1) concluded
+/// about the formula.
+#[derive(Debug, Clone)]
+pub enum PreparedMode {
+    /// The formula has at most `hiThresh` witnesses (lines 5–7): they are all
+    /// stored and sampling reduces to a uniform pick among them.
+    Enumerated {
+        /// Every witness of the formula (distinct on the sampling set).
+        witnesses: Vec<Model>,
+    },
+    /// The general case (lines 9–11): an approximate count `C` fixed the
+    /// candidate hash widths `{q−3,…,q}`.
+    Hashed {
+        /// The approximate model count returned by `ApproxMC(F, 0.8, 0.8)`.
+        approx_count: u128,
+        /// The upper end of the candidate hash-width window.
+        q: usize,
+    },
+}
+
+/// The UniGen almost-uniform witness generator.
+///
+/// Construction runs the *preparation* phase of Algorithm 1 (lines 1–11):
+/// computing κ and pivot, probing whether the formula is small enough to
+/// enumerate outright, and otherwise obtaining the approximate count that
+/// pins down the candidate hash widths. Every subsequent [`UniGen::sample`]
+/// call only runs the cheap per-witness part (lines 12–22), which is what
+/// lets the cost of preparation be amortised over many samples — the
+/// guarantee-preserving replacement for UniWit's "leap-frogging" discussed in
+/// Section 4.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug, Clone)]
+pub struct UniGen {
+    formula: CnfFormula,
+    sampling_set: Vec<Var>,
+    config: UniGenConfig,
+    kappa_pivot: KappaPivot,
+    family: XorHashFamily,
+    mode: PreparedMode,
+}
+
+impl UniGen {
+    /// Prepares a UniGen sampler for `formula`, using the formula's declared
+    /// sampling set (or its full support when none is declared).
+    ///
+    /// # Errors
+    ///
+    /// * [`SamplerError::EpsilonTooSmall`] if `config.epsilon ≤ 1.71`,
+    /// * [`SamplerError::EmptySamplingSet`] if the formula has no variables,
+    /// * [`SamplerError::Unsatisfiable`] if the formula has no witnesses,
+    /// * [`SamplerError::Counting`] / [`SamplerError::PreparationBudgetExhausted`]
+    ///   if the preparation phase cannot complete.
+    pub fn new(formula: &CnfFormula, config: UniGenConfig) -> Result<Self, SamplerError> {
+        let sampling_set = formula.sampling_set_or_all();
+        Self::with_sampling_set(formula, &sampling_set, config)
+    }
+
+    /// Prepares a UniGen sampler with an explicit sampling set `S`.
+    ///
+    /// The theoretical guarantee requires `S` to be an independent support of
+    /// the formula (which can be checked with
+    /// [`unigen_satsolver::support::verify_independent_support`]); passing
+    /// the full support is always sound but sacrifices the short-xor
+    /// advantage.
+    ///
+    /// # Errors
+    ///
+    /// See [`UniGen::new`].
+    pub fn with_sampling_set(
+        formula: &CnfFormula,
+        sampling_set: &[Var],
+        config: UniGenConfig,
+    ) -> Result<Self, SamplerError> {
+        if sampling_set.is_empty() {
+            return Err(SamplerError::EmptySamplingSet);
+        }
+        let kappa_pivot = compute_kappa_pivot(config.epsilon)?;
+        let hi_count = kappa_pivot.hi_thresh_count();
+
+        // Line 4: Y ← BSAT(F, hiThresh). (The bound is hiThresh + 1 so that a
+        // result of exactly hiThresh witnesses can be told apart from "more
+        // than hiThresh".)
+        let mut enumerator = Enumerator::new(
+            Solver::from_formula(formula),
+            sampling_set.to_vec(),
+        );
+        let outcome = enumerator.run(hi_count + 1, &config.bsat_budget);
+        if outcome.budget_exhausted {
+            return Err(SamplerError::PreparationBudgetExhausted);
+        }
+        if outcome.is_empty() {
+            return Err(SamplerError::Unsatisfiable);
+        }
+
+        let family = XorHashFamily::new(sampling_set.to_vec());
+
+        let mode = if outcome.len() <= hi_count {
+            // Lines 5–7: the easy case.
+            PreparedMode::Enumerated {
+                witnesses: outcome.witnesses,
+            }
+        } else {
+            // Lines 9–11: approximate count and candidate hash widths.
+            let approx = ApproxMc::new(config.approxmc.clone())
+                .count_with_sampling_set(formula, sampling_set, config.seed)?;
+            let count = approx.estimate.max(1) as f64;
+            let q = (count.log2() + 1.8f64.log2() - (kappa_pivot.pivot as f64).log2()).ceil();
+            let q = q.max(1.0) as usize;
+            PreparedMode::Hashed {
+                approx_count: approx.estimate,
+                q,
+            }
+        };
+
+        Ok(UniGen {
+            formula: formula.clone(),
+            sampling_set: sampling_set.to_vec(),
+            config,
+            kappa_pivot,
+            family,
+            mode,
+        })
+    }
+
+    /// Returns the κ/pivot pair computed from the tolerance.
+    pub fn kappa_pivot(&self) -> KappaPivot {
+        self.kappa_pivot
+    }
+
+    /// Returns what the preparation phase concluded.
+    pub fn prepared_mode(&self) -> &PreparedMode {
+        &self.mode
+    }
+
+    /// Returns the sampling set in use.
+    pub fn sampling_set(&self) -> &[Var] {
+        &self.sampling_set
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &UniGenConfig {
+        &self.config
+    }
+
+    /// Draws up to `count` witnesses from a **single** accepted cell — the
+    /// throughput extension introduced by UniGen's successor (UniGen2),
+    /// listed as future work in this paper.
+    ///
+    /// One hash is drawn and one `BSAT` call enumerates the cell; if the cell
+    /// size falls inside `[loThresh, hiThresh]`, up to `count` witnesses are
+    /// drawn from it uniformly **without replacement** (at most the whole
+    /// cell). Each returned witness individually satisfies the Theorem 1
+    /// envelope, but witnesses of the same batch are *not* mutually
+    /// independent because they share a cell; callers that need independent
+    /// samples must call [`UniGen::sample`] repeatedly instead. The batch
+    /// amortises the hashing and enumeration cost over its members, which is
+    /// what makes high-volume stimulus generation cheap in practice.
+    ///
+    /// For formulas small enough to be fully enumerated during preparation,
+    /// the batch is simply `count` independent uniform picks.
+    pub fn sample_batch(&mut self, count: usize, rng: &mut dyn RngCore) -> Vec<SampleOutcome> {
+        if count == 0 {
+            return Vec::new();
+        }
+        match &self.mode {
+            PreparedMode::Enumerated { .. } => {
+                (0..count).map(|_| self.sample(rng)).collect()
+            }
+            PreparedMode::Hashed { q, .. } => {
+                let q = *q;
+                let (witnesses, stats) = self.collect_cell(q, rng);
+                match witnesses {
+                    Some(mut cell) if !cell.is_empty() => {
+                        // Uniform draw without replacement via a partial
+                        // Fisher-Yates shuffle.
+                        let take = count.min(cell.len());
+                        for i in 0..take {
+                            let j = rng.gen_range(i..cell.len());
+                            cell.swap(i, j);
+                        }
+                        cell.into_iter()
+                            .take(take)
+                            .map(|witness| SampleOutcome {
+                                witness: Some(witness),
+                                stats,
+                            })
+                            .collect()
+                    }
+                    _ => vec![SampleOutcome {
+                        witness: None,
+                        stats,
+                    }],
+                }
+            }
+        }
+    }
+
+    /// The per-sample part of Algorithm 1 in the general (hashed) case:
+    /// lines 12–22.
+    fn sample_hashed(&self, q: usize, rng: &mut dyn RngCore) -> SampleOutcome {
+        let (witnesses, stats) = self.collect_cell(q, rng);
+        match witnesses {
+            Some(cell) if !cell.is_empty() => {
+                let index = rng.gen_range(0..cell.len());
+                SampleOutcome {
+                    witness: Some(cell[index].clone()),
+                    stats,
+                }
+            }
+            _ => SampleOutcome {
+                witness: None,
+                stats,
+            },
+        }
+    }
+
+    /// Runs lines 12–17 of Algorithm 1: searches the candidate hash widths
+    /// for a cell whose size lies in `[loThresh, hiThresh]` and returns its
+    /// witnesses (or `None` on failure), together with the work statistics.
+    fn collect_cell(
+        &self,
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> (Option<Vec<Model>>, SampleStats) {
+        let started = Instant::now();
+        let mut stats = SampleStats::default();
+        let lo = self.kappa_pivot.lo_thresh();
+        let hi_count = self.kappa_pivot.hi_thresh_count();
+        let max_width = self.sampling_set.len();
+
+        // i ranges over {q−3, …, q}, clamped to the representable widths.
+        let start = q.saturating_sub(3).max(1);
+        let mut chosen: Option<Vec<Model>> = None;
+        'widths: for width in start..=q.min(max_width) {
+            let mut attempts = 0usize;
+            loop {
+                let hash = self.family.sample(width, rng);
+                let clauses = hash.to_xor_clauses();
+                stats.xor_clauses_added += clauses.len();
+                stats.xor_vars_total += clauses.iter().map(|c| c.len()).sum::<usize>();
+
+                let mut hashed = self.formula.clone();
+                for xor in clauses {
+                    hashed
+                        .add_xor_clause(xor)
+                        .expect("hash clauses stay within the variable range");
+                }
+                let mut enumerator = Enumerator::new(
+                    Solver::from_formula(&hashed),
+                    self.sampling_set.clone(),
+                );
+                let outcome = enumerator.run(hi_count + 1, &self.config.bsat_budget);
+                stats.bsat_calls += 1;
+
+                if outcome.budget_exhausted {
+                    // Paper: repeat lines 14–16 with fresh randomness without
+                    // advancing i (bounded here by `bsat_retries`).
+                    attempts += 1;
+                    if attempts > self.config.bsat_retries {
+                        break 'widths;
+                    }
+                    continue;
+                }
+
+                let size = outcome.len();
+                if size as f64 >= lo && size <= hi_count {
+                    chosen = Some(outcome.witnesses);
+                }
+                continue 'widths;
+            }
+        }
+
+        stats.wall_time = started.elapsed();
+        (chosen, stats)
+    }
+}
+
+impl WitnessSampler for UniGen {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> SampleOutcome {
+        match &self.mode {
+            PreparedMode::Enumerated { witnesses } => {
+                let started = Instant::now();
+                let index = rng.gen_range(0..witnesses.len());
+                let witness = witnesses[index].clone();
+                SampleOutcome {
+                    witness: Some(witness),
+                    stats: SampleStats {
+                        wall_time: started.elapsed(),
+                        ..SampleStats::default()
+                    },
+                }
+            }
+            PreparedMode::Hashed { q, .. } => {
+                let q = *q;
+                self.sample_hashed(q, rng)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "UniGen"
+    }
+}
+
+/// Builds a deterministic RNG for the unit tests below.
+#[cfg(test)]
+pub(crate) fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use unigen_cnf::{Lit, XorClause};
+
+    /// A formula with `2^bits` witnesses over a `bits`-variable sampling set
+    /// plus `extra` Tseitin-style dependent variables.
+    fn formula_with_count(bits: usize, extra: usize) -> CnfFormula {
+        let mut f = CnfFormula::new(bits + extra);
+        for i in 0..extra {
+            let free = Var::new(i % bits);
+            let dependent = Var::new(bits + i);
+            f.add_xor_clause(XorClause::new([free, dependent], false)).unwrap();
+        }
+        f.set_sampling_set((0..bits).map(Var::new)).unwrap();
+        f
+    }
+
+    #[test]
+    fn small_formula_uses_enumerated_mode() {
+        // 8 witnesses < hiThresh (62 for ε = 6).
+        let f = formula_with_count(3, 2);
+        let sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        match sampler.prepared_mode() {
+            PreparedMode::Enumerated { witnesses } => assert_eq!(witnesses.len(), 8),
+            other => panic!("expected Enumerated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_formula_uses_hashed_mode() {
+        // 2^12 witnesses > hiThresh.
+        let f = formula_with_count(12, 4);
+        let sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        match sampler.prepared_mode() {
+            PreparedMode::Hashed { approx_count, q } => {
+                assert!(*approx_count >= 1024, "count {approx_count} far too small");
+                assert!(*q >= 3, "q = {q}");
+            }
+            other => panic!("expected Hashed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_is_rejected() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::from_dimacs(1)]).unwrap();
+        f.add_clause([Lit::from_dimacs(-1)]).unwrap();
+        assert!(matches!(
+            UniGen::new(&f, UniGenConfig::default()),
+            Err(SamplerError::Unsatisfiable)
+        ));
+    }
+
+    #[test]
+    fn too_small_epsilon_is_rejected() {
+        let f = formula_with_count(3, 0);
+        let config = UniGenConfig::default().with_epsilon(1.5);
+        assert!(matches!(
+            UniGen::new(&f, config),
+            Err(SamplerError::EpsilonTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn samples_are_valid_witnesses() {
+        let f = formula_with_count(10, 5);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(7);
+        let mut successes = 0;
+        for _ in 0..20 {
+            let outcome = sampler.sample(&mut rng);
+            if let Some(witness) = &outcome.witness {
+                assert!(f.evaluate(witness), "returned non-witness");
+                successes += 1;
+            }
+        }
+        // Theorem 1 guarantees ≥ 0.62 success probability; empirically it is
+        // close to 1, so requiring at least half of 20 attempts is safe.
+        assert!(successes >= 10, "only {successes}/20 samples succeeded");
+    }
+
+    #[test]
+    fn xor_length_tracks_the_sampling_set() {
+        let f = formula_with_count(12, 30);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(11);
+        let mut stats = SampleStats::default();
+        for _ in 0..5 {
+            stats.accumulate(&sampler.sample(&mut rng).stats);
+        }
+        let avg = stats.average_xor_length();
+        // Hashing over S (12 variables) gives xors of expected length 6, far
+        // below the 21 expected when hashing over the full 42-variable
+        // support.
+        assert!(avg > 2.0 && avg < 12.0, "average xor length {avg}");
+    }
+
+    #[test]
+    fn enumerated_mode_is_exactly_uniform_empirically() {
+        let f = formula_with_count(3, 1);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(3);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let sampling = f.sampling_set().unwrap().to_vec();
+        let draws = 4000;
+        for _ in 0..draws {
+            let witness = sampler.sample(&mut rng).witness.unwrap();
+            *counts.entry(witness.project(&sampling).as_index()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 8);
+        for (&key, &count) in &counts {
+            let expected = draws as f64 / 8.0;
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.3,
+                "witness {key} sampled {count} times, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sampling_returns_distinct_valid_witnesses() {
+        // Hashed mode: 2^10 witnesses.
+        let f = formula_with_count(10, 4);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        assert!(matches!(sampler.prepared_mode(), PreparedMode::Hashed { .. }));
+        let mut rng = seeded_rng(21);
+        let batch = sampler.sample_batch(8, &mut rng);
+        let successes: Vec<_> = batch.iter().filter_map(|o| o.witness.clone()).collect();
+        assert!(!successes.is_empty(), "batch produced no witnesses");
+        let sampling = f.sampling_set().unwrap().to_vec();
+        let mut projections: Vec<u64> = successes
+            .iter()
+            .map(|w| {
+                assert!(f.evaluate(w));
+                w.project(&sampling).as_index()
+            })
+            .collect();
+        projections.sort_unstable();
+        projections.dedup();
+        // Drawing without replacement from one cell: all distinct.
+        assert_eq!(projections.len(), successes.len());
+        // The whole batch shares one cell enumeration: identical stats.
+        let calls: Vec<usize> = batch.iter().map(|o| o.stats.bsat_calls).collect();
+        assert!(calls.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn batch_sampling_handles_edge_cases() {
+        let f = formula_with_count(3, 1);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(22);
+        assert!(sampler.sample_batch(0, &mut rng).is_empty());
+        // Enumerated mode: batch reduces to independent uniform picks.
+        let batch = sampler.sample_batch(20, &mut rng);
+        assert_eq!(batch.len(), 20);
+        assert!(batch.iter().all(|o| o.is_success()));
+    }
+
+    #[test]
+    fn explicit_sampling_set_overrides_formula_metadata() {
+        let mut f = formula_with_count(4, 2);
+        f.set_sampling_set(Vec::<Var>::new()).unwrap(); // clear
+        let sampling: Vec<Var> = (0..4).map(Var::new).collect();
+        let sampler =
+            UniGen::with_sampling_set(&f, &sampling, UniGenConfig::default()).unwrap();
+        assert_eq!(sampler.sampling_set(), sampling.as_slice());
+    }
+
+    #[test]
+    fn empty_sampling_set_is_rejected() {
+        let f = formula_with_count(3, 0);
+        assert!(matches!(
+            UniGen::with_sampling_set(&f, &[], UniGenConfig::default()),
+            Err(SamplerError::EmptySamplingSet)
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by the counters.
+
+use std::fmt;
+
+/// Errors produced by the exact and approximate model counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CountingError {
+    /// The per-call budget ran out before the counter reached an answer
+    /// (the analogue of a `BSAT` timeout in the paper's experiments).
+    BudgetExhausted,
+    /// The exact counter was asked to expand an xor constraint that is too
+    /// long to convert to CNF (the exact counter is only meant for the small
+    /// instances used in the uniformity study and the tests).
+    XorTooLong {
+        /// Number of variables in the offending constraint.
+        len: usize,
+    },
+    /// The model count does not fit in the 128-bit integer used to report it.
+    Overflow,
+    /// The approximate counter exhausted every candidate hash width without
+    /// finding a cell of acceptable size in any iteration.
+    NoEstimate,
+}
+
+impl fmt::Display for CountingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountingError::BudgetExhausted => {
+                write!(f, "counting budget exhausted before an answer was reached")
+            }
+            CountingError::XorTooLong { len } => write!(
+                f,
+                "xor constraint with {len} variables is too long for exact counting"
+            ),
+            CountingError::Overflow => write!(f, "model count exceeds 128 bits"),
+            CountingError::NoEstimate => {
+                write!(f, "approximate counter failed to produce any estimate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CountingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        for err in [
+            CountingError::BudgetExhausted,
+            CountingError::XorTooLong { len: 99 },
+            CountingError::Overflow,
+            CountingError::NoEstimate,
+        ] {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Sampling from `H_xor(n, m, 3)` and turning draws into xor clauses.
+
+use rand::Rng;
+
+use unigen_cnf::{Model, Var, XorClause};
+
+/// The hash family `H_xor(n, m, 3)` over a fixed sampling set of size `n`.
+///
+/// The family is parameterised by the sampling set (the paper's `S`); the
+/// output width `m` is chosen at each draw. Drawing from the family chooses
+/// every coefficient `a_{i,j}` and the target cell `α` independently and
+/// uniformly, which is exactly the construction shown 3-wise independent by
+/// Gomes, Sabharwal and Selman (NIPS 2007) and reused by UniWit, PAWS and
+/// UniGen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorHashFamily {
+    sampling_set: Vec<Var>,
+}
+
+impl XorHashFamily {
+    /// Creates the family over the given sampling set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampling set is empty.
+    pub fn new(sampling_set: Vec<Var>) -> Self {
+        assert!(
+            !sampling_set.is_empty(),
+            "the hash family needs a non-empty sampling set"
+        );
+        XorHashFamily { sampling_set }
+    }
+
+    /// Returns the sampling set the family hashes over.
+    pub fn sampling_set(&self) -> &[Var] {
+        &self.sampling_set
+    }
+
+    /// Returns `n`, the input width of the hash functions.
+    pub fn input_width(&self) -> usize {
+        self.sampling_set.len()
+    }
+
+    /// Draws a hash function with `m` output bits together with a random
+    /// target cell `α ∈ {0,1}^m`, using `rng` as the source of randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> XorHashFunction {
+        assert!(m > 0, "a hash function needs at least one output bit");
+        let rows = (0..m)
+            .map(|_| HashRow {
+                coefficients: self.sampling_set.iter().map(|_| rng.gen::<bool>()).collect(),
+                constant: rng.gen::<bool>(),
+                target: rng.gen::<bool>(),
+            })
+            .collect();
+        XorHashFunction {
+            sampling_set: self.sampling_set.clone(),
+            rows,
+        }
+    }
+}
+
+/// One row of a hash function: coefficients `a_{i,1..n}`, the constant
+/// `a_{i,0}` and the target bit `α[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HashRow {
+    coefficients: Vec<bool>,
+    constant: bool,
+    target: bool,
+}
+
+/// A concrete draw `(h, α)` from `H_xor(n, m, 3)`.
+///
+/// The pair is what UniGen conjoins to the formula: the constraint
+/// `h(x_1 … x_n) = α`, i.e. one xor clause per output bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorHashFunction {
+    sampling_set: Vec<Var>,
+    rows: Vec<HashRow>,
+}
+
+impl XorHashFunction {
+    /// Returns `m`, the number of output bits (= number of xor clauses).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the sampling set this hash function is defined over.
+    pub fn sampling_set(&self) -> &[Var] {
+        &self.sampling_set
+    }
+
+    /// Converts the constraint `h(y) = α` into xor clauses over the sampling
+    /// set.
+    ///
+    /// Row `i` contributes the clause
+    /// `⊕ {v_j : a_{i,j} = 1} = α[i] ⊕ a_{i,0}`.
+    pub fn to_xor_clauses(&self) -> Vec<XorClause> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let vars = self
+                    .sampling_set
+                    .iter()
+                    .zip(&row.coefficients)
+                    .filter(|(_, &coef)| coef)
+                    .map(|(&v, _)| v);
+                XorClause::new(vars, row.target ^ row.constant)
+            })
+            .collect()
+    }
+
+    /// Evaluates `h(y)` on a total model and reports whether `y` falls into
+    /// the target cell `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not cover the sampling set.
+    pub fn maps_to_target(&self, model: &Model) -> bool {
+        self.rows.iter().all(|row| {
+            let parity = self
+                .sampling_set
+                .iter()
+                .zip(&row.coefficients)
+                .filter(|(_, &coef)| coef)
+                .fold(row.constant, |acc, (&v, _)| acc ^ model.value(v));
+            parity == row.target
+        })
+    }
+
+    /// Evaluates the raw hash output `h(bits)` for an assignment of the
+    /// sampling set given as a bit vector aligned with
+    /// [`XorHashFunction::sampling_set`]. Used by the statistical
+    /// independence tests, which work on abstract bit vectors rather than
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the sampling-set size.
+    pub fn hash_bits(&self, bits: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            bits.len(),
+            self.sampling_set.len(),
+            "input width mismatch"
+        );
+        self.rows
+            .iter()
+            .map(|row| {
+                row.coefficients
+                    .iter()
+                    .zip(bits)
+                    .filter(|(&coef, _)| coef)
+                    .fold(row.constant, |acc, (_, &bit)| acc ^ bit)
+            })
+            .collect()
+    }
+
+    /// Returns the target cell `α`.
+    pub fn target(&self) -> Vec<bool> {
+        self.rows.iter().map(|r| r.target).collect()
+    }
+
+    /// Returns the lengths of the xor clauses this hash contributes (the
+    /// "XOR len" column of the paper's tables).
+    pub fn clause_lengths(&self) -> Vec<usize> {
+        self.rows
+            .iter()
+            .map(|row| row.coefficients.iter().filter(|&&c| c).count())
+            .collect()
+    }
+
+    /// Returns the average xor-clause length. The expectation is `n/2`, which
+    /// is why hashing over a small independent support matters.
+    pub fn average_clause_length(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.clause_lengths().iter().sum();
+        total as f64 / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampling(n: usize) -> Vec<Var> {
+        (0..n).map(Var::new).collect()
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sampling_set_is_rejected() {
+        let _ = XorHashFamily::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_output_bits_is_rejected() {
+        let family = XorHashFamily::new(sampling(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = family.sample(0, &mut rng);
+    }
+
+    #[test]
+    fn sample_produces_requested_width() {
+        let family = XorHashFamily::new(sampling(8));
+        let mut rng = StdRng::seed_from_u64(1);
+        let hash = family.sample(5, &mut rng);
+        assert_eq!(hash.num_constraints(), 5);
+        assert_eq!(hash.to_xor_clauses().len(), 5);
+        assert_eq!(hash.target().len(), 5);
+    }
+
+    #[test]
+    fn xor_clauses_agree_with_direct_evaluation() {
+        let family = XorHashFamily::new(sampling(6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let hash = family.sample(4, &mut rng);
+        let clauses = hash.to_xor_clauses();
+        for mask in 0u32..64 {
+            let model = Model::new((0..6).map(|i| mask & (1 << i) != 0).collect());
+            let via_clauses = clauses.iter().all(|c| c.evaluate(&model));
+            assert_eq!(hash.maps_to_target(&model), via_clauses, "mask {mask:06b}");
+        }
+    }
+
+    #[test]
+    fn hash_bits_matches_maps_to_target() {
+        let family = XorHashFamily::new(sampling(5));
+        let mut rng = StdRng::seed_from_u64(3);
+        let hash = family.sample(3, &mut rng);
+        for mask in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| mask & (1 << i) != 0).collect();
+            let model = Model::new(bits.clone());
+            let in_cell = hash.hash_bits(&bits) == hash.target();
+            assert_eq!(in_cell, hash.maps_to_target(&model));
+        }
+    }
+
+    #[test]
+    fn average_length_is_roughly_half_the_support() {
+        let family = XorHashFamily::new(sampling(100));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0.0;
+        let draws = 200;
+        for _ in 0..draws {
+            total += family.sample(10, &mut rng).average_clause_length();
+        }
+        let mean = total / draws as f64;
+        assert!(
+            (mean - 50.0).abs() < 3.0,
+            "expected ≈50 variables per xor, measured {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn hashing_over_subset_only_mentions_subset() {
+        let subset: Vec<Var> = vec![Var::new(3), Var::new(17), Var::new(42)];
+        let family = XorHashFamily::new(subset.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let hash = family.sample(2, &mut rng);
+        for clause in hash.to_xor_clauses() {
+            for v in clause.vars() {
+                assert!(subset.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let family = XorHashFamily::new(sampling(32));
+        let mut rng_a = StdRng::seed_from_u64(10);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let a = family.sample(4, &mut rng_a);
+        let b = family.sample(4, &mut rng_b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! Empirical checks of the uniformity and independence of `H_xor(n, m, 3)`.
+//!
+//! The theoretical analysis of UniGen (Lemmas 4–6 and Theorem 1 of the
+//! paper) rests on the fact that `H_xor(n, m, 3)` is a 3-wise independent
+//! family: for any three distinct inputs, their hash values are independent
+//! and uniform over `{0,1}^m`. These estimators measure that property over
+//! repeated draws so that the property-based tests can flag a buggy sampler
+//! (for example, a missing constant term `a_{i,0}` breaks 2-wise
+//! independence on the all-zero input).
+
+use rand::Rng;
+
+use crate::XorHashFamily;
+
+/// Empirical probability that a fixed input lands in a fixed cell of width
+/// `m`, estimated over `draws` independent hash draws.
+///
+/// For an r-wise independent family with r ≥ 1 the exact value is `2^-m`.
+pub fn empirical_cell_probability<R: Rng + ?Sized>(
+    family: &XorHashFamily,
+    input: &[bool],
+    m: usize,
+    draws: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut hits = 0usize;
+    for _ in 0..draws {
+        let hash = family.sample(m, rng);
+        if hash.hash_bits(input) == hash.target() {
+            hits += 1;
+        }
+    }
+    hits as f64 / draws as f64
+}
+
+/// Empirical probability that two *distinct* inputs land in the same fixed
+/// cell simultaneously, estimated over `draws` draws.
+///
+/// For a 2-wise (or stronger) independent family the exact value is `2^-2m`.
+///
+/// # Panics
+///
+/// Panics if the two inputs are identical.
+pub fn empirical_pair_collision_probability<R: Rng + ?Sized>(
+    family: &XorHashFamily,
+    input_a: &[bool],
+    input_b: &[bool],
+    m: usize,
+    draws: usize,
+    rng: &mut R,
+) -> f64 {
+    assert_ne!(input_a, input_b, "inputs must be distinct");
+    let mut hits = 0usize;
+    for _ in 0..draws {
+        let hash = family.sample(m, rng);
+        let target = hash.target();
+        if hash.hash_bits(input_a) == target && hash.hash_bits(input_b) == target {
+            hits += 1;
+        }
+    }
+    hits as f64 / draws as f64
+}
+
+/// Empirical probability that three pairwise-distinct inputs land in the same
+/// fixed cell simultaneously, estimated over `draws` draws.
+///
+/// For a 3-wise independent family the exact value is `2^-3m`.
+///
+/// # Panics
+///
+/// Panics if any two of the inputs are identical.
+pub fn empirical_triple_collision_probability<R: Rng + ?Sized>(
+    family: &XorHashFamily,
+    inputs: [&[bool]; 3],
+    m: usize,
+    draws: usize,
+    rng: &mut R,
+) -> f64 {
+    assert_ne!(inputs[0], inputs[1], "inputs must be pairwise distinct");
+    assert_ne!(inputs[0], inputs[2], "inputs must be pairwise distinct");
+    assert_ne!(inputs[1], inputs[2], "inputs must be pairwise distinct");
+    let mut hits = 0usize;
+    for _ in 0..draws {
+        let hash = family.sample(m, rng);
+        let target = hash.target();
+        if inputs
+            .iter()
+            .all(|input| hash.hash_bits(input) == target)
+        {
+            hits += 1;
+        }
+    }
+    hits as f64 / draws as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unigen_cnf::Var;
+
+    fn family(n: usize) -> XorHashFamily {
+        XorHashFamily::new((0..n).map(Var::new).collect())
+    }
+
+    fn bits(n: usize, mask: u32) -> Vec<bool> {
+        (0..n).map(|i| mask & (1 << i) != 0).collect()
+    }
+
+    #[test]
+    fn single_input_lands_uniformly() {
+        let family = family(8);
+        let mut rng = StdRng::seed_from_u64(100);
+        // m = 2: expected probability 0.25.
+        let p = empirical_cell_probability(&family, &bits(8, 0b1011_0010), 2, 20_000, &mut rng);
+        assert!((p - 0.25).abs() < 0.02, "measured {p}");
+        // The all-zero input exercises the constant term a_{i,0}.
+        let p0 = empirical_cell_probability(&family, &bits(8, 0), 2, 20_000, &mut rng);
+        assert!((p0 - 0.25).abs() < 0.02, "measured {p0}");
+    }
+
+    #[test]
+    fn pairs_collide_with_squared_probability() {
+        let family = family(8);
+        let mut rng = StdRng::seed_from_u64(101);
+        // m = 1: expected pair probability 0.25.
+        let p = empirical_pair_collision_probability(
+            &family,
+            &bits(8, 3),
+            &bits(8, 200),
+            1,
+            20_000,
+            &mut rng,
+        );
+        assert!((p - 0.25).abs() < 0.02, "measured {p}");
+    }
+
+    #[test]
+    fn triples_collide_with_cubed_probability() {
+        let family = family(8);
+        let mut rng = StdRng::seed_from_u64(102);
+        // m = 1: expected triple probability 0.125.
+        let p = empirical_triple_collision_probability(
+            &family,
+            [&bits(8, 1), &bits(8, 2), &bits(8, 255)],
+            1,
+            40_000,
+            &mut rng,
+        );
+        assert!((p - 0.125).abs() < 0.02, "measured {p}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn identical_inputs_are_rejected() {
+        let family = family(4);
+        let mut rng = StdRng::seed_from_u64(103);
+        let a = bits(4, 5);
+        let _ = empirical_pair_collision_probability(&family, &a, &a, 1, 10, &mut rng);
+    }
+}

@@ -1,0 +1,48 @@
+//! The 3-wise independent xor hash family `H_xor(n, m, 3)`.
+//!
+//! UniGen, UniWit and ApproxMC all partition the witness space by drawing a
+//! random hash function `h : {0,1}^n → {0,1}^m` from the family
+//!
+//! ```text
+//! h(y)[i] = a_{i,0} ⊕ (a_{i,1}·y[1]) ⊕ … ⊕ (a_{i,n}·y[n])     a_{i,j} ∈ {0,1}
+//! ```
+//!
+//! and keeping only the witnesses in the cell `h^{-1}(α)` for a random
+//! `α ∈ {0,1}^m`. Each output bit of the hash is an xor of a random subset of
+//! the input variables plus a random constant, so conjoining `h(y) = α` to a
+//! CNF formula adds `m` xor clauses whose **expected length is `n/2`** — the
+//! reason UniGen insists on hashing over the (much smaller) independent
+//! support rather than the full variable set.
+//!
+//! The crate provides:
+//!
+//! * [`XorHashFunction`] — one sampled hash function together with a target
+//!   cell `α`, convertible to [`unigen_cnf::XorClause`]s over a sampling set,
+//! * [`XorHashFamily`] — the distribution itself (`n`, i.e. the sampling set,
+//!   is fixed; `m` is chosen per draw),
+//! * [`independence`] — empirical estimators used by the property tests to
+//!   confirm pairwise/3-wise uniformity of the family.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use unigen_cnf::Var;
+//! use unigen_hashing::XorHashFamily;
+//!
+//! let sampling: Vec<Var> = (0..16).map(Var::new).collect();
+//! let family = XorHashFamily::new(sampling);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let hash = family.sample(3, &mut rng);
+//! assert_eq!(hash.num_constraints(), 3);
+//! assert_eq!(hash.to_xor_clauses().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod independence;
+
+mod family;
+
+pub use family::{XorHashFamily, XorHashFunction};

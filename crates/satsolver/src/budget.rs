@@ -1,0 +1,135 @@
+//! Per-call resource budgets.
+
+use std::time::{Duration, Instant};
+
+/// A resource budget for a single `solve` or enumeration call.
+///
+/// The paper's experimental setup imposes a 2 500 s timeout on every `BSAT`
+/// invocation and 20 h overall; this type is the laptop-scale equivalent.
+/// A budget can bound wall-clock time, the number of conflicts, or both;
+/// the default budget is unlimited.
+///
+/// # Example
+///
+/// ```
+/// use unigen_satsolver::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::new()
+///     .with_conflict_limit(10_000)
+///     .with_time_limit(Duration::from_millis(500));
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    conflict_limit: Option<u64>,
+    time_limit: Option<Duration>,
+}
+
+impl Budget {
+    /// Creates an unlimited budget.
+    pub fn new() -> Self {
+        Budget::default()
+    }
+
+    /// Returns a copy of this budget with a conflict limit.
+    pub fn with_conflict_limit(mut self, conflicts: u64) -> Self {
+        self.conflict_limit = Some(conflicts);
+        self
+    }
+
+    /// Returns a copy of this budget with a wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Returns the conflict limit, if any.
+    pub fn conflict_limit(&self) -> Option<u64> {
+        self.conflict_limit
+    }
+
+    /// Returns the wall-clock limit, if any.
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.time_limit
+    }
+
+    /// Returns `true` if neither a conflict nor a time limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.conflict_limit.is_none() && self.time_limit.is_none()
+    }
+
+    /// Starts metering this budget.
+    pub(crate) fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: *self,
+            started: Instant::now(),
+            conflicts_at_start: 0,
+        }
+    }
+}
+
+/// Tracks consumption against a [`Budget`] during one solver call.
+#[derive(Debug, Clone)]
+pub(crate) struct BudgetMeter {
+    budget: Budget,
+    started: Instant,
+    conflicts_at_start: u64,
+}
+
+impl BudgetMeter {
+    pub(crate) fn set_conflict_baseline(&mut self, conflicts: u64) {
+        self.conflicts_at_start = conflicts;
+    }
+
+    /// Returns `true` if the budget is exhausted given the solver's total
+    /// conflict count.
+    pub(crate) fn exhausted(&self, total_conflicts: u64) -> bool {
+        if let Some(limit) = self.budget.conflict_limit {
+            if total_conflicts.saturating_sub(self.conflicts_at_start) >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.budget.time_limit {
+            if self.started.elapsed() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(Budget::new().is_unlimited());
+        assert!(!Budget::new().with_conflict_limit(1).is_unlimited());
+    }
+
+    #[test]
+    fn conflict_limit_is_relative_to_baseline() {
+        let budget = Budget::new().with_conflict_limit(10);
+        let mut meter = budget.start();
+        meter.set_conflict_baseline(100);
+        assert!(!meter.exhausted(105));
+        assert!(meter.exhausted(110));
+        assert!(meter.exhausted(200));
+    }
+
+    #[test]
+    fn time_limit_expires() {
+        let budget = Budget::new().with_time_limit(Duration::from_millis(0));
+        let meter = budget.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(meter.exhausted(0));
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let meter = Budget::new().start();
+        assert!(!meter.exhausted(u64::MAX));
+    }
+}

@@ -1,0 +1,265 @@
+//! Clause storage, watch lists and learned-clause bookkeeping.
+
+use unigen_cnf::Lit;
+
+/// Index of a clause inside the [`ClauseDb`] arena.
+pub(crate) type ClauseRef = u32;
+
+/// A stored clause (original or learned).
+#[derive(Debug, Clone)]
+pub(crate) struct StoredClause {
+    /// Literals; positions 0 and 1 are the watched literals.
+    pub lits: Vec<Lit>,
+    /// Whether this clause was learned during search.
+    pub learned: bool,
+    /// Literal-block distance computed when the clause was learned.
+    pub lbd: u32,
+    /// Activity used to rank learned clauses for deletion.
+    pub activity: f64,
+    /// Tombstone flag: deleted clauses stay in the arena but are skipped.
+    pub deleted: bool,
+}
+
+/// Arena of clauses plus per-literal watch lists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<StoredClause>,
+    /// `watches[lit.code()]` lists the clauses currently watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    clause_increment: f64,
+    clause_decay: f64,
+    num_learned: usize,
+}
+
+const CLAUSE_RESCALE_THRESHOLD: f64 = 1e20;
+
+impl ClauseDb {
+    pub(crate) fn new(num_vars: usize, clause_decay: f64) -> Self {
+        ClauseDb {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            clause_increment: 1.0,
+            clause_decay,
+            num_learned: 0,
+        }
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.watches.len() < num_vars * 2 {
+            self.watches.resize(num_vars * 2, Vec::new());
+        }
+    }
+
+    /// Adds a clause with at least two literals and registers its watches.
+    ///
+    /// The caller is responsible for handling empty and unit clauses.
+    pub(crate) fn add_clause(&mut self, lits: Vec<Lit>, learned: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "watched clauses need at least two literals");
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        if learned {
+            self.num_learned += 1;
+        }
+        self.clauses.push(StoredClause {
+            lits,
+            learned,
+            lbd,
+            activity: 0.0,
+            deleted: false,
+        });
+        cref
+    }
+
+    #[inline]
+    pub(crate) fn clause(&self, cref: ClauseRef) -> &StoredClause {
+        &self.clauses[cref as usize]
+    }
+
+    #[inline]
+    pub(crate) fn clause_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
+        &mut self.clauses[cref as usize]
+    }
+
+    #[inline]
+    pub(crate) fn watchers_mut(&mut self, lit: Lit) -> &mut Vec<ClauseRef> {
+        &mut self.watches[lit.code()]
+    }
+
+    /// Moves the watch of `cref` from `old` to `new` (the caller has already
+    /// updated the literal order inside the clause).
+    pub(crate) fn move_watch(&mut self, cref: ClauseRef, new: Lit) {
+        self.watches[new.code()].push(cref);
+    }
+
+    /// Returns the number of learned, non-deleted clauses.
+    pub(crate) fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Bumps the activity of a learned clause.
+    pub(crate) fn bump_clause(&mut self, cref: ClauseRef) {
+        let clause = &mut self.clauses[cref as usize];
+        if !clause.learned {
+            return;
+        }
+        clause.activity += self.clause_increment;
+        if clause.activity > CLAUSE_RESCALE_THRESHOLD {
+            for c in &mut self.clauses {
+                if c.learned {
+                    c.activity *= 1e-20;
+                }
+            }
+            self.clause_increment *= 1e-20;
+        }
+    }
+
+    /// Applies the clause-activity decay (called once per conflict).
+    pub(crate) fn decay_clauses(&mut self) {
+        self.clause_increment /= self.clause_decay;
+    }
+
+    /// Deletes roughly half of the learned clauses, preferring clauses with
+    /// high LBD and low activity. Clauses for which `is_locked` returns true
+    /// (currently acting as a reason) and binary clauses are kept.
+    ///
+    /// Returns the number of clauses deleted. Watch lists are rebuilt.
+    pub(crate) fn reduce<F>(&mut self, is_locked: F) -> usize
+    where
+        F: Fn(ClauseRef) -> bool,
+    {
+        let mut candidates: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&cref| {
+                let c = &self.clauses[cref as usize];
+                c.learned && !c.deleted && c.lits.len() > 2 && !is_locked(cref)
+            })
+            .collect();
+        // Worst clauses first: high LBD, then low activity.
+        candidates.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_delete = candidates.len() / 2;
+        let mut deleted = 0;
+        for &cref in candidates.iter().take(to_delete) {
+            let clause = &mut self.clauses[cref as usize];
+            clause.deleted = true;
+            deleted += 1;
+            self.num_learned -= 1;
+        }
+        if deleted > 0 {
+            self.rebuild_watches();
+        }
+        deleted
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if clause.deleted || clause.lits.len() < 2 {
+                continue;
+            }
+            self.watches[clause.lits[0].code()].push(i as ClauseRef);
+            self.watches[clause.lits[1].code()].push(i as ClauseRef);
+        }
+    }
+
+    /// Iterates over the non-deleted clauses (used by tests and invariant
+    /// checks).
+    #[cfg(test)]
+    pub(crate) fn iter_active(&self) -> impl Iterator<Item = &StoredClause> {
+        self.clauses.iter().filter(|c| !c.deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigen_cnf::Var;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn add_clause_registers_two_watches() {
+        let mut db = ClauseDb::new(3, 0.999);
+        let cref = db.add_clause(vec![lit(1), lit(-2), lit(3)], false, 0);
+        assert!(db.watchers_mut(lit(1)).contains(&cref));
+        assert!(db.watchers_mut(lit(-2)).contains(&cref));
+        assert!(db.watchers_mut(lit(3)).is_empty());
+    }
+
+    #[test]
+    fn reduce_deletes_half_of_removable_learned_clauses() {
+        let mut db = ClauseDb::new(10, 0.999);
+        for i in 0..8 {
+            let a = Var::new(i).positive();
+            let b = Var::new(i + 1).negative();
+            let c = Var::new((i + 2) % 10).positive();
+            db.add_clause(vec![a, b, c], true, (i as u32) + 2);
+        }
+        assert_eq!(db.num_learned(), 8);
+        let deleted = db.reduce(|_| false);
+        assert_eq!(deleted, 4);
+        assert_eq!(db.num_learned(), 4);
+        // The surviving clauses should be the ones with the lowest LBD.
+        let surviving_lbds: Vec<u32> = db
+            .iter_active()
+            .filter(|c| c.learned)
+            .map(|c| c.lbd)
+            .collect();
+        assert!(surviving_lbds.iter().all(|&l| l <= 5));
+    }
+
+    #[test]
+    fn locked_clauses_survive_reduction() {
+        let mut db = ClauseDb::new(10, 0.999);
+        let mut refs = Vec::new();
+        for i in 0..4 {
+            let a = Var::new(i).positive();
+            let b = Var::new(i + 1).negative();
+            let c = Var::new(i + 2).positive();
+            refs.push(db.add_clause(vec![a, b, c], true, 10));
+        }
+        let locked = refs[0];
+        db.reduce(|cref| cref == locked);
+        assert!(!db.clause(locked).deleted);
+    }
+
+    #[test]
+    fn binary_learned_clauses_are_never_deleted() {
+        let mut db = ClauseDb::new(10, 0.999);
+        for i in 0..4 {
+            let a = Var::new(i).positive();
+            let b = Var::new(i + 1).negative();
+            db.add_clause(vec![a, b], true, 10);
+        }
+        assert_eq!(db.reduce(|_| false), 0);
+    }
+
+    #[test]
+    fn clause_activity_bump_and_rescale() {
+        let mut db = ClauseDb::new(4, 0.5);
+        let cref = db.add_clause(vec![lit(1), lit(2), lit(3)], true, 3);
+        for _ in 0..200 {
+            db.decay_clauses();
+        }
+        db.bump_clause(cref);
+        assert!(db.clause(cref).activity > 0.0);
+        assert!(db.clause(cref).activity.is_finite());
+    }
+
+    #[test]
+    fn bumping_original_clause_is_a_noop() {
+        let mut db = ClauseDb::new(4, 0.999);
+        let cref = db.add_clause(vec![lit(1), lit(2)], false, 0);
+        db.bump_clause(cref);
+        assert_eq!(db.clause(cref).activity, 0.0);
+    }
+}

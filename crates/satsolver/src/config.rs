@@ -1,0 +1,70 @@
+//! Solver configuration.
+
+/// Tunable parameters of the CDCL search.
+///
+/// The defaults follow MiniSat-style folklore values and are what every
+/// experiment in this repository uses; they are exposed so that the ablation
+/// benches (and curious users) can vary them.
+///
+/// # Example
+///
+/// ```
+/// use unigen_satsolver::SolverConfig;
+/// let config = SolverConfig {
+///     restart_interval: 64,
+///     ..SolverConfig::default()
+/// };
+/// assert_eq!(config.restart_interval, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Base number of conflicts between Luby restarts.
+    pub restart_interval: u64,
+    /// Multiplicative decay applied to variable activities after each
+    /// conflict (VSIDS).
+    pub var_decay: f64,
+    /// Multiplicative decay applied to learned-clause activities after each
+    /// conflict.
+    pub clause_decay: f64,
+    /// Initial number of learned clauses tolerated before the first
+    /// clause-database reduction.
+    pub learned_clause_limit: usize,
+    /// Growth factor applied to the learned-clause limit after each
+    /// reduction.
+    pub learned_clause_growth: f64,
+    /// Default polarity assigned to a variable the first time it is decided
+    /// (phase saving takes over afterwards).
+    pub default_polarity: bool,
+    /// Random seed controlling tie-breaking noise injected into initial
+    /// variable activities; two solvers built with the same seed and the same
+    /// formula explore the same search tree.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart_interval: 100,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            learned_clause_limit: 4000,
+            learned_clause_growth: 1.3,
+            default_polarity: false,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = SolverConfig::default();
+        assert!(c.var_decay > 0.0 && c.var_decay < 1.0);
+        assert!(c.clause_decay > 0.0 && c.clause_decay < 1.0);
+        assert!(c.restart_interval > 0);
+        assert!(c.learned_clause_growth > 1.0);
+    }
+}

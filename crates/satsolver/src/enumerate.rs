@@ -1,0 +1,264 @@
+//! Bounded witness enumeration — the paper's `BSAT(F, N)` primitive.
+//!
+//! `BSAT(F, N)` returns `min(|R_F|, N)` *distinct* witnesses of `F`. UniGen
+//! calls it on `F ∧ (h(x_1 … x_|S|) = α)` with `N = hiThresh`, and relies on
+//! one crucial CryptoMiniSAT-era optimisation described in the paper's
+//! "Implementation issues" paragraph: because the sampling set `S` determines
+//! every satisfying assignment, **blocking clauses can be restricted to the
+//! variables in `S`**, which keeps them short and cheap.
+//!
+//! Distinctness is therefore defined on the projection onto the sampling
+//! set: two witnesses that agree on `S` count as the same witness.
+
+use unigen_cnf::{Clause, Model, Var};
+
+use crate::budget::Budget;
+use crate::solver::{SolveResult, Solver};
+
+/// Outcome of a bounded enumeration call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationOutcome {
+    /// The witnesses found, each distinct on the sampling set.
+    pub witnesses: Vec<Model>,
+    /// `true` if enumeration stopped because the bound was reached (there may
+    /// be more witnesses).
+    pub bound_reached: bool,
+    /// `true` if the per-call budget ran out before the enumeration finished;
+    /// the witnesses found so far are still returned, mirroring how the
+    /// paper's experiments treat `BSAT` timeouts.
+    pub budget_exhausted: bool,
+}
+
+impl EnumerationOutcome {
+    /// Returns the number of witnesses found.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Returns `true` if no witness was found.
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// Returns `true` if the enumeration is exact, i.e. it neither hit the
+    /// bound nor ran out of budget, so `witnesses` is the complete list of
+    /// solutions (projected on the sampling set).
+    pub fn is_exhaustive(&self) -> bool {
+        !self.bound_reached && !self.budget_exhausted
+    }
+}
+
+/// Incremental bounded enumerator over a [`Solver`].
+///
+/// The enumerator owns the solver and adds one blocking clause (restricted to
+/// the sampling set) per witness produced. It can be driven one witness at a
+/// time via [`Enumerator::next_witness`] or drained via
+/// [`Enumerator::run`].
+///
+/// # Example
+///
+/// ```
+/// use unigen_cnf::{CnfFormula, Lit, Var};
+/// use unigen_satsolver::{Enumerator, Solver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // x1 ∨ x2 over sampling set {x1, x2} has 3 witnesses.
+/// let mut f = CnfFormula::new(2);
+/// f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])?;
+/// let sampling: Vec<Var> = vec![Var::from_dimacs(1), Var::from_dimacs(2)];
+///
+/// let solver = Solver::from_formula(&f);
+/// let mut enumerator = Enumerator::new(solver, sampling);
+/// let outcome = enumerator.run(10, &Default::default());
+/// assert_eq!(outcome.len(), 3);
+/// assert!(outcome.is_exhaustive());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Enumerator {
+    solver: Solver,
+    sampling_set: Vec<Var>,
+    exhausted: bool,
+}
+
+impl Enumerator {
+    /// Creates an enumerator over `solver`, treating `sampling_set` as the
+    /// projection on which witnesses must be distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampling set is empty.
+    pub fn new(solver: Solver, sampling_set: Vec<Var>) -> Self {
+        assert!(
+            !sampling_set.is_empty(),
+            "enumeration requires a non-empty sampling set"
+        );
+        Enumerator {
+            solver,
+            sampling_set,
+            exhausted: false,
+        }
+    }
+
+    /// Returns a reference to the underlying solver (for statistics).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Produces the next witness (distinct on the sampling set from all
+    /// previously produced ones), or `None` if none remains or the budget ran
+    /// out.
+    ///
+    /// The second component of the pair is `true` when the budget was
+    /// exhausted (so `None` does not mean "no more witnesses").
+    pub fn next_witness(&mut self, budget: &Budget) -> (Option<Model>, bool) {
+        if self.exhausted {
+            return (None, false);
+        }
+        match self.solver.solve_with_budget(budget) {
+            SolveResult::Sat(model) => {
+                let projection = model.project(&self.sampling_set);
+                let blocking: Vec<_> = projection.to_lits().iter().map(|&l| !l).collect();
+                self.solver.add_clause(Clause::new(blocking));
+                (Some(model), false)
+            }
+            SolveResult::Unsat => {
+                self.exhausted = true;
+                (None, false)
+            }
+            SolveResult::Unknown => (None, true),
+        }
+    }
+
+    /// Enumerates up to `bound` witnesses, spending at most `budget` per
+    /// underlying solver call.
+    pub fn run(&mut self, bound: usize, budget: &Budget) -> EnumerationOutcome {
+        let mut witnesses = Vec::new();
+        let mut budget_exhausted = false;
+        while witnesses.len() < bound {
+            match self.next_witness(budget) {
+                (Some(model), _) => witnesses.push(model),
+                (None, true) => {
+                    budget_exhausted = true;
+                    break;
+                }
+                (None, false) => break,
+            }
+        }
+        let bound_reached = witnesses.len() >= bound && !self.exhausted;
+        EnumerationOutcome {
+            witnesses,
+            bound_reached,
+            budget_exhausted,
+        }
+    }
+}
+
+/// The paper's `BSAT(F, N)`: returns up to `bound` witnesses of the formula
+/// loaded into `solver`, distinct on `sampling_set`, within `budget` per
+/// solver call.
+///
+/// This is a convenience wrapper that consumes the solver; use
+/// [`Enumerator`] directly when the solver (or its statistics) must survive
+/// the call.
+pub fn bounded_solutions(
+    solver: Solver,
+    sampling_set: &[Var],
+    bound: usize,
+    budget: &Budget,
+) -> EnumerationOutcome {
+    let mut enumerator = Enumerator::new(solver, sampling_set.to_vec());
+    enumerator.run(bound, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use unigen_cnf::{dimacs, CnfFormula, Lit, XorClause};
+
+    fn all_vars(n: usize) -> Vec<Var> {
+        (0..n).map(Var::new).collect()
+    }
+
+    #[test]
+    fn enumerates_exactly_all_models() {
+        // x1 ∨ x2 ∨ x3 has 7 models.
+        let f = dimacs::parse("p cnf 3 1\n1 2 3 0\n").unwrap();
+        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
+        assert_eq!(outcome.len(), 7);
+        assert!(outcome.is_exhaustive());
+        for w in &outcome.witnesses {
+            assert!(f.evaluate(w));
+        }
+    }
+
+    #[test]
+    fn respects_the_bound() {
+        let f = dimacs::parse("p cnf 4 0\n").unwrap();
+        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(4), 5, &Budget::new());
+        assert_eq!(outcome.len(), 5);
+        assert!(outcome.bound_reached);
+        assert!(!outcome.is_exhaustive());
+    }
+
+    #[test]
+    fn witnesses_are_distinct_on_sampling_set() {
+        // x3 is forced equal to x1 ⊕ x2; sampling set {x1, x2} yields 4
+        // distinct projected witnesses even though x3 varies with them.
+        let mut f = CnfFormula::new(3);
+        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false)).unwrap();
+        let sampling = vec![Var::from_dimacs(1), Var::from_dimacs(2)];
+        let outcome =
+            bounded_solutions(Solver::from_formula(&f), &sampling, 100, &Budget::new());
+        assert_eq!(outcome.len(), 4);
+        let projections: HashSet<_> = outcome
+            .witnesses
+            .iter()
+            .map(|m| m.project(&sampling))
+            .collect();
+        assert_eq!(projections.len(), 4);
+    }
+
+    #[test]
+    fn unsat_formula_yields_no_witnesses() {
+        let f = dimacs::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(1), 10, &Budget::new());
+        assert!(outcome.is_empty());
+        assert!(outcome.is_exhaustive());
+    }
+
+    #[test]
+    fn incremental_driving_matches_batch() {
+        let f = dimacs::parse("p cnf 3 2\n1 2 0\n-1 3 0\n").unwrap();
+        let batch = bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
+
+        let mut enumerator = Enumerator::new(Solver::from_formula(&f), all_vars(3));
+        let mut count = 0;
+        while let (Some(_), _) = enumerator.next_witness(&Budget::new()) {
+            count += 1;
+        }
+        assert_eq!(count, batch.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sampling_set_panics() {
+        let f = dimacs::parse("p cnf 1 0\n").unwrap();
+        let _ = Enumerator::new(Solver::from_formula(&f), Vec::new());
+    }
+
+    #[test]
+    fn enumeration_with_xor_constraints() {
+        // Exactly the style of query UniGen issues: CNF plus hash xors.
+        let mut f = CnfFormula::new(4);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 3], true)).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([2, 4], false)).unwrap();
+        let brute = f.enumerate_models_brute_force();
+        let outcome =
+            bounded_solutions(Solver::from_formula(&f), &all_vars(4), 100, &Budget::new());
+        assert_eq!(outcome.len(), brute.len());
+    }
+}

@@ -1,0 +1,893 @@
+//! The CDCL search loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unigen_cnf::{Clause, CnfFormula, Lit, Model, Var, XorClause};
+
+use crate::budget::Budget;
+use crate::clause_db::{ClauseDb, ClauseRef};
+use crate::config::SolverConfig;
+use crate::decide::Vsids;
+use crate::restart::LubyRestarts;
+use crate::stats::SolverStats;
+use crate::xor_engine::{AddXor, XorEngine, XorPropagation, XorRef};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula (together with all clauses added so far) is unsatisfiable.
+    Unsat,
+    /// The per-call [`Budget`] was exhausted before a definite answer was
+    /// reached; corresponds to a `BSAT` timeout in the paper's experiments.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns the model if the result is `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Returns `true` if the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+/// Why a variable is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// Branching decision.
+    Decision,
+    /// Implied by a CNF clause.
+    Clause(ClauseRef),
+    /// Implied by an xor constraint.
+    Xor(XorRef),
+    /// Asserted at level zero with no recorded antecedent (top-level unit).
+    Unit,
+}
+
+/// The source of a conflict discovered during propagation.
+#[derive(Debug, Clone, Copy)]
+enum ConflictSource {
+    Clause(ClauseRef),
+    Xor(XorRef),
+}
+
+/// A conflict-driven clause-learning SAT solver with native xor support.
+///
+/// See the crate-level documentation for an overview and an example. The
+/// solver is deterministic for a fixed [`SolverConfig::seed`] and input
+/// formula, which keeps every experiment in this repository reproducible.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: ClauseDb,
+    xors: XorEngine,
+    /// Current partial assignment, indexed by variable.
+    assign: Vec<Option<bool>>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason for each variable's assignment.
+    reason: Vec<Reason>,
+    /// Assignment trail in chronological order.
+    trail: Vec<Lit>,
+    /// Start index in `trail` of each decision level.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    vsids: Vsids,
+    restarts: LubyRestarts,
+    config: SolverConfig,
+    /// False once a top-level conflict has been derived.
+    ok: bool,
+    stats: SolverStats,
+    learned_limit: f64,
+    /// Scratch space for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Solver {
+    /// Creates an empty solver over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Solver::with_config(num_vars, SolverConfig::default())
+    }
+
+    /// Creates an empty solver with an explicit configuration.
+    pub fn with_config(num_vars: usize, config: SolverConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let noise: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
+        Solver {
+            num_vars,
+            clauses: ClauseDb::new(num_vars, config.clause_decay),
+            xors: XorEngine::new(num_vars),
+            assign: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![Reason::Unit; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            vsids: Vsids::new(num_vars, config.var_decay, config.default_polarity, &noise),
+            restarts: LubyRestarts::new(config.restart_interval),
+            learned_limit: config.learned_clause_limit as f64,
+            config,
+            ok: true,
+            stats: SolverStats::default(),
+            seen: vec![false; num_vars],
+        }
+    }
+
+    /// Builds a solver pre-loaded with all clauses and xor constraints of a
+    /// formula.
+    pub fn from_formula(formula: &CnfFormula) -> Self {
+        Solver::from_formula_with_config(formula, SolverConfig::default())
+    }
+
+    /// Builds a solver pre-loaded with a formula, using an explicit
+    /// configuration.
+    pub fn from_formula_with_config(formula: &CnfFormula, config: SolverConfig) -> Self {
+        let mut solver = Solver::with_config(formula.num_vars(), config);
+        for clause in formula.clauses() {
+            solver.add_clause(clause.clone());
+        }
+        for xor in formula.xor_clauses() {
+            solver.add_xor_clause(xor.clone());
+        }
+        solver
+    }
+
+    /// Returns the number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the accumulated search statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Returns `false` if a top-level conflict has already been derived (any
+    /// further `solve` call will return `Unsat`).
+    pub fn is_consistent(&self) -> bool {
+        self.ok
+    }
+
+    /// Grows the variable range to at least `num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars <= self.num_vars {
+            return;
+        }
+        let old = self.num_vars;
+        self.num_vars = num_vars;
+        self.assign.resize(num_vars, None);
+        self.level.resize(num_vars, 0);
+        self.reason.resize(num_vars, Reason::Unit);
+        self.seen.resize(num_vars, false);
+        self.clauses.grow_to(num_vars);
+        self.xors.grow_to(num_vars);
+        // Rebuild the decision heuristic to cover the new variables while
+        // keeping previous phases; activities restart from scratch, which is
+        // acceptable because growing happens only between solve calls.
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ num_vars as u64);
+        let noise: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
+        let old_vsids = std::mem::replace(
+            &mut self.vsids,
+            Vsids::new(
+                num_vars,
+                self.config.var_decay,
+                self.config.default_polarity,
+                &noise,
+            ),
+        );
+        for i in 0..old {
+            let v = Var::new(i);
+            self.vsids.save_phase(v, old_vsids.saved_phase(v));
+        }
+    }
+
+    /// Adds a CNF clause. May be called between `solve` calls (the solver is
+    /// first unwound to decision level zero).
+    ///
+    /// Tautological clauses are ignored; the empty clause makes the solver
+    /// permanently inconsistent.
+    pub fn add_clause(&mut self, clause: Clause) {
+        if clause.is_tautology() {
+            return;
+        }
+        if let Some(max) = clause.max_var() {
+            self.ensure_vars(max.index() + 1);
+        }
+        self.backtrack_to(0);
+        if !self.ok {
+            return;
+        }
+        // Remove literals already false at level zero and drop the clause if
+        // any literal is already true at level zero.
+        let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
+        for &lit in clause.iter() {
+            match self.lit_value(lit) {
+                Some(true) => return,
+                Some(false) => {}
+                None => lits.push(lit),
+            }
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.enqueue(lits[0], Reason::Unit);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.clauses.add_clause(lits, false, 0);
+            }
+        }
+    }
+
+    /// Adds an xor constraint. May be called between `solve` calls.
+    pub fn add_xor_clause(&mut self, xor: XorClause) {
+        if let Some(max) = xor.max_var() {
+            self.ensure_vars(max.index() + 1);
+        }
+        self.backtrack_to(0);
+        if !self.ok {
+            return;
+        }
+        match self.xors.add(&xor) {
+            AddXor::Tautology => {}
+            AddXor::Unsatisfiable => self.ok = false,
+            AddXor::Unit(var, value) => match self.value(var) {
+                Some(current) if current != value => self.ok = false,
+                Some(_) => {}
+                None => {
+                    self.enqueue(var.lit(value), Reason::Unit);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+            },
+            AddXor::Stored(xref) => {
+                // If some variables are already assigned at level zero the
+                // constraint may already be unit or violated; replaying the
+                // level-zero trail through the engine keeps it consistent.
+                let mut results = Vec::new();
+                for i in 0..self.trail.len() {
+                    let var = self.trail[i].var();
+                    let assign = &self.assign;
+                    self.xors
+                        .on_assign(var, |v| assign[v.index()], &mut results);
+                }
+                for result in results {
+                    match result {
+                        XorPropagation::Implied { lit, xref } => {
+                            match self.lit_value(lit) {
+                                Some(true) => {}
+                                Some(false) => self.ok = false,
+                                None => {
+                                    self.enqueue(lit, Reason::Xor(xref));
+                                }
+                            }
+                        }
+                        XorPropagation::Conflict { .. } => self.ok = false,
+                    }
+                }
+                if self.ok && self.propagate().is_some() {
+                    self.ok = false;
+                }
+                let _ = xref;
+            }
+        }
+    }
+
+    /// Solves the current formula with an unlimited budget.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_budget(&Budget::new())
+    }
+
+    /// Solves the current formula, giving up (with [`SolveResult::Unknown`])
+    /// when the budget is exhausted.
+    pub fn solve_with_budget(&mut self, budget: &Budget) -> SolveResult {
+        self.stats.solve_calls += 1;
+        self.backtrack_to(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut meter = budget.start();
+        meter.set_conflict_baseline(self.stats.conflicts);
+        let mut restart_limit = self.restarts.next_limit();
+        let mut conflicts_this_period: u64 = 0;
+
+        loop {
+            if meter.exhausted(self.stats.conflicts) {
+                self.backtrack_to(0);
+                return SolveResult::Unknown;
+            }
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_this_period += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, backtrack_level, lbd) = self.analyze(conflict);
+                    self.backtrack_to(backtrack_level);
+                    self.attach_learnt(learnt, lbd);
+                    self.vsids.decay();
+                    self.clauses.decay_clauses();
+                    if self.clauses.num_learned() as f64 > self.learned_limit {
+                        self.reduce_learned();
+                    }
+                }
+                None => {
+                    if conflicts_this_period >= restart_limit {
+                        conflicts_this_period = 0;
+                        restart_limit = self.restarts.next_limit();
+                        self.stats.restarts += 1;
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                    match self.pick_branch_variable() {
+                        None => {
+                            // All variables assigned: model found.
+                            let model = self.extract_model();
+                            self.backtrack_to(0);
+                            return SolveResult::Sat(model);
+                        }
+                        Some(var) => {
+                            self.stats.decisions += 1;
+                            let phase = self.vsids.saved_phase(var);
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(var.lit(phase), Reason::Decision);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the current value of a variable (meaningful mid-search or at
+    /// level zero between calls).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.assign[var.index()]
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assign[lit.var().index()].map(|v| lit.evaluate(v))
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn extract_model(&self) -> Model {
+        Model::new(
+            self.assign
+                .iter()
+                .map(|v| v.expect("model extraction requires a total assignment"))
+                .collect(),
+        )
+    }
+
+    fn pick_branch_variable(&mut self) -> Option<Var> {
+        let assign = &self.assign;
+        self.vsids.pop_unassigned(|v| assign[v.index()].is_some())
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Reason) {
+        debug_assert!(self.lit_value(lit).is_none(), "enqueueing an assigned literal");
+        let var = lit.var();
+        self.assign[var.index()] = Some(lit.is_positive());
+        self.level[var.index()] = self.decision_level();
+        self.reason[var.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        while self.trail.len() > target {
+            let lit = self.trail.pop().expect("trail is non-empty");
+            let var = lit.var();
+            self.vsids.save_phase(var, lit.is_positive());
+            self.assign[var.index()] = None;
+            self.reason[var.index()] = Reason::Unit;
+            self.vsids.insert(var);
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.qhead.min(target);
+    }
+
+    /// Unit propagation over CNF clauses and xor constraints. Returns the
+    /// conflicting constraint, if any.
+    fn propagate(&mut self) -> Option<ConflictSource> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            if let Some(conflict) = self.propagate_clauses(lit) {
+                return Some(conflict);
+            }
+            if let Some(conflict) = self.propagate_xors(lit.var()) {
+                return Some(conflict);
+            }
+        }
+        None
+    }
+
+    /// Propagates through CNF clauses watching `¬lit` (which just became
+    /// false).
+    fn propagate_clauses(&mut self, lit: Lit) -> Option<ConflictSource> {
+        let false_lit = !lit;
+        let mut watchers = std::mem::take(self.clauses.watchers_mut(false_lit));
+        let mut i = 0;
+        while i < watchers.len() {
+            let cref = watchers[i];
+            if self.clauses.clause(cref).deleted {
+                watchers.swap_remove(i);
+                continue;
+            }
+            // Ensure the false literal is at position 1.
+            {
+                let clause = self.clauses.clause_mut(cref);
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+            }
+            // If the other watched literal is already true, keep watching.
+            let first = self.clauses.clause(cref).lits[0];
+            if self.lit_value(first) == Some(true) {
+                i += 1;
+                continue;
+            }
+            // Look for a new literal to watch.
+            let replacement = {
+                let clause = self.clauses.clause(cref);
+                clause.lits[2..]
+                    .iter()
+                    .position(|&l| self.lit_value(l) != Some(false))
+                    .map(|p| p + 2)
+            };
+            match replacement {
+                Some(pos) => {
+                    let clause = self.clauses.clause_mut(cref);
+                    clause.lits.swap(1, pos);
+                    let new_watch = clause.lits[1];
+                    self.clauses.move_watch(cref, new_watch);
+                    watchers.swap_remove(i);
+                }
+                None => {
+                    // Clause is unit or conflicting.
+                    match self.lit_value(first) {
+                        Some(false) => {
+                            // Conflict: restore the (whole) watcher list and
+                            // abort propagation; the caller backtracks past
+                            // the current level, so the unprocessed watchers
+                            // keep a valid watch.
+                            *self.clauses.watchers_mut(false_lit) = watchers;
+                            return Some(ConflictSource::Clause(cref));
+                        }
+                        _ => {
+                            self.enqueue(first, Reason::Clause(cref));
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        *self.clauses.watchers_mut(false_lit) = watchers;
+        None
+    }
+
+    /// Propagates through xor constraints watching the just-assigned
+    /// variable.
+    fn propagate_xors(&mut self, var: Var) -> Option<ConflictSource> {
+        let mut results = Vec::new();
+        {
+            let assign = &self.assign;
+            self.xors.on_assign(var, |v| assign[v.index()], &mut results);
+        }
+        for result in results {
+            match result {
+                XorPropagation::Implied { lit, xref } => match self.lit_value(lit) {
+                    Some(true) => {}
+                    Some(false) => return Some(ConflictSource::Xor(xref)),
+                    None => {
+                        self.stats.xor_propagations += 1;
+                        self.enqueue(lit, Reason::Xor(xref));
+                    }
+                },
+                XorPropagation::Conflict { xref } => {
+                    return Some(ConflictSource::Xor(xref));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the antecedent literals of `lit` (the other literals of its
+    /// reason constraint, all currently false).
+    fn reason_lits(&mut self, lit: Lit) -> Vec<Lit> {
+        match self.reason[lit.var().index()] {
+            Reason::Decision | Reason::Unit => Vec::new(),
+            Reason::Clause(cref) => {
+                self.clauses.bump_clause(cref);
+                self.clauses
+                    .clause(cref)
+                    .lits
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != lit)
+                    .collect()
+            }
+            Reason::Xor(xref) => {
+                let assign = &self.assign;
+                self.xors.reason_lits(xref, lit, |v| assign[v.index()])
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, conflict: ConflictSource) -> (Vec<Lit>, u32, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter: u32 = 0;
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        let mut current_lits: Vec<Lit> = match conflict {
+            ConflictSource::Clause(cref) => {
+                self.clauses.bump_clause(cref);
+                self.clauses.clause(cref).lits.clone()
+            }
+            ConflictSource::Xor(xref) => {
+                let assign = &self.assign;
+                self.xors.conflict_lits(xref, |v| assign[v.index()])
+            }
+        };
+
+        let mut index = self.trail.len();
+        let uip: Lit;
+
+        loop {
+            for &q in &current_lits {
+                let var = q.var();
+                if self.seen[var.index()] || self.level[var.index()] == 0 {
+                    continue;
+                }
+                self.seen[var.index()] = true;
+                to_clear.push(var);
+                self.vsids.bump(var);
+                if self.level[var.index()] >= current_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+
+            // Find the next trail literal that participates in the conflict.
+            loop {
+                debug_assert!(index > 0, "conflict analysis ran off the trail");
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                uip = p;
+                break;
+            }
+            current_lits = self.reason_lits(p);
+        }
+
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(!uip);
+        clause.extend(learnt);
+
+        // Clause minimisation: drop literals whose reason is entirely covered
+        // by other literals of the clause (cheap, non-recursive check).
+        let minimised = self.minimise(clause, &to_clear);
+
+        for var in to_clear {
+            self.seen[var.index()] = false;
+        }
+
+        // Compute the backtrack level and place the literal with the highest
+        // level (other than the asserting one) at position 1.
+        let mut clause = minimised;
+        let (backtrack_level, lbd) = if clause.len() == 1 {
+            (0, 1)
+        } else {
+            let mut max_pos = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_pos].var().index()]
+                {
+                    max_pos = i;
+                }
+            }
+            clause.swap(1, max_pos);
+            let bt = self.level[clause[1].var().index()];
+            let mut levels: Vec<u32> = clause
+                .iter()
+                .map(|l| self.level[l.var().index()])
+                .collect();
+            levels.sort_unstable();
+            levels.dedup();
+            (bt, levels.len() as u32)
+        };
+
+        (clause, backtrack_level, lbd)
+    }
+
+    /// Removes redundant literals from a learnt clause: a literal is
+    /// redundant if every antecedent of its variable is already present in
+    /// the clause (local / non-recursive minimisation).
+    fn minimise(&mut self, clause: Vec<Lit>, seen_vars: &[Var]) -> Vec<Lit> {
+        // Mark the clause's variables (the asserting literal at index 0 is
+        // never removed).
+        let mut marked = vec![false; self.num_vars];
+        for &lit in &clause {
+            marked[lit.var().index()] = true;
+        }
+        let _ = seen_vars;
+        let mut result = Vec::with_capacity(clause.len());
+        for (i, &lit) in clause.iter().enumerate() {
+            if i == 0 {
+                result.push(lit);
+                continue;
+            }
+            let redundant = match self.reason[lit.var().index()] {
+                Reason::Decision | Reason::Unit => false,
+                _ => {
+                    let antecedents = self.reason_lits(!lit);
+                    !antecedents.is_empty()
+                        && antecedents.iter().all(|a| {
+                            self.level[a.var().index()] == 0 || marked[a.var().index()]
+                        })
+                }
+            };
+            if !redundant {
+                result.push(lit);
+            }
+        }
+        result
+    }
+
+    fn attach_learnt(&mut self, clause: Vec<Lit>, lbd: u32) {
+        self.stats.learned_clauses = self.clauses.num_learned() as u64;
+        match clause.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                debug_assert_eq!(self.decision_level(), 0);
+                if self.lit_value(clause[0]) == Some(false) {
+                    self.ok = false;
+                } else if self.lit_value(clause[0]).is_none() {
+                    self.enqueue(clause[0], Reason::Unit);
+                }
+            }
+            _ => {
+                let asserting = clause[0];
+                let cref = self.clauses.add_clause(clause, true, lbd);
+                self.stats.learned_clauses = self.clauses.num_learned() as u64;
+                debug_assert!(self.lit_value(asserting).is_none());
+                self.enqueue(asserting, Reason::Clause(cref));
+            }
+        }
+    }
+
+    fn reduce_learned(&mut self) {
+        let reason = &self.reason;
+        let trail = &self.trail;
+        let locked: std::collections::HashSet<ClauseRef> = trail
+            .iter()
+            .filter_map(|l| match reason[l.var().index()] {
+                Reason::Clause(cref) => Some(cref),
+                _ => None,
+            })
+            .collect();
+        let deleted = self.clauses.reduce(|cref| locked.contains(&cref));
+        self.stats.deleted_clauses += deleted as u64;
+        self.stats.learned_clauses = self.clauses.num_learned() as u64;
+        self.learned_limit *= self.config.learned_clause_growth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigen_cnf::dimacs;
+
+    fn solve_text(text: &str) -> (CnfFormula, SolveResult) {
+        let formula = dimacs::parse(text).expect("valid DIMACS");
+        let mut solver = Solver::from_formula(&formula);
+        let result = solver.solve();
+        (formula, result)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (f, result) = solve_text("p cnf 2 2\n1 2 0\n-1 2 0\n");
+        let model = result.model().expect("satisfiable");
+        assert!(f.evaluate(model));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (_, result) = solve_text("p cnf 1 2\n1 0\n-1 0\n");
+        assert!(result.is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let (_, result) = solve_text("p cnf 3 0\n");
+        assert!(result.is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_is_unsat() {
+        // p1h1, p2h1; both pigeons must be placed, hole holds at most one.
+        let (_, result) = solve_text("p cnf 2 3\n1 0\n2 0\n-1 -2 0\n");
+        assert!(result.is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_php_4_3_is_unsat() {
+        // 4 pigeons, 3 holes. Variables p_{i,j} = 3*(i-1)+j for i in 1..=4, j in 1..=3.
+        let mut f = CnfFormula::new(12);
+        let var = |i: usize, j: usize| Lit::from_dimacs((3 * (i - 1) + j) as i64);
+        for i in 1..=4 {
+            f.add_clause([var(i, 1), var(i, 2), var(i, 3)]).unwrap();
+        }
+        for j in 1..=3 {
+            for i1 in 1..=4 {
+                for i2 in (i1 + 1)..=4 {
+                    f.add_clause([!var(i1, j), !var(i2, j)]).unwrap();
+                }
+            }
+        }
+        let mut solver = Solver::from_formula(&f);
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn xor_only_formula() {
+        let (f, result) = solve_text("p cnf 3 2\nx 1 2 3 0\nx 1 2 0\n");
+        let model = result.model().expect("satisfiable");
+        assert!(f.evaluate(model));
+    }
+
+    #[test]
+    fn contradictory_xors_are_unsat() {
+        // x1 ⊕ x2 = 1 and x1 ⊕ x2 = 0.
+        let (_, result) = solve_text("p cnf 2 2\nx 1 2 0\nx -1 2 0\n");
+        assert!(result.is_unsat());
+    }
+
+    #[test]
+    fn mixed_cnf_and_xor() {
+        let (f, result) = solve_text("p cnf 4 4\n1 2 0\n-1 3 0\nx 1 2 3 4 0\n-4 0\n");
+        let model = result.model().expect("satisfiable");
+        assert!(f.evaluate(model));
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_solution() {
+        // x1 = 1, x1⊕x2 = 1, x2⊕x3 = 1, x3⊕x4 = 1 forces 1,0,1,0.
+        let text = "p cnf 4 4\nx 1 0\nx 1 2 0\nx 2 3 0\nx 3 4 0\n";
+        let (f, result) = solve_text(text);
+        let model = result.model().expect("satisfiable");
+        assert!(f.evaluate(model));
+        assert_eq!(model.values(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_all_models() {
+        // x1 ∨ x2 has three models.
+        let formula = dimacs::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut solver = Solver::from_formula(&formula);
+        let mut found = Vec::new();
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    found.push(model.clone());
+                    let blocking: Vec<Lit> = model
+                        .to_lits()
+                        .iter()
+                        .map(|&l| !l)
+                        .collect();
+                    solver.add_clause(Clause::new(blocking));
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        // A formula hard enough to need more than zero conflicts.
+        let mut f = CnfFormula::new(20);
+        // Random-ish xor system plus clauses: just ensure >0 conflicts needed.
+        for i in 1..=17 {
+            f.add_xor_clause(XorClause::from_dimacs([i, i + 1, i + 2], i % 2 == 0))
+                .unwrap();
+        }
+        for i in 1..=18 {
+            f.add_clause([Lit::from_dimacs(i as i64), Lit::from_dimacs(-(i as i64 + 1))])
+                .unwrap();
+        }
+        let mut solver = Solver::from_formula(&f);
+        let budget = Budget::new().with_conflict_limit(0);
+        let result = solver.solve_with_budget(&budget);
+        // With a zero-conflict budget the solver must either finish purely by
+        // propagation or give up; both are acceptable, but it must not panic
+        // and must stay reusable.
+        let follow_up = solver.solve();
+        assert!(matches!(follow_up, SolveResult::Sat(_) | SolveResult::Unsat));
+        let _ = result;
+    }
+
+    #[test]
+    fn solver_is_reusable_after_unsat_subset_removed() {
+        // Adding clauses one by one; once UNSAT, stays UNSAT.
+        let mut solver = Solver::new(2);
+        solver.add_clause(Clause::from_dimacs([1]));
+        assert!(solver.solve().is_sat());
+        solver.add_clause(Clause::from_dimacs([-1]));
+        assert!(solver.solve().is_unsat());
+        assert!(solver.solve().is_unsat());
+        assert!(!solver.is_consistent());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, _) = solve_text("p cnf 2 2\n1 2 0\n-1 2 0\n");
+        let formula = dimacs::parse("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+        let mut solver = Solver::from_formula(&formula);
+        let _ = solver.solve();
+        assert!(solver.stats().solve_calls >= 1);
+    }
+
+    #[test]
+    fn unique_solution_long_implication_chain() {
+        // Implication chain x1 -> x2 -> ... -> x30, plus x1 asserted.
+        let mut f = CnfFormula::new(30);
+        f.add_clause([Lit::from_dimacs(1)]).unwrap();
+        for i in 1..30 {
+            f.add_clause([Lit::from_dimacs(-(i as i64)), Lit::from_dimacs(i as i64 + 1)])
+                .unwrap();
+        }
+        let mut solver = Solver::from_formula(&f);
+        let model = solver.solve().model().cloned().expect("satisfiable");
+        assert!(model.values().iter().all(|&b| b));
+    }
+}

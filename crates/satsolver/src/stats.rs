@@ -1,0 +1,69 @@
+//! Solver statistics.
+
+use std::fmt;
+
+/// Counters accumulated by a [`crate::Solver`] across its lifetime.
+///
+/// These are the numbers the benchmark harness reports alongside timing:
+/// they make it possible to explain *why* long xor constraints over the full
+/// support are slow (propagations and conflicts blow up) without resorting to
+/// wall-clock time alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed (CNF and xor combined).
+    pub propagations: u64,
+    /// Number of propagations caused by xor constraints.
+    pub xor_propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently retained.
+    pub learned_clauses: u64,
+    /// Number of learned clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+    /// Number of top-level solve calls.
+    pub solve_calls: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} (xor={}) conflicts={} restarts={} learned={} deleted={} solves={}",
+            self.decisions,
+            self.propagations,
+            self.xor_propagations,
+            self.conflicts,
+            self.restarts,
+            self.learned_clauses,
+            self.deleted_clauses,
+            self.solve_calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            xor_propagations: 3,
+            conflicts: 4,
+            restarts: 5,
+            learned_clauses: 6,
+            deleted_clauses: 7,
+            solve_calls: 8,
+        };
+        let text = stats.to_string();
+        for needle in ["decisions=1", "conflicts=4", "restarts=5", "solves=8"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Watched-variable propagation for xor constraints.
+//!
+//! Each xor constraint `v_1 ⊕ … ⊕ v_k = rhs` watches two of its variables.
+//! When a watched variable is assigned, the engine tries to move the watch to
+//! another unassigned variable; if none exists the constraint has at most one
+//! unassigned variable left, so it either implies a value for that variable
+//! or — if everything is assigned — is checked for consistency.
+//!
+//! Because xor constraints are polarity-symmetric, watch lists are indexed by
+//! *variable*, not by literal. Reason and conflict clauses are generated
+//! lazily from the current assignment (the disjunction of the falsified
+//! literals of the other variables), which lets xor constraints participate
+//! in standard first-UIP conflict analysis without being expanded to CNF.
+
+use unigen_cnf::{Lit, Var, XorClause};
+
+/// Index of an xor constraint inside the [`XorEngine`].
+pub(crate) type XorRef = u32;
+
+/// Outcome of propagating an assignment through the xor constraints that
+/// watch the assigned variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum XorPropagation {
+    /// The constraint forces `lit` to be true.
+    Implied {
+        /// The implied literal.
+        lit: Lit,
+        /// The constraint that implies it.
+        xref: XorRef,
+    },
+    /// The constraint is violated by the current (total on its variables)
+    /// assignment.
+    Conflict {
+        /// The violated constraint.
+        xref: XorRef,
+    },
+}
+
+/// A stored xor constraint.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredXor {
+    vars: Vec<Var>,
+    rhs: bool,
+    /// Indices (into `vars`) of the two watched variables.
+    watch: [usize; 2],
+}
+
+/// The xor constraint store plus per-variable watch lists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct XorEngine {
+    xors: Vec<StoredXor>,
+    /// `watches[var.index()]` lists the constraints watching `var`.
+    watches: Vec<Vec<XorRef>>,
+}
+
+/// Result of adding an xor constraint to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum AddXor {
+    /// Constraint stored and watched normally.
+    Stored(XorRef),
+    /// The constraint reduces to a unit assignment `var = value`.
+    Unit(Var, bool),
+    /// The constraint is trivially satisfied (empty, rhs = 0).
+    Tautology,
+    /// The constraint is trivially unsatisfiable (empty, rhs = 1).
+    Unsatisfiable,
+}
+
+impl XorEngine {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        XorEngine {
+            xors: Vec::new(),
+            watches: vec![Vec::new(); num_vars],
+        }
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.watches.len() < num_vars {
+            self.watches.resize(num_vars, Vec::new());
+        }
+    }
+
+    /// Adds a normalised xor constraint.
+    pub(crate) fn add(&mut self, xor: &XorClause) -> AddXor {
+        match xor.len() {
+            0 => {
+                if xor.rhs() {
+                    AddXor::Unsatisfiable
+                } else {
+                    AddXor::Tautology
+                }
+            }
+            1 => AddXor::Unit(xor.vars()[0], xor.rhs()),
+            _ => {
+                let xref = self.xors.len() as XorRef;
+                let vars = xor.vars().to_vec();
+                self.watches[vars[0].index()].push(xref);
+                self.watches[vars[1].index()].push(xref);
+                self.xors.push(StoredXor {
+                    vars,
+                    rhs: xor.rhs(),
+                    watch: [0, 1],
+                });
+                AddXor::Stored(xref)
+            }
+        }
+    }
+
+    /// Processes the assignment of `var`, updating watches and reporting any
+    /// implication or conflict discovered.
+    ///
+    /// `value_of` must report the current partial assignment. At most one
+    /// implication/conflict is returned per call per constraint; the caller
+    /// enqueues implied literals and calls back in for subsequently assigned
+    /// variables, exactly as with CNF watch lists.
+    pub(crate) fn on_assign<F>(
+        &mut self,
+        var: Var,
+        value_of: F,
+        results: &mut Vec<XorPropagation>,
+    ) where
+        F: Fn(Var) -> Option<bool>,
+    {
+        let watching = std::mem::take(&mut self.watches[var.index()]);
+        let mut retained: Vec<XorRef> = Vec::with_capacity(watching.len());
+
+        for xref in watching {
+            let xor = &mut self.xors[xref as usize];
+            // Which watch slot does `var` occupy?
+            let slot = if xor.vars[xor.watch[0]] == var {
+                0
+            } else if xor.vars[xor.watch[1]] == var {
+                1
+            } else {
+                // Stale entry (watch was moved elsewhere); drop it.
+                continue;
+            };
+            let other_slot = 1 - slot;
+            let other_var = xor.vars[xor.watch[other_slot]];
+
+            // Try to move this watch to an unassigned, unwatched variable.
+            let replacement = xor
+                .vars
+                .iter()
+                .enumerate()
+                .find(|&(i, &v)| {
+                    i != xor.watch[other_slot]
+                        && i != xor.watch[slot]
+                        && value_of(v).is_none()
+                })
+                .map(|(i, _)| i);
+
+            if let Some(new_index) = replacement {
+                let new_var = xor.vars[new_index];
+                xor.watch[slot] = new_index;
+                self.watches[new_var.index()].push(xref);
+                // Do not retain: the watch has moved away from `var`.
+                continue;
+            }
+
+            // No replacement: every variable except possibly `other_var` is
+            // assigned. Keep watching `var` so the constraint is revisited
+            // after backtracking.
+            retained.push(xref);
+
+            let assigned_parity = xor
+                .vars
+                .iter()
+                .filter(|&&v| v != other_var)
+                .fold(false, |acc, &v| {
+                    acc ^ value_of(v).expect("all non-other variables are assigned")
+                });
+
+            match value_of(other_var) {
+                None => {
+                    let implied_value = xor.rhs ^ assigned_parity;
+                    results.push(XorPropagation::Implied {
+                        lit: other_var.lit(implied_value),
+                        xref,
+                    });
+                }
+                Some(other_value) => {
+                    if assigned_parity ^ other_value != xor.rhs {
+                        results.push(XorPropagation::Conflict { xref });
+                    }
+                }
+            }
+        }
+
+        // Merge retained entries back with whatever was added concurrently
+        // (watch moves from other constraints processed in this call).
+        self.watches[var.index()].extend(retained);
+    }
+
+    /// Returns the reason literals for `implied` being forced by constraint
+    /// `xref`: the falsified literals of every other variable of the
+    /// constraint. Together with `implied` they form a clause entailed by the
+    /// constraint under the current assignment.
+    pub(crate) fn reason_lits<F>(&self, xref: XorRef, implied: Lit, value_of: F) -> Vec<Lit>
+    where
+        F: Fn(Var) -> Option<bool>,
+    {
+        self.xors[xref as usize]
+            .vars
+            .iter()
+            .filter(|&&v| v != implied.var())
+            .map(|&v| {
+                let value = value_of(v).expect("reason variables must be assigned");
+                v.lit(!value)
+            })
+            .collect()
+    }
+
+    /// Returns the conflict literals for a violated constraint: the falsified
+    /// literals of *all* of its variables.
+    pub(crate) fn conflict_lits<F>(&self, xref: XorRef, value_of: F) -> Vec<Lit>
+    where
+        F: Fn(Var) -> Option<bool>,
+    {
+        self.xors[xref as usize]
+            .vars
+            .iter()
+            .map(|&v| {
+                let value = value_of(v).expect("conflict variables must be assigned");
+                v.lit(!value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn value_fn(map: &HashMap<Var, bool>) -> impl Fn(Var) -> Option<bool> + '_ {
+        move |v| map.get(&v).copied()
+    }
+
+    #[test]
+    fn add_classifies_degenerate_constraints() {
+        let mut engine = XorEngine::new(4);
+        assert_eq!(engine.add(&XorClause::new([], false)), AddXor::Tautology);
+        assert_eq!(engine.add(&XorClause::new([], true)), AddXor::Unsatisfiable);
+        assert_eq!(
+            engine.add(&XorClause::new([Var::new(2)], true)),
+            AddXor::Unit(Var::new(2), true)
+        );
+        assert!(matches!(
+            engine.add(&XorClause::from_dimacs([1, 2], true)),
+            AddXor::Stored(_)
+        ));
+    }
+
+    #[test]
+    fn watch_moves_to_unassigned_variable() {
+        let mut engine = XorEngine::new(4);
+        engine.add(&XorClause::from_dimacs([1, 2, 3], true));
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        assert!(results.is_empty(), "two unassigned vars remain, no implication");
+    }
+
+    #[test]
+    fn propagates_last_unassigned_variable() {
+        let mut engine = XorEngine::new(4);
+        engine.add(&XorClause::from_dimacs([1, 2, 3], true));
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        results.clear();
+
+        assigned.insert(Var::from_dimacs(3), true);
+        engine.on_assign(Var::from_dimacs(3), value_fn(&assigned), &mut results);
+        // x1 ⊕ x2 ⊕ x3 = 1 with x1 = x3 = 1 forces x2 = 1.
+        assert_eq!(results.len(), 1);
+        match &results[0] {
+            XorPropagation::Implied { lit, .. } => {
+                assert_eq!(*lit, Var::from_dimacs(2).positive());
+            }
+            other => panic!("expected implication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_conflict_when_fully_assigned() {
+        let mut engine = XorEngine::new(3);
+        engine.add(&XorClause::from_dimacs([1, 2], true));
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        results.clear();
+        // Now assign x2 = 1 (violating x1 ⊕ x2 = 1).
+        assigned.insert(Var::from_dimacs(2), true);
+        engine.on_assign(Var::from_dimacs(2), value_fn(&assigned), &mut results);
+        assert!(matches!(results[0], XorPropagation::Conflict { .. }));
+    }
+
+    #[test]
+    fn reason_lits_are_falsified_other_literals() {
+        let mut engine = XorEngine::new(4);
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3], false)) {
+            AddXor::Stored(xref) => xref,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        assigned.insert(Var::from_dimacs(3), false);
+        // x1 ⊕ x2 ⊕ x3 = 0 with x1=1, x3=0 forces x2=1.
+        let implied = Var::from_dimacs(2).positive();
+        let reason = engine.reason_lits(xref, implied, value_fn(&assigned));
+        // Reason literals: ¬x1 (false) and x3 (false) — both currently false.
+        assert_eq!(reason.len(), 2);
+        assert!(reason.contains(&Var::from_dimacs(1).negative()));
+        assert!(reason.contains(&Var::from_dimacs(3).positive()));
+    }
+
+    #[test]
+    fn conflict_lits_cover_every_variable() {
+        let mut engine = XorEngine::new(3);
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true)) {
+            AddXor::Stored(xref) => xref,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), false);
+        assigned.insert(Var::from_dimacs(2), false);
+        let lits = engine.conflict_lits(xref, value_fn(&assigned));
+        assert_eq!(lits.len(), 2);
+        // Both variables are false, so the falsified literals are positive.
+        assert!(lits.contains(&Var::from_dimacs(1).positive()));
+        assert!(lits.contains(&Var::from_dimacs(2).positive()));
+    }
+}

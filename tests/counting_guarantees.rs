@@ -1,0 +1,127 @@
+//! Validation of the exact and approximate model counters, including the
+//! `(ε, δ)` guarantee ApproxMC must provide for UniGen's Lemma 3 to hold.
+
+use proptest::prelude::*;
+
+use unigen_cnf::{CnfFormula, Lit, Var, XorClause};
+use unigen_counting::{ApproxMc, ApproxMcConfig, CountingError, ExactCounter};
+
+fn random_formula() -> impl Strategy<Value = CnfFormula> {
+    let num_vars = 4usize..10;
+    num_vars.prop_flat_map(|n| {
+        let clause = proptest::collection::vec((0..n, proptest::bool::ANY), 1..4);
+        let clauses = proptest::collection::vec(clause, 0..10);
+        let xor = (proptest::collection::vec(0..n, 1..5), proptest::bool::ANY);
+        let xors = proptest::collection::vec(xor, 0..3);
+        (Just(n), clauses, xors).prop_map(|(n, clauses, xors)| {
+            let mut f = CnfFormula::new(n);
+            for clause in clauses {
+                f.add_clause(clause.into_iter().map(|(v, s)| Var::new(v).lit(s))).unwrap();
+            }
+            for (vars, rhs) in xors {
+                f.add_xor_clause(XorClause::new(vars.into_iter().map(Var::new), rhs)).unwrap();
+            }
+            f
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The exact counter agrees with brute force on arbitrary small formulas.
+    #[test]
+    fn exact_counter_matches_brute_force(formula in random_formula()) {
+        let expected = formula.enumerate_models_brute_force().len() as u128;
+        prop_assert_eq!(ExactCounter::new().count(&formula).unwrap(), expected);
+    }
+
+    /// Adding a clause can never increase the model count (monotonicity).
+    #[test]
+    fn counting_is_monotone_under_clause_addition(
+        formula in random_formula(),
+        extra in proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..3),
+    ) {
+        let before = ExactCounter::new().count(&formula).unwrap();
+        let mut extended = formula.clone();
+        let lits: Vec<Lit> = extra
+            .into_iter()
+            .map(|(v, s)| Var::new(v.min(extended.num_vars() - 1)).lit(s))
+            .collect();
+        extended.add_clause(lits).unwrap();
+        let after = ExactCounter::new().count(&extended).unwrap();
+        prop_assert!(after <= before);
+    }
+}
+
+#[test]
+fn exact_counter_scales_beyond_brute_force() {
+    // 40 variables: far outside the 24-variable brute-force range, but easy
+    // for component decomposition (20 independent "x ∨ y" components,
+    // 3^20 models).
+    let mut f = CnfFormula::new(40);
+    for i in 0..20 {
+        f.add_clause([
+            Lit::positive(Var::new(2 * i)),
+            Lit::positive(Var::new(2 * i + 1)),
+        ])
+        .unwrap();
+    }
+    let count = ExactCounter::new().count(&f).unwrap();
+    assert_eq!(count, 3u128.pow(20));
+}
+
+#[test]
+fn approxmc_estimate_lands_in_the_guarantee_band() {
+    // A formula with exactly 2^14 witnesses over the sampling set: the first
+    // 14 variables are free, each of the remaining 6 is an xor of two of
+    // them.
+    let bits = 14usize;
+    let extra = 6usize;
+    let mut f = CnfFormula::new(bits + extra);
+    for i in 0..extra {
+        f.add_xor_clause(XorClause::new(
+            [Var::new(i % bits), Var::new((i + 3) % bits), Var::new(bits + i)],
+            false,
+        ))
+        .unwrap();
+    }
+    f.set_sampling_set((0..bits).map(Var::new)).unwrap();
+
+    let truth = 1u128 << bits;
+    let config = ApproxMcConfig::default();
+    let tolerance_factor = 1.0 + config.tolerance;
+    let mut hits = 0;
+    let runs = 5;
+    for seed in 0..runs {
+        let result = ApproxMc::new(config.clone()).count(&f, seed).unwrap();
+        let ratio = result.estimate as f64 / truth as f64;
+        if ratio >= 1.0 / tolerance_factor && ratio <= tolerance_factor {
+            hits += 1;
+        }
+    }
+    // The guarantee is per-run with confidence 0.8; across 5 runs, requiring
+    // at least 3 in-band estimates keeps the test robust while still
+    // detecting a broken counter.
+    assert!(hits >= 3, "only {hits}/{runs} estimates within the 1.8x band");
+}
+
+#[test]
+fn approxmc_counts_small_formulas_exactly() {
+    let mut f = CnfFormula::new(5);
+    f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+    f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)]).unwrap();
+    let expected = f.enumerate_models_brute_force().len() as u128;
+    let result = ApproxMc::new(ApproxMcConfig::default()).count(&f, 1).unwrap();
+    assert_eq!(result.estimate, expected);
+}
+
+#[test]
+fn exact_counter_rejects_unexpandable_xors() {
+    let mut f = CnfFormula::new(30);
+    f.add_xor_clause(XorClause::new((0..30).map(Var::new), true)).unwrap();
+    assert!(matches!(
+        ExactCounter::new().count(&f),
+        Err(CountingError::XorTooLong { len: 30 })
+    ));
+}

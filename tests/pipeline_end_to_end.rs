@@ -1,0 +1,154 @@
+//! End-to-end pipeline tests: circuit generation → Tseitin encoding →
+//! independent-support validation → UniGen sampling → witness checking.
+//!
+//! These tests exercise the same path as the benchmark harness, on smaller
+//! instances, and pin down the cross-crate contracts (sampling sets are
+//! independent supports, witnesses satisfy the original formula, UniWit and
+//! UniGen sample from the same witness space).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unigen::{UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler};
+use unigen_circuit::benchmarks;
+use unigen_counting::ExactCounter;
+use unigen_satsolver::support::{verify_independent_support, SupportCheck};
+use unigen_satsolver::Budget;
+
+#[test]
+fn generated_benchmarks_have_independent_sampling_sets() {
+    // The Tseitin encoder promises that the primary inputs form an
+    // independent support; verify it with the Padoa-style check for one
+    // instance per family (kept small so the self-composition stays cheap).
+    let instances = vec![
+        benchmarks::parity_chain("ind-case", 8, 2, 2, 21),
+        benchmarks::iscas_like("ind-iscas", 8, 40, 2, 22),
+        benchmarks::squaring("ind-squaring", 4, 2, 23),
+        benchmarks::login_like("ind-login", 2, 4, 24),
+        benchmarks::long_chain("ind-chain", 6, 10, 2, 25),
+    ];
+    for benchmark in instances {
+        let sampling = benchmark.formula.sampling_set().unwrap();
+        let verdict =
+            verify_independent_support(&benchmark.formula, sampling, &Budget::new());
+        assert_eq!(
+            verdict,
+            SupportCheck::Independent,
+            "{}: sampling set is not an independent support",
+            benchmark.name
+        );
+    }
+}
+
+#[test]
+fn unigen_witnesses_satisfy_every_family() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let instances = vec![
+        benchmarks::parity_chain("e2e-case", 10, 3, 3, 41),
+        benchmarks::iscas_like("e2e-iscas", 10, 70, 3, 42),
+        benchmarks::squaring("e2e-squaring", 5, 3, 43),
+        benchmarks::sorter("e2e-sort", 3, 3, 4, 44),
+        benchmarks::long_chain("e2e-chain", 8, 15, 3, 45),
+    ];
+    for benchmark in instances {
+        let mut sampler = UniGen::new(&benchmark.formula, UniGenConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+        let mut successes = 0;
+        for _ in 0..8 {
+            if let Some(witness) = sampler.sample(&mut rng).witness {
+                assert!(
+                    benchmark.formula.evaluate(&witness),
+                    "{}: invalid witness",
+                    benchmark.name
+                );
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 4,
+            "{}: only {successes}/8 samples succeeded",
+            benchmark.name
+        );
+    }
+}
+
+#[test]
+fn unigen_and_uniwit_sample_the_same_witness_space() {
+    let benchmark = benchmarks::parity_chain("space-check", 8, 2, 2, 51);
+    let formula = &benchmark.formula;
+    let mut rng = StdRng::seed_from_u64(52);
+
+    let mut unigen = UniGen::new(formula, UniGenConfig::default()).unwrap();
+    let mut uniwit = UniWit::new(formula, UniWitConfig::default()).unwrap();
+    for _ in 0..5 {
+        if let Some(w) = unigen.sample(&mut rng).witness {
+            assert!(formula.evaluate(&w));
+        }
+        if let Some(w) = uniwit.sample(&mut rng).witness {
+            assert!(formula.evaluate(&w));
+        }
+    }
+}
+
+#[test]
+fn sampling_set_projection_counts_match_exact_counts() {
+    // Because the sampling set is an independent support, the number of
+    // distinct projections equals |R_F|; UniGen's Enumerated mode exposes
+    // exactly that set for small formulas.
+    let benchmark = benchmarks::parity_chain("proj-count", 6, 2, 3, 61);
+    let formula = &benchmark.formula;
+    let exact = ExactCounter::new().count(formula).unwrap();
+
+    let sampler = UniGen::new(formula, UniGenConfig::default()).unwrap();
+    match sampler.prepared_mode() {
+        unigen::PreparedMode::Enumerated { witnesses } => {
+            assert_eq!(witnesses.len() as u128, exact);
+        }
+        unigen::PreparedMode::Hashed { approx_count, .. } => {
+            // If the instance turned out larger than hiThresh, at least check
+            // the approximate count is in the right ballpark.
+            let ratio = *approx_count as f64 / exact as f64;
+            assert!(ratio > 0.4 && ratio < 2.5, "approx {approx_count} vs exact {exact}");
+        }
+    }
+}
+
+#[test]
+fn xor_length_gap_between_unigen_and_uniwit_matches_the_paper() {
+    // The structural claim behind Table 1's "Avg XOR len" columns: UniGen's
+    // xor clauses average about |S|/2 variables, UniWit's about |X|/2.
+    let benchmark = benchmarks::long_chain("xorlen-check", 10, 25, 4, 71);
+    let formula = &benchmark.formula;
+    let s = formula.sampling_set().unwrap().len() as f64;
+    let x = formula.num_vars() as f64;
+    let mut rng = StdRng::seed_from_u64(72);
+
+    let mut unigen = UniGen::new(formula, UniGenConfig::default()).unwrap();
+    let mut unigen_stats = unigen::SampleStats::default();
+    for _ in 0..5 {
+        unigen_stats.accumulate(&unigen.sample(&mut rng).stats);
+    }
+
+    let mut uniwit = UniWit::new(formula, UniWitConfig::default()).unwrap();
+    let mut uniwit_stats = unigen::SampleStats::default();
+    for _ in 0..3 {
+        uniwit_stats.accumulate(&uniwit.sample(&mut rng).stats);
+    }
+
+    if unigen_stats.xor_clauses_added > 0 {
+        let avg = unigen_stats.average_xor_length();
+        assert!(
+            avg < s * 0.9,
+            "UniGen xor length {avg} not consistent with |S|/2 = {}",
+            s / 2.0
+        );
+    }
+    if uniwit_stats.xor_clauses_added > 0 {
+        let avg = uniwit_stats.average_xor_length();
+        assert!(
+            avg > x * 0.25,
+            "UniWit xor length {avg} not consistent with |X|/2 = {}",
+            x / 2.0
+        );
+    }
+}
