@@ -23,7 +23,9 @@ fn amortization(c: &mut Criterion) {
         .with_bsat_budget(Budget::new().with_time_limit(Duration::from_secs(10)));
 
     let mut group = c.benchmark_group("ablation_amortization");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
 
     let mut prepared = UniGen::new(&formula, config.clone()).expect("prepare");
     let mut rng = StdRng::seed_from_u64(7);

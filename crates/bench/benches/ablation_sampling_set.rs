@@ -28,7 +28,9 @@ fn sampling_set_ablation(c: &mut Criterion) {
     let full_support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
 
     let mut group = c.benchmark_group("ablation_sampling_set");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
 
     let config = UniGenConfig::default()
         .with_bsat_budget(Budget::new().with_time_limit(Duration::from_secs(10)));

@@ -18,7 +18,9 @@ fn instances() -> Vec<Benchmark> {
 
 fn counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("approxmc");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
 
     for benchmark in instances() {
         group.bench_with_input(
@@ -44,7 +46,11 @@ fn counting(c: &mut Criterion) {
             BenchmarkId::new("exact", &benchmark.name),
             &benchmark,
             |b, benchmark| {
-                b.iter(|| ExactCounter::new().count(&benchmark.formula).expect("count"))
+                b.iter(|| {
+                    ExactCounter::new()
+                        .count(&benchmark.formula)
+                        .expect("count")
+                })
             },
         );
     }

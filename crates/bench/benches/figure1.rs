@@ -16,7 +16,9 @@ fn figure1_sampling(c: &mut Criterion) {
     let formula = benchmark.formula.clone();
 
     let mut group = c.benchmark_group("figure1");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     group.bench_function("exact_count", |b| {
         b.iter(|| ExactCounter::new().count(&formula).expect("countable"))

@@ -25,7 +25,9 @@ fn bench_instances() -> Vec<Benchmark> {
 
 fn per_witness_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_per_witness");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     for benchmark in bench_instances() {
         // UniGen: prepare once outside the measurement, then time samples.

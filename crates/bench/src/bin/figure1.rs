@@ -70,7 +70,10 @@ fn main() {
         us_freq.record(us.sample_index(&mut rng) as u64);
     }
 
-    println!("# Figure 1 — count-of-counts (instance: {})", benchmark.name);
+    println!(
+        "# Figure 1 — count-of-counts (instance: {})",
+        benchmark.name
+    );
     println!("# samples per sampler: {samples}, |R_F| = {witness_count}");
     println!("count  unigen_witnesses  us_witnesses");
     let unigen_hist = unigen_freq.count_of_counts();

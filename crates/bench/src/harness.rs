@@ -230,7 +230,15 @@ pub fn render_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>7} {:>5} | {:>9} {:>12} {:>8} | {:>9} {:>12} {:>8}\n",
-        "Benchmark", "|X|", "|S|", "UG succ", "UG time(s)", "UG xlen", "UW succ", "UW time(s)", "UW xlen"
+        "Benchmark",
+        "|X|",
+        "|S|",
+        "UG succ",
+        "UG time(s)",
+        "UG xlen",
+        "UW succ",
+        "UW time(s)",
+        "UW xlen"
     ));
     out.push_str(&"-".repeat(110));
     out.push('\n');

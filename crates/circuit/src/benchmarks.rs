@@ -108,7 +108,13 @@ fn choose_distinct<T: Copy, R: Rng + ?Sized>(items: &[T], count: usize, rng: &mu
 /// `case…`-style instance: a layered xor/and/or datapath over `num_inputs`
 /// primary inputs of `depth` layers, with `num_parity` parity conditions over
 /// randomly chosen internal signals.
-pub fn parity_chain(name: &str, num_inputs: usize, depth: usize, num_parity: usize, seed: u64) -> Benchmark {
+pub fn parity_chain(
+    name: &str,
+    num_inputs: usize,
+    depth: usize,
+    num_parity: usize,
+    seed: u64,
+) -> Benchmark {
     assert!(num_inputs >= 2, "parity_chain needs at least two inputs");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CircuitBuilder::new(name);
@@ -155,7 +161,13 @@ pub fn parity_chain(name: &str, num_inputs: usize, depth: usize, num_parity: usi
 /// inputs with `num_gates` gates, plus `num_parity` parity conditions on
 /// randomly chosen outputs — the construction the paper applies to the
 /// `s526`/`s953`/`s1196`/`s1238` circuits.
-pub fn iscas_like(name: &str, num_inputs: usize, num_gates: usize, num_parity: usize, seed: u64) -> Benchmark {
+pub fn iscas_like(
+    name: &str,
+    num_inputs: usize,
+    num_gates: usize,
+    num_parity: usize,
+    seed: u64,
+) -> Benchmark {
     assert!(num_inputs >= 2, "iscas_like needs at least two inputs");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CircuitBuilder::new(name);
@@ -252,7 +264,13 @@ pub fn karatsuba(name: &str, bits: usize, constrained_bits: usize, seed: u64) ->
 /// `Sort`-style instance: an odd-even transposition sorting network over
 /// `lanes` words of `width` bits, with `constrained_bits` sorted-output bits
 /// pinned to a witness.
-pub fn sorter(name: &str, lanes: usize, width: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+pub fn sorter(
+    name: &str,
+    lanes: usize,
+    width: usize,
+    constrained_bits: usize,
+    seed: u64,
+) -> Benchmark {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CircuitBuilder::new(name);
     let words: Vec<BitVector> = (0..lanes)
@@ -325,7 +343,13 @@ pub fn login_like(name: &str, fields: usize, width: usize, seed: u64) -> Benchma
 /// `LLReverse`/`TreeMax`-style instance: a deep linear chain of word
 /// transformations over a tiny input word, so the support `X` is roughly
 /// `stages · width` while the independent support stays at `width` bits.
-pub fn long_chain(name: &str, width: usize, stages: usize, constrained_bits: usize, seed: u64) -> Benchmark {
+pub fn long_chain(
+    name: &str,
+    width: usize,
+    stages: usize,
+    constrained_bits: usize,
+    seed: u64,
+) -> Benchmark {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CircuitBuilder::new(name);
     let input = b.input_word("x", width);
@@ -339,9 +363,8 @@ pub fn long_chain(name: &str, width: usize, stages: usize, constrained_bits: usi
             }
             1 => {
                 // Bitwise rotation by one plus an xor with a constant.
-                let rotated = BitVector::new(
-                    (0..width).map(|i| word.bit((i + 1) % width)).collect(),
-                );
+                let rotated =
+                    BitVector::new((0..width).map(|i| word.bit((i + 1) % width)).collect());
                 BitVector::new(
                     (0..width)
                         .map(|i| b.xor(rotated.bit(i), constant.bit(i)))
@@ -419,7 +442,10 @@ mod tests {
     use unigen_satsolver::{SolveResult, Solver};
 
     fn assert_satisfiable_and_well_formed(benchmark: &Benchmark) {
-        let sampling = benchmark.formula.sampling_set().expect("sampling set recorded");
+        let sampling = benchmark
+            .formula
+            .sampling_set()
+            .expect("sampling set recorded");
         assert!(!sampling.is_empty());
         assert!(
             sampling.len() < benchmark.formula.num_vars(),

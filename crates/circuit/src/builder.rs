@@ -354,7 +354,10 @@ impl CircuitBuilder {
     ///
     /// Panics if the word is wider than `width`.
     pub fn zero_extend(&mut self, word: &BitVector, width: usize) -> BitVector {
-        assert!(word.width() <= width, "cannot zero-extend to a smaller width");
+        assert!(
+            word.width() <= width,
+            "cannot zero-extend to a smaller width"
+        );
         let mut bits = word.bits().to_vec();
         while bits.len() < width {
             bits.push(self.constant(false));
@@ -461,7 +464,11 @@ impl CircuitBuilder {
 mod tests {
     use super::*;
 
-    fn word_value(circuit: &Circuit, sim: &crate::netlist::Simulation<'_>, word: &BitVector) -> u64 {
+    fn word_value(
+        circuit: &Circuit,
+        sim: &crate::netlist::Simulation<'_>,
+        word: &BitVector,
+    ) -> u64 {
         let _ = circuit;
         word.bits()
             .iter()

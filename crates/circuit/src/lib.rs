@@ -1,5 +1,12 @@
 //! Gate-level circuit substrate and CRV benchmark families.
 //!
+//! **Paper map:** stands in for the benchmark suite of Section 4
+//! (evaluation) of *Balancing Scalability and Uniformity in SAT Witness
+//! Generator* (DAC 2014) — bit-blasted BMC, ISCAS89-with-parity, bit-blasted
+//! SMTLib and program-synthesis instances — and for the constrained-random
+//! verification setting of Section 1, where the sampling set is the set of
+//! primary inputs and is an independent support by construction.
+//!
 //! The paper evaluates UniGen on constraints that all originate from
 //! hardware-flavoured sources: bit-blasted bounded-model-checking instances,
 //! ISCAS89 circuits with parity conditions on randomly chosen outputs,

@@ -61,7 +61,12 @@ pub struct Circuit {
 }
 
 impl Circuit {
-    pub(crate) fn new(name: String, nodes: Vec<Node>, inputs: Vec<NodeId>, outputs: Vec<(String, NodeId)>) -> Self {
+    pub(crate) fn new(
+        name: String,
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<(String, NodeId)>,
+    ) -> Self {
         Circuit {
             name,
             nodes,
@@ -148,8 +153,7 @@ impl Circuit {
                 Node::Input { .. } => input_map[&NodeId(i as u32)],
                 Node::Const(b) => *b,
                 Node::Gate { kind, fanin } => {
-                    let fanin_values: Vec<bool> =
-                        fanin.iter().map(|f| values[f.index()]).collect();
+                    let fanin_values: Vec<bool> = fanin.iter().map(|f| values[f.index()]).collect();
                     kind.evaluate(&fanin_values)
                 }
             };

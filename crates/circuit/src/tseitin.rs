@@ -87,8 +87,7 @@ pub fn encode(circuit: &Circuit) -> CircuitEncoding {
                     .expect("constant clause in range");
             }
             Node::Gate { kind, fanin } => {
-                let fanin_vars: Vec<Var> =
-                    fanin.iter().map(|f| node_vars[f.index()]).collect();
+                let fanin_vars: Vec<Var> = fanin.iter().map(|f| node_vars[f.index()]).collect();
                 encode_gate(&mut formula, *kind, y, &fanin_vars);
             }
         }

@@ -95,20 +95,18 @@ pub fn parse(input: &str) -> Result<CnfFormula, CnfError> {
                     message: format!("unsupported problem kind `{kind}` (expected `cnf`)"),
                 });
             }
-            let vars: usize = tokens
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| CnfError::ParseDimacs {
+            let vars: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                CnfError::ParseDimacs {
                     line: line_no,
                     message: "missing or invalid variable count".to_string(),
-                })?;
-            let clauses: usize = tokens
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| CnfError::ParseDimacs {
+                }
+            })?;
+            let clauses: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                CnfError::ParseDimacs {
                     line: line_no,
                     message: "missing or invalid clause count".to_string(),
-                })?;
+                }
+            })?;
             declared_clauses = Some(clauses);
             formula = Some(CnfFormula::new(vars));
             continue;
@@ -271,7 +269,12 @@ mod tests {
     fn parse_reads_sampling_set_over_multiple_lines() {
         let text = "c ind 1 2 0\nc ind 4 0\np cnf 5 1\n1 0\n";
         let f = parse(text).unwrap();
-        let set: Vec<usize> = f.sampling_set().unwrap().iter().map(|v| v.to_dimacs()).collect();
+        let set: Vec<usize> = f
+            .sampling_set()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_dimacs())
+            .collect();
         assert_eq!(set, vec![1, 2, 4]);
     }
 
@@ -311,6 +314,80 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_non_numeric_variable_count() {
+        let err = parse("p cnf abc 1\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_missing_clause_count() {
+        let err = parse("p cnf 2\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bare_problem_keyword() {
+        let err = parse("p\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_problem_line() {
+        let err = parse("p cnf 2 1\np cnf 2 1\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_xor_variable() {
+        let err = parse("p cnf 2 1\nx 1 5 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::VariableOutOfRange { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_negated_literal() {
+        let err = parse("p cnf 2 1\n-4 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::VariableOutOfRange { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_literal() {
+        let err = parse("p cnf 2 1\n1 foo 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_truncated_xor_clause() {
+        let err = parse("p cnf 3 1\nx 1 2\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_truncated_clause_at_end_of_file() {
+        // The final clause loses its `0` terminator mid-stream — the shape a
+        // truncated download or interrupted write produces.
+        let err = parse("p cnf 3 2\n1 -2 0\n2 3").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 3, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_negative_sampling_variable() {
+        let err = parse("c ind -1 0\np cnf 2 1\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_sampling_token() {
+        let err = parse("c ind one 0\np cnf 2 1\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_sampling_variable() {
+        let err = parse("c ind 9 0\np cnf 2 1\n1 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::SamplingVarOutOfRange { .. }));
+    }
+
+    #[test]
     fn roundtrip_preserves_semantics_and_metadata() {
         let text = "c ind 1 3 0\np cnf 4 3\n1 -2 0\n-3 4 0\nx 1 4 0\n";
         let f = parse(text).unwrap();
@@ -331,7 +408,7 @@ mod tests {
         write_file(&f, &path).unwrap();
         let g = parse_file(&path).unwrap();
         assert_eq!(f, g);
-        let _ = std::fs::remove_file(&path);
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -36,13 +36,19 @@ pub enum CnfError {
 impl fmt::Display for CnfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CnfError::VariableOutOfRange { var_index, num_vars } => write!(
+            CnfError::VariableOutOfRange {
+                var_index,
+                num_vars,
+            } => write!(
                 f,
                 "clause mentions variable {} but the formula declares only {} variables",
                 var_index + 1,
                 num_vars
             ),
-            CnfError::SamplingVarOutOfRange { var_index, num_vars } => write!(
+            CnfError::SamplingVarOutOfRange {
+                var_index,
+                num_vars,
+            } => write!(
                 f,
                 "sampling set mentions variable {} but the formula declares only {} variables",
                 var_index + 1,

@@ -279,9 +279,12 @@ mod tests {
     fn simple_formula() -> CnfFormula {
         // (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (x2 ⊕ x3 = 1)
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(3)]).unwrap();
-        f.add_xor_clause(XorClause::from_dimacs([2, 3], true)).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(3)])
+            .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([2, 3], true))
+            .unwrap();
         f
     }
 
@@ -302,8 +305,12 @@ mod tests {
     #[test]
     fn sampling_set_is_sorted_and_deduped() {
         let mut f = CnfFormula::new(5);
-        f.set_sampling_set([Var::from_dimacs(4), Var::from_dimacs(1), Var::from_dimacs(4)])
-            .unwrap();
+        f.set_sampling_set([
+            Var::from_dimacs(4),
+            Var::from_dimacs(1),
+            Var::from_dimacs(4),
+        ])
+        .unwrap();
         let set = f.sampling_set().unwrap();
         assert_eq!(set, &[Var::from_dimacs(1), Var::from_dimacs(4)]);
     }

@@ -121,10 +121,7 @@ impl XorClause {
     ///
     /// Panics if the model does not cover every variable of the constraint.
     pub fn evaluate(&self, model: &Model) -> bool {
-        let parity = self
-            .vars
-            .iter()
-            .fold(false, |acc, &v| acc ^ model.value(v));
+        let parity = self.vars.iter().fold(false, |acc, &v| acc ^ model.value(v));
         parity == self.rhs
     }
 

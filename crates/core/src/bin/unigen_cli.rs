@@ -118,10 +118,14 @@ fn run(options: &CliOptions) -> Result<(), String> {
         .with_seed(options.seed)
         .with_bsat_budget(budget);
 
-    let mut sampler = UniGen::new(&formula, config).map_err(|e| format!("preparation failed: {e}"))?;
+    let mut sampler =
+        UniGen::new(&formula, config).map_err(|e| format!("preparation failed: {e}"))?;
     match sampler.prepared_mode() {
         PreparedMode::Enumerated { witnesses } => {
-            eprintln!("c preparation: {} witnesses enumerated directly", witnesses.len());
+            eprintln!(
+                "c preparation: {} witnesses enumerated directly",
+                witnesses.len()
+            );
         }
         PreparedMode::Hashed { approx_count, q } => {
             eprintln!(
@@ -204,7 +208,15 @@ mod tests {
     #[test]
     fn parses_all_options() {
         let options = parse_args(&args(&[
-            "--samples", "25", "--epsilon", "3.5", "--seed", "9", "--timeout", "30", "--verbose",
+            "--samples",
+            "25",
+            "--epsilon",
+            "3.5",
+            "--seed",
+            "9",
+            "--timeout",
+            "30",
+            "--verbose",
             "foo.cnf",
         ]))
         .unwrap();

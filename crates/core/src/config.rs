@@ -31,7 +31,7 @@ impl Default for UniGenConfig {
     fn default() -> Self {
         UniGenConfig {
             epsilon: 6.0,
-            seed: 0x0u64 ^ 0xdac2_0140,
+            seed: 0xdac2_0140,
             bsat_budget: Budget::new(),
             approxmc: ApproxMcConfig::default(),
             bsat_retries: 2,

@@ -62,7 +62,8 @@ fn epsilon_of_kappa(kappa: f64) -> f64 {
 /// # }
 /// ```
 pub fn compute_kappa_pivot(epsilon: f64) -> Result<KappaPivot, SamplerError> {
-    if !(epsilon > 1.71) {
+    // NaN must be rejected too, hence the explicit check rather than `<=`.
+    if epsilon.is_nan() || epsilon <= 1.71 {
         return Err(SamplerError::epsilon_too_small(epsilon));
     }
     let mut lo = 0.0f64;

@@ -153,8 +153,7 @@ impl FromIterator<u64> for WitnessFrequencies {
 pub fn histogram_discrepancy(a: &WitnessFrequencies, b: &WitnessFrequencies) -> f64 {
     let ha = a.count_of_counts();
     let hb = b.count_of_counts();
-    let keys: std::collections::BTreeSet<u64> =
-        ha.keys().chain(hb.keys()).copied().collect();
+    let keys: std::collections::BTreeSet<u64> = ha.keys().chain(hb.keys()).copied().collect();
     let denom = a.num_distinct().max(b.num_distinct()).max(1) as f64;
     keys.into_iter()
         .map(|k| {

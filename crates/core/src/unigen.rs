@@ -97,10 +97,7 @@ impl UniGen {
         // Line 4: Y ← BSAT(F, hiThresh). (The bound is hiThresh + 1 so that a
         // result of exactly hiThresh witnesses can be told apart from "more
         // than hiThresh".)
-        let mut enumerator = Enumerator::new(
-            Solver::from_formula(formula),
-            sampling_set.to_vec(),
-        );
+        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
         let outcome = enumerator.run(hi_count + 1, &config.bsat_budget);
         if outcome.budget_exhausted {
             return Err(SamplerError::PreparationBudgetExhausted);
@@ -118,8 +115,11 @@ impl UniGen {
             }
         } else {
             // Lines 9–11: approximate count and candidate hash widths.
-            let approx = ApproxMc::new(config.approxmc.clone())
-                .count_with_sampling_set(formula, sampling_set, config.seed)?;
+            let approx = ApproxMc::new(config.approxmc.clone()).count_with_sampling_set(
+                formula,
+                sampling_set,
+                config.seed,
+            )?;
             let count = approx.estimate.max(1) as f64;
             let q = (count.log2() + 1.8f64.log2() - (kappa_pivot.pivot as f64).log2()).ceil();
             let q = q.max(1.0) as usize;
@@ -180,9 +180,7 @@ impl UniGen {
             return Vec::new();
         }
         match &self.mode {
-            PreparedMode::Enumerated { .. } => {
-                (0..count).map(|_| self.sample(rng)).collect()
-            }
+            PreparedMode::Enumerated { .. } => (0..count).map(|_| self.sample(rng)).collect(),
             PreparedMode::Hashed { q, .. } => {
                 let q = *q;
                 let (witnesses, stats) = self.collect_cell(q, rng);
@@ -234,11 +232,7 @@ impl UniGen {
     /// Runs lines 12–17 of Algorithm 1: searches the candidate hash widths
     /// for a cell whose size lies in `[loThresh, hiThresh]` and returns its
     /// witnesses (or `None` on failure), together with the work statistics.
-    fn collect_cell(
-        &self,
-        q: usize,
-        rng: &mut dyn RngCore,
-    ) -> (Option<Vec<Model>>, SampleStats) {
+    fn collect_cell(&self, q: usize, rng: &mut dyn RngCore) -> (Option<Vec<Model>>, SampleStats) {
         let started = Instant::now();
         let mut stats = SampleStats::default();
         let lo = self.kappa_pivot.lo_thresh();
@@ -262,10 +256,8 @@ impl UniGen {
                         .add_xor_clause(xor)
                         .expect("hash clauses stay within the variable range");
                 }
-                let mut enumerator = Enumerator::new(
-                    Solver::from_formula(&hashed),
-                    self.sampling_set.clone(),
-                );
+                let mut enumerator =
+                    Enumerator::new(Solver::from_formula(&hashed), self.sampling_set.clone());
                 let outcome = enumerator.run(hi_count + 1, &self.config.bsat_budget);
                 stats.bsat_calls += 1;
 
@@ -339,7 +331,8 @@ mod tests {
         for i in 0..extra {
             let free = Var::new(i % bits);
             let dependent = Var::new(bits + i);
-            f.add_xor_clause(XorClause::new([free, dependent], false)).unwrap();
+            f.add_xor_clause(XorClause::new([free, dependent], false))
+                .unwrap();
         }
         f.set_sampling_set((0..bits).map(Var::new)).unwrap();
         f
@@ -435,7 +428,9 @@ mod tests {
         let draws = 4000;
         for _ in 0..draws {
             let witness = sampler.sample(&mut rng).witness.unwrap();
-            *counts.entry(witness.project(&sampling).as_index()).or_insert(0) += 1;
+            *counts
+                .entry(witness.project(&sampling).as_index())
+                .or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 8);
         for (&key, &count) in &counts {
@@ -452,7 +447,10 @@ mod tests {
         // Hashed mode: 2^10 witnesses.
         let f = formula_with_count(10, 4);
         let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
-        assert!(matches!(sampler.prepared_mode(), PreparedMode::Hashed { .. }));
+        assert!(matches!(
+            sampler.prepared_mode(),
+            PreparedMode::Hashed { .. }
+        ));
         let mut rng = seeded_rng(21);
         let batch = sampler.sample_batch(8, &mut rng);
         let successes: Vec<_> = batch.iter().filter_map(|o| o.witness.clone()).collect();
@@ -491,8 +489,7 @@ mod tests {
         let mut f = formula_with_count(4, 2);
         f.set_sampling_set(Vec::<Var>::new()).unwrap(); // clear
         let sampling: Vec<Var> = (0..4).map(Var::new).collect();
-        let sampler =
-            UniGen::with_sampling_set(&f, &sampling, UniGenConfig::default()).unwrap();
+        let sampler = UniGen::with_sampling_set(&f, &sampling, UniGenConfig::default()).unwrap();
         assert_eq!(sampler.sampling_set(), sampling.as_slice());
     }
 

@@ -124,10 +124,8 @@ impl WitnessSampler for UniWit {
         // First check whether the formula itself already has few enough
         // witnesses (the degenerate case every hashing sampler handles
         // first).
-        let mut enumerator = Enumerator::new(
-            Solver::from_formula(&self.formula),
-            self.support.clone(),
-        );
+        let mut enumerator =
+            Enumerator::new(Solver::from_formula(&self.formula), self.support.clone());
         let base = enumerator.run(pivot + 1, &self.config.bsat_budget);
         stats.bsat_calls += 1;
         if !base.budget_exhausted && base.len() <= pivot {
@@ -153,10 +151,8 @@ impl WitnessSampler for UniWit {
                     .add_xor_clause(xor)
                     .expect("hash clauses stay within the variable range");
             }
-            let mut enumerator = Enumerator::new(
-                Solver::from_formula(&hashed),
-                self.support.clone(),
-            );
+            let mut enumerator =
+                Enumerator::new(Solver::from_formula(&hashed), self.support.clone());
             let outcome = enumerator.run(pivot + 1, &self.config.bsat_budget);
             stats.bsat_calls += 1;
             if outcome.budget_exhausted {
@@ -200,8 +196,11 @@ mod tests {
     fn formula_with_count(bits: usize, extra: usize) -> CnfFormula {
         let mut f = CnfFormula::new(bits + extra);
         for i in 0..extra {
-            f.add_xor_clause(XorClause::new([Var::new(i % bits), Var::new(bits + i)], false))
-                .unwrap();
+            f.add_xor_clause(XorClause::new(
+                [Var::new(i % bits), Var::new(bits + i)],
+                false,
+            ))
+            .unwrap();
         }
         f.set_sampling_set((0..bits).map(Var::new)).unwrap();
         f
@@ -242,7 +241,8 @@ mod tests {
     #[test]
     fn small_formulas_short_circuit_without_hashing() {
         let mut f = CnfFormula::new(2);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
         let mut sampler = UniWit::new(&f, UniWitConfig::default()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let outcome = sampler.sample(&mut rng);

@@ -82,10 +82,7 @@ impl UniformSampler {
         sampling_set: &[Var],
     ) -> Result<Self, SamplerError> {
         let mut sampler = UniformSampler::new(formula)?;
-        let mut enumerator = Enumerator::new(
-            Solver::from_formula(formula),
-            sampling_set.to_vec(),
-        );
+        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
         let count = sampler.count;
         let limit = usize::try_from(count).map_err(|_| SamplerError::PreparationBudgetExhausted)?;
         let outcome = enumerator.run(limit + 1, &Budget::new());
@@ -155,8 +152,12 @@ mod tests {
 
     fn or_formula() -> CnfFormula {
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2), Lit::from_dimacs(3)])
-            .unwrap();
+        f.add_clause([
+            Lit::from_dimacs(1),
+            Lit::from_dimacs(2),
+            Lit::from_dimacs(3),
+        ])
+        .unwrap();
         f
     }
 

@@ -114,10 +114,7 @@ impl WitnessSampler for XorSamplePrime {
                 .add_xor_clause(xor)
                 .expect("hash clauses stay within the variable range");
         }
-        let mut enumerator = Enumerator::new(
-            Solver::from_formula(&hashed),
-            self.support.clone(),
-        );
+        let mut enumerator = Enumerator::new(Solver::from_formula(&hashed), self.support.clone());
         let outcome = enumerator.run(self.config.cell_cap + 1, &self.config.bsat_budget);
         stats.bsat_calls += 1;
         stats.wall_time = started.elapsed();
@@ -151,7 +148,8 @@ mod tests {
 
     fn wide_formula(bits: usize) -> CnfFormula {
         let mut f = CnfFormula::new(bits);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
         f
     }
 

@@ -136,11 +136,7 @@ impl ApproxMc {
     /// * [`CountingError::BudgetExhausted`] if the initial `BSAT` call cannot
     ///   complete within the per-call budget,
     /// * [`CountingError::NoEstimate`] if every core iteration fails.
-    pub fn count(
-        &self,
-        formula: &CnfFormula,
-        seed: u64,
-    ) -> Result<ApproxMcResult, CountingError> {
+    pub fn count(&self, formula: &CnfFormula, seed: u64) -> Result<ApproxMcResult, CountingError> {
         let sampling_set = formula.sampling_set_or_all();
         self.count_with_sampling_set(formula, &sampling_set, seed)
     }
@@ -168,10 +164,7 @@ impl ApproxMc {
         // Base case: if the formula has at most `pivot` witnesses, count them
         // exactly by enumeration (this is also what makes the estimate exact
         // for small formulas, a property the doc-test above relies on).
-        let mut enumerator = Enumerator::new(
-            Solver::from_formula(formula),
-            sampling_set.to_vec(),
-        );
+        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
         let outcome = enumerator.run(pivot as usize + 1, &self.config.budget);
         bsat_calls += 1;
         if outcome.budget_exhausted {
@@ -195,7 +188,9 @@ impl ApproxMc {
 
         for _ in 0..iterations {
             let start = if self.config.leapfrog {
-                leapfrog_start.map(|m| m.saturating_sub(1).max(1)).unwrap_or(1)
+                leapfrog_start
+                    .map(|m| m.saturating_sub(1).max(1))
+                    .unwrap_or(1)
             } else {
                 1
             };
@@ -253,10 +248,8 @@ impl ApproxMc {
                     .add_xor_clause(xor)
                     .expect("hash clauses stay within the formula's variable range");
             }
-            let mut enumerator = Enumerator::new(
-                Solver::from_formula(&hashed),
-                sampling_set.to_vec(),
-            );
+            let mut enumerator =
+                Enumerator::new(Solver::from_formula(&hashed), sampling_set.to_vec());
             let outcome = enumerator.run(pivot as usize + 1, &self.config.budget);
             *bsat_calls += 1;
             if outcome.budget_exhausted {
@@ -298,7 +291,8 @@ mod tests {
             for i in 0..extra {
                 let free = Var::new(i % bits);
                 let dependent = Var::new(bits + i);
-                f.add_xor_clause(XorClause::new([free, dependent], false)).unwrap();
+                f.add_xor_clause(XorClause::new([free, dependent], false))
+                    .unwrap();
             }
             f.set_sampling_set((0..bits).map(Var::new)).unwrap();
             f
@@ -329,10 +323,14 @@ mod tests {
     #[test]
     fn small_formulas_are_counted_exactly() {
         let mut f = CnfFormula::new(4);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(3), Lit::from_dimacs(4)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_clause([Lit::from_dimacs(3), Lit::from_dimacs(4)])
+            .unwrap();
         // 9 models < pivot, so the estimate is exact.
-        let result = ApproxMc::new(ApproxMcConfig::default()).count(&f, 1).unwrap();
+        let result = ApproxMc::new(ApproxMcConfig::default())
+            .count(&f, 1)
+            .unwrap();
         assert_eq!(result.estimate, 9);
         assert_eq!(result.bsat_calls, 1);
     }
@@ -342,7 +340,9 @@ mod tests {
         let mut f = CnfFormula::new(1);
         f.add_clause([Lit::from_dimacs(1)]).unwrap();
         f.add_clause([Lit::from_dimacs(-1)]).unwrap();
-        let result = ApproxMc::new(ApproxMcConfig::default()).count(&f, 2).unwrap();
+        let result = ApproxMc::new(ApproxMcConfig::default())
+            .count(&f, 2)
+            .unwrap();
         assert_eq!(result.estimate, 0);
     }
 
@@ -370,14 +370,24 @@ mod tests {
         let result = ApproxMc::new(ApproxMcConfig::default())
             .count_with_sampling_set(&f, &sampling, 11)
             .unwrap();
-        assert!(result.estimate >= 128, "estimate {} far too small", result.estimate);
-        assert!(result.estimate <= 2048, "estimate {} far too large", result.estimate);
+        assert!(
+            result.estimate >= 128,
+            "estimate {} far too small",
+            result.estimate
+        );
+        assert!(
+            result.estimate <= 2048,
+            "estimate {} far too large",
+            result.estimate
+        );
     }
 
     #[test]
     fn leapfrog_produces_comparable_estimates() {
         let f = formula_with_count(9, 3);
-        let base = ApproxMc::new(ApproxMcConfig::default()).count(&f, 5).unwrap();
+        let base = ApproxMc::new(ApproxMcConfig::default())
+            .count(&f, 5)
+            .unwrap();
         let leap = ApproxMc::new(ApproxMcConfig {
             leapfrog: true,
             ..ApproxMcConfig::default()
@@ -385,6 +395,9 @@ mod tests {
         .count(&f, 5)
         .unwrap();
         let ratio = base.estimate as f64 / leap.estimate as f64;
-        assert!(ratio > 0.2 && ratio < 5.0, "estimates diverge: {base:?} vs {leap:?}");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "estimates diverge: {base:?} vs {leap:?}"
+        );
     }
 }

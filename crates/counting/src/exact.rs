@@ -135,9 +135,7 @@ impl ExactCounter {
             if count == 0 {
                 return Ok(0);
             }
-            product = product
-                .checked_mul(count)
-                .ok_or(CountingError::Overflow)?;
+            product = product.checked_mul(count).ok_or(CountingError::Overflow)?;
         }
         shift_left(product, free_factor_bits)
     }
@@ -260,7 +258,7 @@ fn split_components(clauses: &[Residual]) -> Vec<Vec<Residual>> {
     let n = clauses.len();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -319,8 +317,12 @@ mod tests {
     #[test]
     fn single_clause() {
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2), Lit::from_dimacs(3)])
-            .unwrap();
+        f.add_clause([
+            Lit::from_dimacs(1),
+            Lit::from_dimacs(2),
+            Lit::from_dimacs(3),
+        ])
+        .unwrap();
         assert_eq!(ExactCounter::new().count(&f).unwrap(), 7);
     }
 
@@ -328,8 +330,10 @@ mod tests {
     fn independent_components_multiply() {
         // (x1 ∨ x2) and (x3 ∨ x4) are independent: 3 * 3 = 9.
         let mut f = CnfFormula::new(4);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(3), Lit::from_dimacs(4)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_clause([Lit::from_dimacs(3), Lit::from_dimacs(4)])
+            .unwrap();
         assert_eq!(ExactCounter::new().count(&f).unwrap(), 9);
     }
 
@@ -337,14 +341,16 @@ mod tests {
     fn free_variables_double_the_count() {
         // One clause over x1, x2 plus two unmentioned variables.
         let mut f = CnfFormula::new(4);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
         assert_eq!(ExactCounter::new().count(&f).unwrap(), 3 * 4);
     }
 
     #[test]
     fn xor_constraints_are_expanded() {
         let mut f = CnfFormula::new(3);
-        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], true)).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], true))
+            .unwrap();
         // Half of the 8 assignments have odd parity.
         assert_eq!(ExactCounter::new().count(&f).unwrap(), 4);
     }
@@ -352,7 +358,8 @@ mod tests {
     #[test]
     fn long_xor_is_rejected() {
         let mut f = CnfFormula::new(20);
-        f.add_xor_clause(XorClause::from_dimacs(1..=20, true)).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs(1..=20, true))
+            .unwrap();
         assert!(matches!(
             ExactCounter::new().count(&f),
             Err(CountingError::XorTooLong { len: 20 })
@@ -363,15 +370,19 @@ mod tests {
     fn matches_brute_force_on_structured_formulas() {
         // A few structured cases with known interactions.
         let mut f = CnfFormula::new(6);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)]).unwrap();
-        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(4), Lit::from_dimacs(-5)])
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
             .unwrap();
-        f.add_xor_clause(XorClause::from_dimacs([5, 6], true)).unwrap();
-        assert_eq!(
-            ExactCounter::new().count(&f).unwrap(),
-            brute_force(&f)
-        );
+        f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)])
+            .unwrap();
+        f.add_clause([
+            Lit::from_dimacs(-3),
+            Lit::from_dimacs(4),
+            Lit::from_dimacs(-5),
+        ])
+        .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([5, 6], true))
+            .unwrap();
+        assert_eq!(ExactCounter::new().count(&f).unwrap(), brute_force(&f));
     }
 
     #[test]
@@ -411,7 +422,8 @@ mod tests {
         // x1 ⊕ x2 = 0, x2 ⊕ x3 = 0, …: all variables equal, so 2 models.
         let mut f = CnfFormula::new(8);
         for i in 1..8 {
-            f.add_xor_clause(XorClause::from_dimacs([i, i + 1], false)).unwrap();
+            f.add_xor_clause(XorClause::from_dimacs([i, i + 1], false))
+                .unwrap();
         }
         assert_eq!(ExactCounter::new().count(&f).unwrap(), 2);
     }

@@ -1,5 +1,11 @@
 //! Model counters for the UniGen reproduction.
 //!
+//! **Paper map:** provides the `ApproxModelCounter(F, S, 0.8, 0.8)` call on
+//! line 9 of Algorithm 1 in *Balancing Scalability and Uniformity in SAT
+//! Witness Generator* (DAC 2014); the counter itself is the ApproxMC
+//! algorithm of Chakraborty, Meel and Vardi (CP 2013). The exact counter
+//! backs the ideal sampler US in the Figure 1 uniformity study.
+//!
 //! UniGen needs one counting primitive (line 9 of Algorithm 1): an
 //! **approximate model counter** with tolerance 0.8 and confidence 0.8, used
 //! once per formula to centre the narrow window `{q−3,…,q}` of candidate

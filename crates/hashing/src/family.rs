@@ -51,7 +51,11 @@ impl XorHashFamily {
         assert!(m > 0, "a hash function needs at least one output bit");
         let rows = (0..m)
             .map(|_| HashRow {
-                coefficients: self.sampling_set.iter().map(|_| rng.gen::<bool>()).collect(),
+                coefficients: self
+                    .sampling_set
+                    .iter()
+                    .map(|_| rng.gen::<bool>())
+                    .collect(),
                 constant: rng.gen::<bool>(),
                 target: rng.gen::<bool>(),
             })
@@ -141,11 +145,7 @@ impl XorHashFunction {
     ///
     /// Panics if `bits.len()` differs from the sampling-set size.
     pub fn hash_bits(&self, bits: &[bool]) -> Vec<bool> {
-        assert_eq!(
-            bits.len(),
-            self.sampling_set.len(),
-            "input width mismatch"
-        );
+        assert_eq!(bits.len(), self.sampling_set.len(), "input width mismatch");
         self.rows
             .iter()
             .map(|row| {

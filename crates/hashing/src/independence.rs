@@ -83,10 +83,7 @@ pub fn empirical_triple_collision_probability<R: Rng + ?Sized>(
     for _ in 0..draws {
         let hash = family.sample(m, rng);
         let target = hash.target();
-        if inputs
-            .iter()
-            .all(|input| hash.hash_bits(input) == target)
-        {
+        if inputs.iter().all(|input| hash.hash_bits(input) == target) {
             hits += 1;
         }
     }

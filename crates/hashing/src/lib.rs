@@ -1,5 +1,14 @@
 //! The 3-wise independent xor hash family `H_xor(n, m, 3)`.
 //!
+//! **Paper map:** implements the hash family defined in Section 2
+//! (notation and preliminaries) of *Balancing Scalability and Uniformity in
+//! SAT Witness Generator* (DAC 2014) — the same `H_xor` family introduced
+//! with the CAV 2013 predecessor *A Scalable and Nearly Uniform Generator of
+//! SAT Witnesses*. The observation that hashing only over the independent
+//! support `S` shortens the xor constraints (and is what lets UniGen scale,
+//! Section 3 of the DAC paper) is realised here by constructing the family
+//! over an explicit sampling set.
+//!
 //! UniGen, UniWit and ApproxMC all partition the witness space by drawing a
 //! random hash function `h : {0,1}^n → {0,1}^m` from the family
 //!

@@ -54,7 +54,10 @@ impl ClauseDb {
     ///
     /// The caller is responsible for handling empty and unit clauses.
     pub(crate) fn add_clause(&mut self, lits: Vec<Lit>, learned: bool, lbd: u32) -> ClauseRef {
-        debug_assert!(lits.len() >= 2, "watched clauses need at least two literals");
+        debug_assert!(
+            lits.len() >= 2,
+            "watched clauses need at least two literals"
+        );
         let cref = self.clauses.len() as ClauseRef;
         self.watches[lits[0].code()].push(cref);
         self.watches[lits[1].code()].push(cref);
@@ -138,9 +141,11 @@ impl ClauseDb {
         candidates.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_delete = candidates.len() / 2;
         let mut deleted = 0;

@@ -119,8 +119,7 @@ impl Vsids {
     fn sift_up(&mut self, mut pos: usize) {
         while pos > 0 {
             let parent = (pos - 1) / 2;
-            if self.activity[self.heap[pos] as usize] <= self.activity[self.heap[parent] as usize]
-            {
+            if self.activity[self.heap[pos] as usize] <= self.activity[self.heap[parent] as usize] {
                 break;
             }
             self.swap(pos, parent);

@@ -186,7 +186,8 @@ mod tests {
     fn enumerates_exactly_all_models() {
         // x1 ∨ x2 ∨ x3 has 7 models.
         let f = dimacs::parse("p cnf 3 1\n1 2 3 0\n").unwrap();
-        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
+        let outcome =
+            bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
         assert_eq!(outcome.len(), 7);
         assert!(outcome.is_exhaustive());
         for w in &outcome.witnesses {
@@ -208,10 +209,10 @@ mod tests {
         // x3 is forced equal to x1 ⊕ x2; sampling set {x1, x2} yields 4
         // distinct projected witnesses even though x3 varies with them.
         let mut f = CnfFormula::new(3);
-        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false)).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false))
+            .unwrap();
         let sampling = vec![Var::from_dimacs(1), Var::from_dimacs(2)];
-        let outcome =
-            bounded_solutions(Solver::from_formula(&f), &sampling, 100, &Budget::new());
+        let outcome = bounded_solutions(Solver::from_formula(&f), &sampling, 100, &Budget::new());
         assert_eq!(outcome.len(), 4);
         let projections: HashSet<_> = outcome
             .witnesses
@@ -253,9 +254,12 @@ mod tests {
     fn enumeration_with_xor_constraints() {
         // Exactly the style of query UniGen issues: CNF plus hash xors.
         let mut f = CnfFormula::new(4);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-        f.add_xor_clause(XorClause::from_dimacs([1, 3], true)).unwrap();
-        f.add_xor_clause(XorClause::from_dimacs([2, 4], false)).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 3], true))
+            .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([2, 4], false))
+            .unwrap();
         let brute = f.enumerate_models_brute_force();
         let outcome =
             bounded_solutions(Solver::from_formula(&f), &all_vars(4), 100, &Budget::new());

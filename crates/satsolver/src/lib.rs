@@ -1,6 +1,13 @@
 //! A CDCL SAT solver with native xor-constraint support and bounded witness
 //! enumeration, standing in for CryptoMiniSAT in the UniGen reproduction.
 //!
+//! **Paper map:** implements the `BSAT(F ∧ (h(y) = α), hiThresh, S)`
+//! primitive that Algorithm 1 of *Balancing Scalability and Uniformity in
+//! SAT Witness Generator* (DAC 2014) invokes on lines 10 and 17, including
+//! the sampling-set-projected blocking clauses that make enumerated
+//! witnesses distinct on `S` (Section 2), and the per-invocation budgets the
+//! paper's experiments impose (Section 4).
+//!
 //! The paper's algorithm needs exactly two services from its SAT back end:
 //!
 //! 1. solving CNF formulas conjoined with random **xor constraints** drawn

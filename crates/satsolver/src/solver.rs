@@ -273,15 +273,13 @@ impl Solver {
                 }
                 for result in results {
                     match result {
-                        XorPropagation::Implied { lit, xref } => {
-                            match self.lit_value(lit) {
-                                Some(true) => {}
-                                Some(false) => self.ok = false,
-                                None => {
-                                    self.enqueue(lit, Reason::Xor(xref));
-                                }
+                        XorPropagation::Implied { lit, xref } => match self.lit_value(lit) {
+                            Some(true) => {}
+                            Some(false) => self.ok = false,
+                            None => {
+                                self.enqueue(lit, Reason::Xor(xref));
                             }
-                        }
+                        },
                         XorPropagation::Conflict { .. } => self.ok = false,
                     }
                 }
@@ -394,7 +392,10 @@ impl Solver {
     }
 
     fn enqueue(&mut self, lit: Lit, reason: Reason) {
-        debug_assert!(self.lit_value(lit).is_none(), "enqueueing an assigned literal");
+        debug_assert!(
+            self.lit_value(lit).is_none(),
+            "enqueueing an assigned literal"
+        );
         let var = lit.var();
         self.assign[var.index()] = Some(lit.is_positive());
         self.level[var.index()] = self.decision_level();
@@ -508,7 +509,8 @@ impl Solver {
         let mut results = Vec::new();
         {
             let assign = &self.assign;
-            self.xors.on_assign(var, |v| assign[v.index()], &mut results);
+            self.xors
+                .on_assign(var, |v| assign[v.index()], &mut results);
         }
         for result in results {
             match result {
@@ -626,17 +628,13 @@ impl Solver {
         } else {
             let mut max_pos = 1;
             for i in 2..clause.len() {
-                if self.level[clause[i].var().index()] > self.level[clause[max_pos].var().index()]
-                {
+                if self.level[clause[i].var().index()] > self.level[clause[max_pos].var().index()] {
                     max_pos = i;
                 }
             }
             clause.swap(1, max_pos);
             let bt = self.level[clause[1].var().index()];
-            let mut levels: Vec<u32> = clause
-                .iter()
-                .map(|l| self.level[l.var().index()])
-                .collect();
+            let mut levels: Vec<u32> = clause.iter().map(|l| self.level[l.var().index()]).collect();
             levels.sort_unstable();
             levels.dedup();
             (bt, levels.len() as u32)
@@ -667,9 +665,9 @@ impl Solver {
                 _ => {
                     let antecedents = self.reason_lits(!lit);
                     !antecedents.is_empty()
-                        && antecedents.iter().all(|a| {
-                            self.level[a.var().index()] == 0 || marked[a.var().index()]
-                        })
+                        && antecedents
+                            .iter()
+                            .all(|a| self.level[a.var().index()] == 0 || marked[a.var().index()])
                 }
             };
             if !redundant {
@@ -818,11 +816,7 @@ mod tests {
             match solver.solve() {
                 SolveResult::Sat(model) => {
                     found.push(model.clone());
-                    let blocking: Vec<Lit> = model
-                        .to_lits()
-                        .iter()
-                        .map(|&l| !l)
-                        .collect();
+                    let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
                     solver.add_clause(Clause::new(blocking));
                 }
                 SolveResult::Unsat => break,
@@ -842,8 +836,11 @@ mod tests {
                 .unwrap();
         }
         for i in 1..=18 {
-            f.add_clause([Lit::from_dimacs(i as i64), Lit::from_dimacs(-(i as i64 + 1))])
-                .unwrap();
+            f.add_clause([
+                Lit::from_dimacs(i as i64),
+                Lit::from_dimacs(-(i as i64 + 1)),
+            ])
+            .unwrap();
         }
         let mut solver = Solver::from_formula(&f);
         let budget = Budget::new().with_conflict_limit(0);
@@ -852,7 +849,10 @@ mod tests {
         // propagation or give up; both are acceptable, but it must not panic
         // and must stay reusable.
         let follow_up = solver.solve();
-        assert!(matches!(follow_up, SolveResult::Sat(_) | SolveResult::Unsat));
+        assert!(matches!(
+            follow_up,
+            SolveResult::Sat(_) | SolveResult::Unsat
+        ));
         let _ = result;
     }
 
@@ -883,8 +883,11 @@ mod tests {
         let mut f = CnfFormula::new(30);
         f.add_clause([Lit::from_dimacs(1)]).unwrap();
         for i in 1..30 {
-            f.add_clause([Lit::from_dimacs(-(i as i64)), Lit::from_dimacs(i as i64 + 1)])
-                .unwrap();
+            f.add_clause([
+                Lit::from_dimacs(-(i as i64)),
+                Lit::from_dimacs(i as i64 + 1),
+            ])
+            .unwrap();
         }
         let mut solver = Solver::from_formula(&f);
         let model = solver.solve().model().cloned().expect("satisfiable");

@@ -90,9 +90,7 @@ pub fn verify_independent_support(
 
     // Build F(X) ∧ F(X') with X' = variables n..2n, plus selector variables
     // d_v (one per non-candidate variable v) meaning "v and v' differ".
-    let shift = |lit: Lit| -> Lit {
-        Lit::new(Var::new(lit.var().index() + n), lit.is_positive())
-    };
+    let shift = |lit: Lit| -> Lit { Lit::new(Var::new(lit.var().index() + n), lit.is_positive()) };
 
     let mut composed = CnfFormula::new(2 * n);
     for clause in formula.clauses() {
@@ -128,8 +126,8 @@ pub fn verify_independent_support(
     //   d_v → (v ⊕ v'), encoded as (¬d_v ∨ v ∨ v') ∧ (¬d_v ∨ ¬v ∨ ¬v').
     let mut selectors = Vec::new();
     let mut selector_vars: Vec<(Var, Var)> = Vec::new();
-    for i in 0..n {
-        if in_candidate[i] {
+    for (i, &is_candidate) in in_candidate.iter().enumerate() {
+        if is_candidate {
             continue;
         }
         let v = Var::new(i);
@@ -187,10 +185,16 @@ mod tests {
     fn tseitin_style_definition_gives_independent_support() {
         // x3 ↔ (x1 ∧ x2): {x1, x2} is independent.
         let mut f = CnfFormula::new(3);
-        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(1)]).unwrap();
-        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(3), Lit::from_dimacs(-1), Lit::from_dimacs(-2)])
+        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(1)])
             .unwrap();
+        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_clause([
+            Lit::from_dimacs(3),
+            Lit::from_dimacs(-1),
+            Lit::from_dimacs(-2),
+        ])
+        .unwrap();
         let s = [Var::from_dimacs(1), Var::from_dimacs(2)];
         assert_eq!(
             verify_independent_support(&f, &s, &Budget::new()),
@@ -203,7 +207,8 @@ mod tests {
         // x1 ∨ x2 with candidate {x1}: x2 is unconstrained, so two witnesses
         // can agree on x1 and differ on x2.
         let mut f = CnfFormula::new(2);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
         let s = [Var::from_dimacs(1)];
         match verify_independent_support(&f, &s, &Budget::new()) {
             SupportCheck::Dependent { witness_var } => {
@@ -216,7 +221,8 @@ mod tests {
     #[test]
     fn full_support_is_trivially_independent() {
         let mut f = CnfFormula::new(2);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
         let s = [Var::from_dimacs(1), Var::from_dimacs(2)];
         assert_eq!(
             verify_independent_support(&f, &s, &Budget::new()),
@@ -228,8 +234,10 @@ mod tests {
     fn paper_example_from_section_two() {
         // (a ∨ ¬b) ∧ (¬a ∨ b) has independent supports {a}, {b} and {a, b}.
         let mut f = CnfFormula::new(2);
-        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(-2)]).unwrap();
-        f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(2)]).unwrap();
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(-2)])
+            .unwrap();
+        f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(2)])
+            .unwrap();
         for s in [vec![Var::from_dimacs(1)], vec![Var::from_dimacs(2)]] {
             assert_eq!(
                 verify_independent_support(&f, &s, &Budget::new()),
@@ -242,8 +250,10 @@ mod tests {
     fn xor_definitions_are_recognised() {
         // x3 = x1 ⊕ x2 and x4 = x1 ⊕ x3: {x1, x2} determines everything.
         let mut f = CnfFormula::new(4);
-        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false)).unwrap();
-        f.add_xor_clause(XorClause::from_dimacs([1, 3, 4], false)).unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false))
+            .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([1, 3, 4], false))
+            .unwrap();
         let s = [Var::from_dimacs(1), Var::from_dimacs(2)];
         assert_eq!(
             verify_independent_support(&f, &s, &Budget::new()),

@@ -113,12 +113,8 @@ impl XorEngine {
     /// implication/conflict is returned per call per constraint; the caller
     /// enqueues implied literals and calls back in for subsequently assigned
     /// variables, exactly as with CNF watch lists.
-    pub(crate) fn on_assign<F>(
-        &mut self,
-        var: Var,
-        value_of: F,
-        results: &mut Vec<XorPropagation>,
-    ) where
+    pub(crate) fn on_assign<F>(&mut self, var: Var, value_of: F, results: &mut Vec<XorPropagation>)
+    where
         F: Fn(Var) -> Option<bool>,
     {
         let watching = std::mem::take(&mut self.watches[var.index()]);
@@ -144,9 +140,7 @@ impl XorEngine {
                 .iter()
                 .enumerate()
                 .find(|&(i, &v)| {
-                    i != xor.watch[other_slot]
-                        && i != xor.watch[slot]
-                        && value_of(v).is_none()
+                    i != xor.watch[other_slot] && i != xor.watch[slot] && value_of(v).is_none()
                 })
                 .map(|(i, _)| i);
 
@@ -260,7 +254,10 @@ mod tests {
         assigned.insert(Var::from_dimacs(1), true);
         let mut results = Vec::new();
         engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
-        assert!(results.is_empty(), "two unassigned vars remain, no implication");
+        assert!(
+            results.is_empty(),
+            "two unassigned vars remain, no implication"
+        );
     }
 
     #[test]

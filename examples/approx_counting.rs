@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p unigen --release --example approx_counting
+//! cargo run --release --example approx_counting
 //! ```
 //!
 //! UniGen leans on `ApproxMC(F, 0.8, 0.8)` (line 9 of Algorithm 1) to locate
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             estimate.estimate as f64 / exact as f64
         };
-        let within = ratio >= 1.0 / 1.8 && ratio <= 1.8;
+        let within = (1.0 / 1.8..=1.8).contains(&ratio);
         println!(
             "{:<16} {:>10} {:>12} {:>8.3} {:>14}",
             benchmark.name, exact, estimate.estimate, ratio, within

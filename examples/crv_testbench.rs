@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p unigen --release --example crv_testbench
+//! cargo run --release --example crv_testbench
 //! ```
 //!
 //! This is the workflow from the paper's introduction, end to end:

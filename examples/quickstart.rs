@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p unigen --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! The example builds a small constraint the way a constrained-random
@@ -45,10 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sampler = UniGen::new(&formula, UniGenConfig::default())?;
     match sampler.prepared_mode() {
         PreparedMode::Enumerated { witnesses } => {
-            println!("preparation: formula is small, {} witnesses enumerated", witnesses.len());
+            println!(
+                "preparation: formula is small, {} witnesses enumerated",
+                witnesses.len()
+            );
         }
         PreparedMode::Hashed { approx_count, q } => {
-            println!("preparation: ApproxMC estimate |R_F| ≈ {approx_count}, hash widths {{{}..{q}}}", q.saturating_sub(3));
+            println!(
+                "preparation: ApproxMC estimate |R_F| ≈ {approx_count}, hash widths {{{}..{q}}}",
+                q.saturating_sub(3)
+            );
         }
     }
 
@@ -60,8 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match outcome.witness {
             Some(witness) => {
                 let stimulus = witness.project(&sampling_set);
-                let a_value: u64 = (0..8).fold(0, |acc, bit| acc | (u64::from(stimulus.values()[bit]) << bit));
-                let b_value: u64 = (0..8).fold(0, |acc, bit| acc | (u64::from(stimulus.values()[8 + bit]) << bit));
+                let a_value: u64 = (0..8).fold(0, |acc, bit| {
+                    acc | (u64::from(stimulus.values()[bit]) << bit)
+                });
+                let b_value: u64 = (0..8).fold(0, |acc, bit| {
+                    acc | (u64::from(stimulus.values()[8 + bit]) << bit)
+                });
                 println!(
                     "witness {i}: a = {a_value:3}, b = {b_value:3}, (a+b) & 0xF = {:#06b}  [{} BSAT calls, avg xor length {:.1}]",
                     (a_value + b_value) & 0xF,

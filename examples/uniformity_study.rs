@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p unigen --release --example uniformity_study
+//! cargo run --release --example uniformity_study
 //! ```
 //!
 //! The example takes a formula small enough to count exactly, draws the same

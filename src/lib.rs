@@ -1,0 +1,29 @@
+//! Workspace facade for the UniGen reproduction (DAC 2014).
+//!
+//! This thin crate exists to host the workspace-level integration tests
+//! (`tests/*.rs`) and runnable examples (`examples/*.rs`); the actual
+//! implementation lives in the `crates/` members. For convenience it
+//! re-exports each member crate under a short alias, so exploratory code can
+//! depend on `unigen-repro` alone:
+//!
+//! | Alias | Crate | Role |
+//! |-------|-------|------|
+//! | [`cnf`] | `unigen-cnf` | formulas, literals, DIMACS |
+//! | [`hashing`] | `unigen-hashing` | the `H_xor(n, m, 3)` hash family |
+//! | [`satsolver`] | `unigen-satsolver` | CDCL + xor solver, `BSAT` |
+//! | [`counting`] | `unigen-counting` | exact and approximate counters |
+//! | [`circuit`] | `unigen-circuit` | circuit benchmarks, Tseitin encoding |
+//! | [`core`] | `unigen` | UniGen, UniWit, XorSample', US, stats |
+//!
+//! See the repository `README.md` for the paper-to-crate map and quick
+//! start.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use unigen as core;
+pub use unigen_circuit as circuit;
+pub use unigen_cnf as cnf;
+pub use unigen_counting as counting;
+pub use unigen_hashing as hashing;
+pub use unigen_satsolver as satsolver;

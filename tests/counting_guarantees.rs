@@ -16,10 +16,12 @@ fn random_formula() -> impl Strategy<Value = CnfFormula> {
         (Just(n), clauses, xors).prop_map(|(n, clauses, xors)| {
             let mut f = CnfFormula::new(n);
             for clause in clauses {
-                f.add_clause(clause.into_iter().map(|(v, s)| Var::new(v).lit(s))).unwrap();
+                f.add_clause(clause.into_iter().map(|(v, s)| Var::new(v).lit(s)))
+                    .unwrap();
             }
             for (vars, rhs) in xors {
-                f.add_xor_clause(XorClause::new(vars.into_iter().map(Var::new), rhs)).unwrap();
+                f.add_xor_clause(XorClause::new(vars.into_iter().map(Var::new), rhs))
+                    .unwrap();
             }
             f
         })
@@ -81,7 +83,11 @@ fn approxmc_estimate_lands_in_the_guarantee_band() {
     let mut f = CnfFormula::new(bits + extra);
     for i in 0..extra {
         f.add_xor_clause(XorClause::new(
-            [Var::new(i % bits), Var::new((i + 3) % bits), Var::new(bits + i)],
+            [
+                Var::new(i % bits),
+                Var::new((i + 3) % bits),
+                Var::new(bits + i),
+            ],
             false,
         ))
         .unwrap();
@@ -103,23 +109,31 @@ fn approxmc_estimate_lands_in_the_guarantee_band() {
     // The guarantee is per-run with confidence 0.8; across 5 runs, requiring
     // at least 3 in-band estimates keeps the test robust while still
     // detecting a broken counter.
-    assert!(hits >= 3, "only {hits}/{runs} estimates within the 1.8x band");
+    assert!(
+        hits >= 3,
+        "only {hits}/{runs} estimates within the 1.8x band"
+    );
 }
 
 #[test]
 fn approxmc_counts_small_formulas_exactly() {
     let mut f = CnfFormula::new(5);
-    f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
-    f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)]).unwrap();
+    f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+        .unwrap();
+    f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)])
+        .unwrap();
     let expected = f.enumerate_models_brute_force().len() as u128;
-    let result = ApproxMc::new(ApproxMcConfig::default()).count(&f, 1).unwrap();
+    let result = ApproxMc::new(ApproxMcConfig::default())
+        .count(&f, 1)
+        .unwrap();
     assert_eq!(result.estimate, expected);
 }
 
 #[test]
 fn exact_counter_rejects_unexpandable_xors() {
     let mut f = CnfFormula::new(30);
-    f.add_xor_clause(XorClause::new((0..30).map(Var::new), true)).unwrap();
+    f.add_xor_clause(XorClause::new((0..30).map(Var::new), true))
+        .unwrap();
     assert!(matches!(
         ExactCounter::new().count(&f),
         Err(CountingError::XorTooLong { len: 30 })

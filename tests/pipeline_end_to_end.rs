@@ -29,8 +29,7 @@ fn generated_benchmarks_have_independent_sampling_sets() {
     ];
     for benchmark in instances {
         let sampling = benchmark.formula.sampling_set().unwrap();
-        let verdict =
-            verify_independent_support(&benchmark.formula, sampling, &Budget::new());
+        let verdict = verify_independent_support(&benchmark.formula, sampling, &Budget::new());
         assert_eq!(
             verdict,
             SupportCheck::Independent,
@@ -108,7 +107,10 @@ fn sampling_set_projection_counts_match_exact_counts() {
             // If the instance turned out larger than hiThresh, at least check
             // the approximate count is in the right ballpark.
             let ratio = *approx_count as f64 / exact as f64;
-            assert!(ratio > 0.4 && ratio < 2.5, "approx {approx_count} vs exact {exact}");
+            assert!(
+                ratio > 0.4 && ratio < 2.5,
+                "approx {approx_count} vs exact {exact}"
+            );
         }
     }
 }

@@ -94,9 +94,11 @@ fn solver_handles_xor_heavy_formula() {
     // A dense xor system with a unique solution: x_i ⊕ x_{i+1} = 1 plus x_1 = 1.
     let n = 24;
     let mut f = CnfFormula::new(n);
-    f.add_xor_clause(XorClause::new([Var::new(0)], true)).unwrap();
+    f.add_xor_clause(XorClause::new([Var::new(0)], true))
+        .unwrap();
     for i in 0..n - 1 {
-        f.add_xor_clause(XorClause::new([Var::new(i), Var::new(i + 1)], true)).unwrap();
+        f.add_xor_clause(XorClause::new([Var::new(i), Var::new(i + 1)], true))
+            .unwrap();
     }
     let mut solver = Solver::from_formula(&f);
     let model = solver.solve().model().cloned().expect("satisfiable");
@@ -117,14 +119,17 @@ fn solver_agrees_with_itself_across_seeds() {
         ])
         .unwrap();
     }
-    f.add_xor_clause(XorClause::new((0..12).map(Var::new), true)).unwrap();
+    f.add_xor_clause(XorClause::new((0..12).map(Var::new), true))
+        .unwrap();
     let verdicts: Vec<bool> = (0..5)
         .map(|seed| {
             let config = SolverConfig {
                 seed,
                 ..SolverConfig::default()
             };
-            Solver::from_formula_with_config(&f, config).solve().is_sat()
+            Solver::from_formula_with_config(&f, config)
+                .solve()
+                .is_sat()
         })
         .collect();
     assert!(verdicts.windows(2).all(|w| w[0] == w[1]));

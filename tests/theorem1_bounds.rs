@@ -20,7 +20,11 @@ fn formula_with_count(bits: usize, extra: usize) -> CnfFormula {
     let mut f = CnfFormula::new(bits + extra);
     for i in 0..extra {
         f.add_xor_clause(XorClause::new(
-            [Var::new(i % bits), Var::new((i + 1) % bits), Var::new(bits + i)],
+            [
+                Var::new(i % bits),
+                Var::new((i + 1) % bits),
+                Var::new(bits + i),
+            ],
             false,
         ))
         .unwrap();
@@ -34,7 +38,10 @@ fn success_probability_exceeds_the_guarantee() {
     // 2^9 witnesses forces the hashed code path.
     let f = formula_with_count(9, 3);
     let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
-    assert!(matches!(sampler.prepared_mode(), PreparedMode::Hashed { .. }));
+    assert!(matches!(
+        sampler.prepared_mode(),
+        PreparedMode::Hashed { .. }
+    ));
     let mut rng = StdRng::seed_from_u64(100);
     let attempts = 60;
     let successes = (0..attempts)

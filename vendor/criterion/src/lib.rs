@@ -1,0 +1,305 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the `criterion 0.5` API that the workspace's benches use —
+//! [`Criterion`], [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `measurement_time` / `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock measurement
+//! loop instead of Criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up once, then timed over `sample_size` batches;
+//! the harness reports the minimum, mean and maximum per-iteration time in
+//! Criterion-flavoured output. Good enough for A/B comparisons on one
+//! machine; swap in the real crate for publication-grade statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimiser from deleting a
+/// computation whose result is otherwise unused.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark inside a group: a function name plus an optional
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id of the form `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// The timing loop handed to every benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Per-iteration timings collected by [`Bencher::iter`].
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per measured batch. Stops early
+    /// once the group's `measurement_time` budget is exhausted (at least one
+    /// sample is always recorded).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration (pays lazy-init and cache-fill costs).
+        black_box(routine());
+        self.samples.clear();
+        let budget_started = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the soft wall-clock budget for one benchmark; the measurement
+    /// loop stops early once the budget is exhausted.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        let budget = self.measurement_time;
+        self.criterion.run_one(&full, sample_size, budget, |b| f(b));
+        self
+    }
+
+    /// Registers and immediately runs a benchmark that borrows an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        let budget = self.measurement_time;
+        self.criterion
+            .run_one(&full, sample_size, budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (All benchmarks already ran eagerly; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, normally constructed by
+/// [`criterion_main!`].
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The stand-in accepts and ignores
+    /// all flags that `cargo bench` forwards (`--bench`, filters, …).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks with shared settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: Duration::from_secs(5),
+            criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.id, sample_size, Duration::from_secs(5), |b| f(b));
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, budget: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            measurement_time: budget,
+            samples: Vec::with_capacity(sample_size),
+        };
+        let started = Instant::now();
+        f(&mut bencher);
+        let total = started.elapsed();
+
+        if bencher.samples.is_empty() {
+            println!("{name:<60} (no measurement recorded)");
+            return;
+        }
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        let sum: Duration = bencher.samples.iter().sum();
+        let mean = sum / bencher.samples.len() as u32;
+        println!(
+            "{name:<60} time: [{} {} {}]  ({} samples, {} total)",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+            bencher.samples.len(),
+            format_duration(total),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                seen = d.len();
+                black_box(d.iter().sum::<u64>())
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+}

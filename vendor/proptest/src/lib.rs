@@ -1,0 +1,434 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the `proptest 1.x` API that the workspace's integration
+//! tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_flat_map`], implemented for integer ranges, tuples,
+//!   and [`Just`],
+//! * [`collection::vec`] and [`collection::hash_set`],
+//! * [`bool::ANY`] for uniformly random booleans,
+//! * the [`proptest!`] macro with `#![proptest_config(…)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! The one deliberate simplification: **no shrinking**. A failing case
+//! panics with the ordinary assertion message instead of a minimised
+//! counter-example. Cases are generated from a deterministic seed (override
+//! with the `PROPTEST_SEED` environment variable) so failures reproduce
+//! across runs. Like the real crate, a test fails when [`prop_assume!`]
+//! rejects so many cases that the configured case count cannot be reached
+//! within the attempt budget (16× the case count), so sparse strategies
+//! cannot silently weaken coverage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving test-case generation.
+pub type TestRng = StdRng;
+
+/// Builds the per-test RNG: seeded from `PROPTEST_SEED` when set, otherwise
+/// from a fixed default so runs are reproducible.
+pub fn test_rng() -> TestRng {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5eed_cafe_f00d_d1ce);
+    StdRng::seed_from_u64(seed)
+}
+
+/// Marker returned by [`prop_assume!`] when a generated case does not meet
+/// the test's preconditions; the runner discards the case and draws another.
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseReject;
+
+/// Per-test configuration, consumed by the [`proptest!`] macro.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` test cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy that post-processes every generated value.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Derives a strategy whose shape depends on a first random draw.
+    fn prop_flat_map<S, F>(self, flat_map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            inner: self,
+            flat_map,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    flat_map: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.flat_map)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+pub mod bool {
+    //! Strategies over `bool`, mirroring `proptest::bool`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The strategy generating `true` and `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections, mirroring `proptest::collection`.
+
+    use super::{HashSet, Range, Strategy, TestRng};
+    use std::hash::Hash;
+
+    use rand::Rng;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// A `HashSet` whose target size is drawn from `size` and whose elements
+    /// come from `element`. When the element domain is smaller than the
+    /// drawn size the set saturates at the domain size instead of looping
+    /// forever (matching real proptest's bounded retries).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = HashSet::with_capacity(target);
+            // Bounded retries: a small element domain may not contain
+            // `target` distinct values.
+            let mut attempts = 0usize;
+            let max_attempts = 32 * (target + 1);
+            while set.len() < target && attempts < max_attempts {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseReject,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// The stand-in panics immediately (no shrinking), so this is `assert!` with
+/// a proptest-compatible name and signature.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Discards the current case (drawing a fresh one) when a precondition on
+/// the generated values does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategies = ( $($strategy,)+ );
+                let mut rng = $crate::test_rng();
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).saturating_add(256);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let values = $crate::Strategy::generate(&strategies, &mut rng);
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseReject> {
+                        let ( $($arg,)+ ) = values;
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted >= config.cases,
+                    "proptest: too many cases rejected by prop_assume! \
+                     (accepted {} of {} within {} attempts); \
+                     tighten the strategy instead of relying on rejection",
+                    accepted,
+                    config.cases,
+                    max_attempts
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_collections_generate_in_bounds() {
+        let mut rng = crate::test_rng();
+        let strategy = (3usize..9).prop_flat_map(|n| {
+            let elements = crate::collection::vec((0..n, crate::bool::ANY), 1..4);
+            let sets = crate::collection::hash_set(0..n, 1..5);
+            (Just(n), elements, sets)
+        });
+        for _ in 0..200 {
+            let (n, elements, set) = strategy.generate(&mut rng);
+            assert!((3..9).contains(&n));
+            assert!((1..4).contains(&elements.len()));
+            assert!(elements.iter().all(|&(v, _)| v < n));
+            assert!(!set.is_empty() && set.len() < 5);
+            assert!(set.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_the_function() {
+        let mut rng = crate::test_rng();
+        let strategy = (1usize..5).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_runs_cases(x in 0usize..100, flip in crate::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            let set_bits = [flip, !flip].iter().filter(|&&b| b).count();
+            prop_assert_eq!(set_bits, 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_supports_default_config(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}
