@@ -1,0 +1,118 @@
+//! Incremental-vs-scratch `BSAT` benchmark: measures how much the persistent
+//! guard-scoped solver saves over rebuilding a solver per hash cell, and
+//! emits the machine-readable `BENCH_incremental.json` perf baseline.
+//!
+//! ```text
+//! bench_incremental [--smoke] [--out PATH]
+//!
+//!   --smoke     run one tiny instance and exit non-zero if the incremental
+//!               path is slower than scratch or the modes disagree (CI gate)
+//!   --out PATH  where to write the JSON report [default: BENCH_incremental.json]
+//! ```
+
+use std::process::ExitCode;
+
+use unigen_bench::harness::{
+    incremental_bench_suite, render_incremental_json, run_incremental_bench,
+    IncrementalBenchConfig, IncrementalReport,
+};
+use unigen_circuit::benchmarks;
+
+fn report_is_sound(report: &IncrementalReport) -> bool {
+    report.instances.iter().all(|i| i.witnesses_match())
+}
+
+fn print_summary(report: &IncrementalReport) {
+    eprintln!(
+        "{:<20} {:>6} {:>9} {:>12} {:>12} {:>8}",
+        "instance", "cells", "witnesses", "scratch(s)", "increm.(s)", "speedup"
+    );
+    for i in &report.instances {
+        eprintln!(
+            "{:<20} {:>6} {:>9} {:>12.3} {:>12.3} {:>7.2}x",
+            i.name,
+            i.cells,
+            i.incremental.witnesses,
+            i.scratch.seconds,
+            i.incremental.seconds,
+            i.speedup()
+        );
+    }
+    eprintln!(
+        "geometric-mean speedup: {:.2}x",
+        report.geometric_mean_speedup()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_incremental.json".to_string());
+
+    if smoke {
+        // A single small instance in the representative regime (constrained
+        // circuit, small cells relative to clause mass), where rebuilding a
+        // solver per cell visibly costs; the incremental path must win.
+        let suite = vec![benchmarks::iscas_like("smoke", 14, 180, 11, 0x0526)];
+        let config = IncrementalBenchConfig {
+            cells_per_width: 3,
+            width_window: 3,
+            bound: 32,
+            seed: 0xdac2014,
+        };
+        // Witness-set equality is deterministic and checked on every run;
+        // the wall-clock half of the gate takes the best of three runs so a
+        // scheduler stall on a shared CI runner cannot fail an unrelated
+        // change.
+        let mut best: Option<IncrementalReport> = None;
+        for _ in 0..3 {
+            let report = run_incremental_bench(&suite, &config);
+            if !report_is_sound(&report) {
+                print_summary(&report);
+                eprintln!("error: incremental and scratch enumerations disagree");
+                return ExitCode::FAILURE;
+            }
+            let better = best
+                .as_ref()
+                .map(|b| report.geometric_mean_speedup() > b.geometric_mean_speedup())
+                .unwrap_or(true);
+            if better {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("three runs happened");
+        print_summary(&report);
+        if report.geometric_mean_speedup() < 1.0 {
+            eprintln!("error: incremental path is slower than scratch on the smoke instance");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", render_incremental_json(&report));
+        return ExitCode::SUCCESS;
+    }
+
+    let report = run_incremental_bench(
+        &incremental_bench_suite(),
+        &IncrementalBenchConfig::default(),
+    );
+    print_summary(&report);
+    if !report_is_sound(&report) {
+        eprintln!("error: incremental and scratch enumerations disagree");
+        return ExitCode::FAILURE;
+    }
+    let json = render_incremental_json(&report);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,8 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unigen::{SampleStats, UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler};
-use unigen_circuit::benchmarks::Benchmark;
-use unigen_satsolver::Budget;
+use unigen_circuit::benchmarks::{self, Benchmark};
+use unigen_cnf::{Var, XorClause};
+use unigen_hashing::XorHashFamily;
+use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 /// Aggregate statistics for one sampler on one benchmark — one half of a
 /// table row.
@@ -285,6 +287,373 @@ pub fn render_csv(rows: &[TableRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-vs-scratch BSAT benchmark (`BENCH_incremental.json`)
+// ---------------------------------------------------------------------------
+
+/// Aggregate solver-work measurements of one enumeration mode over a fixed
+/// sequence of hash cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLoopMeasurement {
+    /// Total wall-clock time for the whole cell sequence.
+    pub seconds: f64,
+    /// Wall-clock time per cell (≈ per sample, since UniGen issues roughly
+    /// one accepted cell per sample).
+    pub seconds_per_cell: f64,
+    /// Unit propagations per `BSAT` call.
+    pub propagations_per_call: f64,
+    /// Conflicts per `BSAT` call.
+    pub conflicts_per_call: f64,
+    /// Total witnesses enumerated (sanity check across modes).
+    pub witnesses: usize,
+    /// Order-independent fingerprint of every (projected) witness of every
+    /// cell, so the modes are compared on the actual witness *sets*, not
+    /// just their sizes.
+    pub witness_fingerprint: u64,
+}
+
+/// One instance's incremental-vs-scratch comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalComparison {
+    /// Benchmark instance name.
+    pub name: String,
+    /// Number of CNF variables.
+    pub num_vars: usize,
+    /// Sampling-set size.
+    pub sampling_set_size: usize,
+    /// Number of hash cells enumerated (identical layers in both modes).
+    pub cells: usize,
+    /// Rebuilding a fresh solver per cell (the pre-incremental behaviour).
+    pub scratch: CellLoopMeasurement,
+    /// One persistent solver with guard-scoped cells.
+    pub incremental: CellLoopMeasurement,
+}
+
+impl IncrementalComparison {
+    /// Scratch time divided by incremental time (> 1 means the incremental
+    /// path is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental.seconds > 0.0 {
+            self.scratch.seconds / self.incremental.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `true` when both modes enumerated identical witness *sets* per cell
+    /// (they solve the same deterministic cell sequence, so anything else is
+    /// a solver bug).
+    pub fn witnesses_match(&self) -> bool {
+        self.scratch.witnesses == self.incremental.witnesses
+            && self.scratch.witness_fingerprint == self.incremental.witness_fingerprint
+    }
+}
+
+/// Parameters of an incremental-vs-scratch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalBenchConfig {
+    /// Hash layers drawn per width of the probed operating window.
+    pub cells_per_width: usize,
+    /// Number of widths in the operating window (UniGen works `{q−3…q}`,
+    /// i.e. a window of 4).
+    pub width_window: usize,
+    /// Enumeration bound per cell (the paper's `hiThresh`-style cap).
+    pub bound: usize,
+    /// Seed for the hash draws.
+    pub seed: u64,
+}
+
+impl Default for IncrementalBenchConfig {
+    fn default() -> Self {
+        IncrementalBenchConfig {
+            cells_per_width: 6,
+            width_window: 4,
+            bound: 47,
+            seed: 0xdac2014,
+        }
+    }
+}
+
+/// The full report emitted as `BENCH_incremental.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalReport {
+    /// The run parameters.
+    pub config: IncrementalBenchConfig,
+    /// Per-instance comparisons.
+    pub instances: Vec<IncrementalComparison>,
+}
+
+impl IncrementalReport {
+    /// Geometric mean of the per-instance speedups.
+    pub fn geometric_mean_speedup(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.instances.iter().map(|i| i.speedup().ln()).sum();
+        (log_sum / self.instances.len() as f64).exp()
+    }
+}
+
+/// The instances used for the committed perf baseline: one representative of
+/// each structurally distinct family, sized so the whole comparison runs in
+/// seconds.
+pub fn incremental_bench_suite() -> Vec<Benchmark> {
+    vec![
+        benchmarks::parity_chain("case121-like", 16, 4, 12, 0x0121),
+        benchmarks::iscas_like("s526-like", 14, 180, 11, 0x0526),
+        benchmarks::squaring("squaring8-like", 8, 6, 0x0808),
+        benchmarks::squaring("squaring10-like", 10, 8, 0x0a10),
+        benchmarks::long_chain("llreverse-like", 12, 60, 5, 0x11ef),
+        benchmarks::sorter("sort4x4-like", 4, 4, 6, 0x5047),
+        benchmarks::login_like("login3x6-like", 3, 6, 0x1061),
+    ]
+}
+
+/// Finds the instance's *operating width*: the smallest hash width whose
+/// random cell fits within the enumeration bound. UniGen's per-sample loop
+/// only ever works the window `{q−3…q}` around this width (Algorithm 1,
+/// lines 12–17), so the timed workload is drawn there — cells much wider or
+/// narrower never recur in a real sampling run.
+fn probe_operating_width(
+    benchmark: &Benchmark,
+    family: &XorHashFamily,
+    bound: usize,
+    rng: &mut StdRng,
+) -> usize {
+    let sampling = benchmark.formula.sampling_set_or_all();
+    let mut solver = Solver::from_formula(&benchmark.formula);
+    for width in 1..=sampling.len() {
+        let layer = family.sample(width, rng).to_xor_clauses();
+        let outcome = enumerate_cell(&mut solver, &sampling, &layer, bound + 1, &Budget::new());
+        if outcome.len() <= bound {
+            return width;
+        }
+    }
+    sampling.len()
+}
+
+/// Draws the deterministic hash-layer sequence both modes will enumerate:
+/// `cells_per_width` cells at each width of the 4-wide UniGen window ending
+/// at `max_width` (already clamped by the caller).
+fn draw_layers(
+    family: &XorHashFamily,
+    sampling_len: usize,
+    operating_width: usize,
+    config: &IncrementalBenchConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<XorClause>> {
+    let hi = operating_width.min(sampling_len).max(1) + 1;
+    let lo = hi.saturating_sub(config.width_window).max(1);
+    let mut layers = Vec::new();
+    for width in lo..=hi.min(sampling_len) {
+        for _ in 0..config.cells_per_width {
+            layers.push(family.sample(width, rng).to_xor_clauses());
+        }
+    }
+    layers
+}
+
+/// Folds one cell's outcome into an order-independent fingerprint: the cell
+/// index and witness count always contribute; the projected witnesses
+/// themselves contribute only when the cell was enumerated exhaustively —
+/// on a bound-capped cell the two modes legitimately pick different
+/// (equally valid) subsets, so only the count is comparable there.
+fn fold_cell(
+    acc: u64,
+    cell_index: usize,
+    witnesses: &[unigen_cnf::Model],
+    exhaustive: bool,
+    sampling: &[Var],
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut acc = acc;
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    (cell_index, witnesses.len(), exhaustive).hash(&mut hasher);
+    acc ^= hasher.finish();
+    if exhaustive {
+        for model in witnesses {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            cell_index.hash(&mut hasher);
+            for &v in sampling {
+                model.value(v).hash(&mut hasher);
+            }
+            acc ^= hasher.finish();
+        }
+    }
+    acc
+}
+
+/// Runs the incremental-vs-scratch comparison on one instance.
+pub fn measure_incremental_comparison(
+    benchmark: &Benchmark,
+    config: &IncrementalBenchConfig,
+) -> IncrementalComparison {
+    let formula = &benchmark.formula;
+    let sampling = formula.sampling_set_or_all();
+    let family = XorHashFamily::new(sampling.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let operating_width = probe_operating_width(benchmark, &family, config.bound, &mut rng);
+    let layers = draw_layers(&family, sampling.len(), operating_width, config, &mut rng);
+    let budget = Budget::new();
+    let calls = layers.len().max(1) as f64;
+
+    // Incremental: one solver, guard-scoped cells.
+    let started = Instant::now();
+    let mut solver = Solver::from_formula(formula);
+    let mut incremental_witnesses = 0usize;
+    let mut incremental_fingerprint = 0u64;
+    for (cell_index, layer) in layers.iter().enumerate() {
+        let outcome = enumerate_cell(&mut solver, &sampling, layer, config.bound, &budget);
+        incremental_witnesses += outcome.len();
+        incremental_fingerprint = fold_cell(
+            incremental_fingerprint,
+            cell_index,
+            &outcome.witnesses,
+            outcome.is_exhaustive(),
+            &sampling,
+        );
+    }
+    let incremental_seconds = started.elapsed().as_secs_f64();
+    let incremental = CellLoopMeasurement {
+        seconds: incremental_seconds,
+        seconds_per_cell: incremental_seconds / calls,
+        propagations_per_call: solver.stats().propagations as f64 / calls,
+        conflicts_per_call: solver.stats().conflicts as f64 / calls,
+        witnesses: incremental_witnesses,
+        witness_fingerprint: incremental_fingerprint,
+    };
+
+    // Scratch: the seed codebase's behaviour, reproduced exactly — clone the
+    // formula, rebuild a solver for every cell, and solve cold (from level
+    // zero) for every witness, blocking with a plain added clause.
+    let started = Instant::now();
+    let mut scratch_witnesses = 0usize;
+    let mut scratch_fingerprint = 0u64;
+    let mut scratch_propagations = 0u64;
+    let mut scratch_conflicts = 0u64;
+    for (cell_index, layer) in layers.iter().enumerate() {
+        let mut hashed = formula.clone();
+        for xor in layer {
+            hashed
+                .add_xor_clause(xor.clone())
+                .expect("hash clauses stay within the variable range");
+        }
+        let mut fresh = Solver::from_formula(&hashed);
+        let mut cell_witnesses: Vec<unigen_cnf::Model> = Vec::new();
+        let mut exhausted = false;
+        while cell_witnesses.len() < config.bound {
+            match fresh.solve_with_budget(&budget) {
+                unigen_satsolver::SolveResult::Sat(model) => {
+                    let blocking: Vec<unigen_cnf::Lit> = model
+                        .project(&sampling)
+                        .to_lits()
+                        .iter()
+                        .map(|&l| !l)
+                        .collect();
+                    fresh.add_clause(unigen_cnf::Clause::new(blocking));
+                    cell_witnesses.push(model);
+                }
+                unigen_satsolver::SolveResult::Unsat => {
+                    exhausted = true;
+                    break;
+                }
+                unigen_satsolver::SolveResult::Unknown => break,
+            }
+        }
+        scratch_witnesses += cell_witnesses.len();
+        scratch_fingerprint = fold_cell(
+            scratch_fingerprint,
+            cell_index,
+            &cell_witnesses,
+            exhausted,
+            &sampling,
+        );
+        scratch_propagations += fresh.stats().propagations;
+        scratch_conflicts += fresh.stats().conflicts;
+    }
+    let scratch_seconds = started.elapsed().as_secs_f64();
+    let scratch = CellLoopMeasurement {
+        seconds: scratch_seconds,
+        seconds_per_cell: scratch_seconds / calls,
+        propagations_per_call: scratch_propagations as f64 / calls,
+        conflicts_per_call: scratch_conflicts as f64 / calls,
+        witnesses: scratch_witnesses,
+        witness_fingerprint: scratch_fingerprint,
+    };
+
+    IncrementalComparison {
+        name: benchmark.name.clone(),
+        num_vars: benchmark.num_vars(),
+        sampling_set_size: benchmark.sampling_set_size(),
+        cells: layers.len(),
+        scratch,
+        incremental,
+    }
+}
+
+/// Runs the comparison over a suite.
+pub fn run_incremental_bench(
+    suite: &[Benchmark],
+    config: &IncrementalBenchConfig,
+) -> IncrementalReport {
+    IncrementalReport {
+        config: *config,
+        instances: suite
+            .iter()
+            .map(|b| measure_incremental_comparison(b, config))
+            .collect(),
+    }
+}
+
+fn json_measurement(m: &CellLoopMeasurement) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"seconds_per_cell\": {:.6}, \"propagations_per_call\": {:.1}, \"conflicts_per_call\": {:.1}, \"witnesses\": {}}}",
+        m.seconds, m.seconds_per_cell, m.propagations_per_call, m.conflicts_per_call, m.witnesses
+    )
+}
+
+/// Renders the report as the machine-readable `BENCH_incremental.json`
+/// document (hand-rolled JSON; instance names are plain ASCII).
+pub fn render_incremental_json(report: &IncrementalReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"incremental_vs_scratch_bsat\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"cells_per_width\": {}, \"width_window\": {}, \"bound\": {}, \"seed\": {}}},\n",
+        report.config.cells_per_width,
+        report.config.width_window,
+        report.config.bound,
+        report.config.seed
+    ));
+    out.push_str(&format!(
+        "  \"geometric_mean_speedup\": {:.3},\n",
+        report.geometric_mean_speedup()
+    ));
+    out.push_str("  \"instances\": [\n");
+    for (i, instance) in report.instances.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"num_vars\": {}, \"sampling_set\": {}, \"cells\": {}, \"speedup\": {:.3}, \"witnesses_match\": {},\n",
+            instance.name,
+            instance.num_vars,
+            instance.sampling_set_size,
+            instance.cells,
+            instance.speedup(),
+            instance.witnesses_match()
+        ));
+        out.push_str(&format!(
+            "     \"scratch\": {}, \"incremental\": {}}}{}\n",
+            json_measurement(&instance.scratch),
+            json_measurement(&instance.incremental),
+            if i + 1 < report.instances.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +709,41 @@ mod tests {
     fn env_overrides_are_optional() {
         let config = TableRunConfig::from_env();
         assert!(config.unigen_samples > 0);
+    }
+
+    #[test]
+    fn incremental_comparison_modes_agree_on_witness_counts() {
+        let benchmark = benchmarks::parity_chain("inc-smoke", 8, 2, 2, 3);
+        let config = IncrementalBenchConfig {
+            cells_per_width: 1,
+            width_window: 3,
+            bound: 16,
+            seed: 9,
+        };
+        let comparison = measure_incremental_comparison(&benchmark, &config);
+        assert!(comparison.witnesses_match(), "{comparison:?}");
+        assert!(comparison.cells >= 1 && comparison.cells <= 3);
+        assert!(comparison.incremental.seconds >= 0.0);
+    }
+
+    #[test]
+    fn incremental_json_is_well_formed_enough() {
+        let benchmark = benchmarks::parity_chain("inc-json", 8, 2, 2, 4);
+        let config = IncrementalBenchConfig {
+            cells_per_width: 1,
+            width_window: 2,
+            bound: 8,
+            seed: 5,
+        };
+        let report = run_incremental_bench(std::slice::from_ref(&benchmark), &config);
+        let json = render_incremental_json(&report);
+        assert!(json.contains("\"incremental_vs_scratch_bsat\""));
+        assert!(json.contains("\"inc-json\""));
+        assert!(json.contains("geometric_mean_speedup"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
     }
 }

@@ -168,6 +168,20 @@ fn run(options: &CliOptions) -> Result<(), String> {
         options.samples,
         produced as f64 / options.samples.max(1) as f64
     );
+    if options.verbose {
+        // The persistent incremental solver's lifetime counters: how many
+        // per-cell guards were cycled and how much learned knowledge was
+        // scoped to cells (retired) versus kept across them (retained).
+        let stats = sampler.solver_stats();
+        eprintln!("c solver: {stats}");
+        eprintln!(
+            "c incremental: guards created={} retired={} guarded learned clauses retired={} learned clauses retained={}",
+            stats.guards_created,
+            stats.guards_retired,
+            stats.guarded_learned_retired,
+            stats.learned_retained
+        );
+    }
     Ok(())
 }
 

@@ -21,6 +21,10 @@ pub struct SampleStats {
     pub xor_vars_total: usize,
     /// Wall-clock time spent producing this sample.
     pub wall_time: Duration,
+    /// Unit propagations the solver performed for this sample (CNF + xor).
+    pub solver_propagations: u64,
+    /// Conflicts the solver hit for this sample.
+    pub solver_conflicts: u64,
 }
 
 impl SampleStats {
@@ -41,6 +45,8 @@ impl SampleStats {
         self.xor_clauses_added += other.xor_clauses_added;
         self.xor_vars_total += other.xor_vars_total;
         self.wall_time += other.wall_time;
+        self.solver_propagations += other.solver_propagations;
+        self.solver_conflicts += other.solver_conflicts;
     }
 }
 
@@ -105,18 +111,24 @@ mod tests {
             xor_clauses_added: 2,
             xor_vars_total: 10,
             wall_time: Duration::from_millis(5),
+            solver_propagations: 100,
+            solver_conflicts: 1,
         };
         let b = SampleStats {
             bsat_calls: 3,
             xor_clauses_added: 4,
             xor_vars_total: 6,
             wall_time: Duration::from_millis(7),
+            solver_propagations: 11,
+            solver_conflicts: 2,
         };
         a.accumulate(&b);
         assert_eq!(a.bsat_calls, 4);
         assert_eq!(a.xor_clauses_added, 6);
         assert_eq!(a.xor_vars_total, 16);
         assert_eq!(a.wall_time, Duration::from_millis(12));
+        assert_eq!(a.solver_propagations, 111);
+        assert_eq!(a.solver_conflicts, 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, RngCore};
 use unigen_cnf::{CnfFormula, Model, Var};
 use unigen_counting::ApproxMc;
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{Enumerator, Solver};
+use unigen_satsolver::{enumerate_cell, Solver, SolverStats};
 
 use crate::config::UniGenConfig;
 use crate::error::SamplerError;
@@ -48,12 +48,15 @@ pub enum PreparedMode {
 /// See the crate-level documentation for a complete example.
 #[derive(Debug, Clone)]
 pub struct UniGen {
-    formula: CnfFormula,
     sampling_set: Vec<Var>,
     config: UniGenConfig,
     kappa_pivot: KappaPivot,
     family: XorHashFamily,
     mode: PreparedMode,
+    /// The one incremental solver reused for every `BSAT` call this sampler
+    /// ever issues: hash layers and blocking clauses are guard-scoped per
+    /// cell, while base-formula learned clauses and activities persist.
+    solver: Solver,
 }
 
 impl UniGen {
@@ -94,11 +97,20 @@ impl UniGen {
         let kappa_pivot = compute_kappa_pivot(config.epsilon)?;
         let hi_count = kappa_pivot.hi_thresh_count();
 
+        // The single solver instance for this sampler's lifetime.
+        let mut solver = Solver::from_formula(formula);
+
         // Line 4: Y ← BSAT(F, hiThresh). (The bound is hiThresh + 1 so that a
         // result of exactly hiThresh witnesses can be told apart from "more
-        // than hiThresh".)
-        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
-        let outcome = enumerator.run(hi_count + 1, &config.bsat_budget);
+        // than hiThresh".) Run under a guard so the blocking clauses vanish
+        // and the solver enters the sampling phase pristine.
+        let outcome = enumerate_cell(
+            &mut solver,
+            sampling_set,
+            &[],
+            hi_count + 1,
+            &config.bsat_budget,
+        );
         if outcome.budget_exhausted {
             return Err(SamplerError::PreparationBudgetExhausted);
         }
@@ -130,12 +142,12 @@ impl UniGen {
         };
 
         Ok(UniGen {
-            formula: formula.clone(),
             sampling_set: sampling_set.to_vec(),
             config,
             kappa_pivot,
             family,
             mode,
+            solver,
         })
     }
 
@@ -157,6 +169,13 @@ impl UniGen {
     /// Returns the configuration.
     pub fn config(&self) -> &UniGenConfig {
         &self.config
+    }
+
+    /// Returns the statistics of the persistent incremental solver, including
+    /// the guard lifecycle counters (guarded learned clauses retired at the
+    /// end of each cell versus base-formula learned clauses retained).
+    pub fn solver_stats(&self) -> &SolverStats {
+        self.solver.stats()
     }
 
     /// Draws up to `count` witnesses from a **single** accepted cell — the
@@ -212,7 +231,7 @@ impl UniGen {
 
     /// The per-sample part of Algorithm 1 in the general (hashed) case:
     /// lines 12–22.
-    fn sample_hashed(&self, q: usize, rng: &mut dyn RngCore) -> SampleOutcome {
+    fn sample_hashed(&mut self, q: usize, rng: &mut dyn RngCore) -> SampleOutcome {
         let (witnesses, stats) = self.collect_cell(q, rng);
         match witnesses {
             Some(cell) if !cell.is_empty() => {
@@ -232,7 +251,11 @@ impl UniGen {
     /// Runs lines 12–17 of Algorithm 1: searches the candidate hash widths
     /// for a cell whose size lies in `[loThresh, hiThresh]` and returns its
     /// witnesses (or `None` on failure), together with the work statistics.
-    fn collect_cell(&self, q: usize, rng: &mut dyn RngCore) -> (Option<Vec<Model>>, SampleStats) {
+    fn collect_cell(
+        &mut self,
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> (Option<Vec<Model>>, SampleStats) {
         let started = Instant::now();
         let mut stats = SampleStats::default();
         let lo = self.kappa_pivot.lo_thresh();
@@ -250,15 +273,20 @@ impl UniGen {
                 stats.xor_clauses_added += clauses.len();
                 stats.xor_vars_total += clauses.iter().map(|c| c.len()).sum::<usize>();
 
-                let mut hashed = self.formula.clone();
-                for xor in clauses {
-                    hashed
-                        .add_xor_clause(xor)
-                        .expect("hash clauses stay within the variable range");
-                }
-                let mut enumerator =
-                    Enumerator::new(Solver::from_formula(&hashed), self.sampling_set.clone());
-                let outcome = enumerator.run(hi_count + 1, &self.config.bsat_budget);
+                // One guarded cell on the persistent solver: the hash layer
+                // and the enumeration's blocking clauses are retired when
+                // the call returns, so no fresh solver is ever built here.
+                let before = *self.solver.stats();
+                let outcome = enumerate_cell(
+                    &mut self.solver,
+                    &self.sampling_set,
+                    &clauses,
+                    hi_count + 1,
+                    &self.config.bsat_budget,
+                );
+                let after = self.solver.stats();
+                stats.solver_propagations += after.propagations - before.propagations;
+                stats.solver_conflicts += after.conflicts - before.conflicts;
                 stats.bsat_calls += 1;
 
                 if outcome.budget_exhausted {
@@ -482,6 +510,37 @@ mod tests {
         let batch = sampler.sample_batch(20, &mut rng);
         assert_eq!(batch.len(), 20);
         assert!(batch.iter().all(|o| o.is_success()));
+    }
+
+    #[test]
+    fn sampling_constructs_no_additional_solvers() {
+        let f = formula_with_count(12, 4);
+        let before = Solver::constructions_on_thread();
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let during_prep = Solver::constructions_on_thread() - before;
+        // One persistent solver for UniGen itself plus one inside the single
+        // ApproxMC preparation call.
+        assert!(
+            during_prep <= 2,
+            "preparation built {during_prep} solvers, expected at most 2"
+        );
+        assert!(matches!(
+            sampler.prepared_mode(),
+            PreparedMode::Hashed { .. }
+        ));
+        let mut rng = seeded_rng(13);
+        for _ in 0..5 {
+            let _ = sampler.sample(&mut rng);
+        }
+        assert_eq!(
+            Solver::constructions_on_thread() - before,
+            during_prep,
+            "the per-cell loop must reuse the persistent solver"
+        );
+        // The guard lifecycle ran: one guard per attempted cell, all retired.
+        let stats = sampler.solver_stats();
+        assert!(stats.guards_created >= 5);
+        assert_eq!(stats.guards_created, stats.guards_retired);
     }
 
     #[test]

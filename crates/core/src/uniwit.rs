@@ -26,7 +26,7 @@ use rand::{Rng, RngCore};
 
 use unigen_cnf::{CnfFormula, Var};
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{Budget, Enumerator, Solver};
+use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 use crate::error::SamplerError;
 use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
@@ -75,10 +75,12 @@ impl Default for UniWitConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UniWit {
-    formula: CnfFormula,
     support: Vec<Var>,
     family: XorHashFamily,
     config: UniWitConfig,
+    /// The one incremental solver reused across samples; each hash layer and
+    /// each `BSAT`'s blocking clauses live under a per-cell guard.
+    solver: Solver,
 }
 
 impl UniWit {
@@ -96,10 +98,10 @@ impl UniWit {
         // this is precisely the difference the paper's comparison isolates.
         let support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
         Ok(UniWit {
-            formula: formula.clone(),
             family: XorHashFamily::new(support.clone()),
             support,
             config,
+            solver: Solver::from_formula(formula),
         })
     }
 
@@ -123,10 +125,17 @@ impl WitnessSampler for UniWit {
 
         // First check whether the formula itself already has few enough
         // witnesses (the degenerate case every hashing sampler handles
-        // first).
-        let mut enumerator =
-            Enumerator::new(Solver::from_formula(&self.formula), self.support.clone());
-        let base = enumerator.run(pivot + 1, &self.config.bsat_budget);
+        // first). Guard-scoped, so the blocking clauses vanish afterwards.
+        let before = *self.solver.stats();
+        let base = enumerate_cell(
+            &mut self.solver,
+            &self.support,
+            &[],
+            pivot + 1,
+            &self.config.bsat_budget,
+        );
+        stats.solver_propagations += self.solver.stats().propagations - before.propagations;
+        stats.solver_conflicts += self.solver.stats().conflicts - before.conflicts;
         stats.bsat_calls += 1;
         if !base.budget_exhausted && base.len() <= pivot {
             stats.wall_time = started.elapsed();
@@ -145,15 +154,16 @@ impl WitnessSampler for UniWit {
             stats.xor_clauses_added += clauses.len();
             stats.xor_vars_total += clauses.iter().map(|c| c.len()).sum::<usize>();
 
-            let mut hashed = self.formula.clone();
-            for xor in clauses {
-                hashed
-                    .add_xor_clause(xor)
-                    .expect("hash clauses stay within the variable range");
-            }
-            let mut enumerator =
-                Enumerator::new(Solver::from_formula(&hashed), self.support.clone());
-            let outcome = enumerator.run(pivot + 1, &self.config.bsat_budget);
+            let before = *self.solver.stats();
+            let outcome = enumerate_cell(
+                &mut self.solver,
+                &self.support,
+                &clauses,
+                pivot + 1,
+                &self.config.bsat_budget,
+            );
+            stats.solver_propagations += self.solver.stats().propagations - before.propagations;
+            stats.solver_conflicts += self.solver.stats().conflicts - before.conflicts;
             stats.bsat_calls += 1;
             if outcome.budget_exhausted {
                 // A timed-out BSAT call fails this sample, as in the paper's

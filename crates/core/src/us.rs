@@ -16,7 +16,7 @@ use rand::{Rng, RngCore};
 
 use unigen_cnf::{CnfFormula, Model, Var};
 use unigen_counting::ExactCounter;
-use unigen_satsolver::{Budget, Enumerator, Solver};
+use unigen_satsolver::{bounded_solutions, Budget, Solver};
 
 use crate::error::SamplerError;
 use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
@@ -82,10 +82,10 @@ impl UniformSampler {
         sampling_set: &[Var],
     ) -> Result<Self, SamplerError> {
         let mut sampler = UniformSampler::new(formula)?;
-        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
+        let mut solver = Solver::from_formula(formula);
         let count = sampler.count;
         let limit = usize::try_from(count).map_err(|_| SamplerError::PreparationBudgetExhausted)?;
-        let outcome = enumerator.run(limit + 1, &Budget::new());
+        let outcome = bounded_solutions(&mut solver, sampling_set, limit + 1, &Budget::new());
         if outcome.len() as u128 != count {
             // The exact counter counts total assignments; if the sampling set
             // is not an independent support the projected enumeration can

@@ -16,7 +16,7 @@ use rand::{Rng, RngCore};
 
 use unigen_cnf::{CnfFormula, Var};
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{Budget, Enumerator, Solver};
+use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 use crate::error::SamplerError;
 use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
@@ -70,10 +70,12 @@ impl Default for XorSamplePrimeConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct XorSamplePrime {
-    formula: CnfFormula,
     support: Vec<Var>,
     family: XorHashFamily,
     config: XorSamplePrimeConfig,
+    /// The one incremental solver reused across samples (hash layers and
+    /// blocking clauses are guard-scoped per sample).
+    solver: Solver,
 }
 
 impl XorSamplePrime {
@@ -89,10 +91,10 @@ impl XorSamplePrime {
         }
         let support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
         Ok(XorSamplePrime {
-            formula: formula.clone(),
             family: XorHashFamily::new(support.clone()),
             support,
             config,
+            solver: Solver::from_formula(formula),
         })
     }
 }
@@ -108,14 +110,16 @@ impl WitnessSampler for XorSamplePrime {
         stats.xor_clauses_added += clauses.len();
         stats.xor_vars_total += clauses.iter().map(|c| c.len()).sum::<usize>();
 
-        let mut hashed = self.formula.clone();
-        for xor in clauses {
-            hashed
-                .add_xor_clause(xor)
-                .expect("hash clauses stay within the variable range");
-        }
-        let mut enumerator = Enumerator::new(Solver::from_formula(&hashed), self.support.clone());
-        let outcome = enumerator.run(self.config.cell_cap + 1, &self.config.bsat_budget);
+        let before = *self.solver.stats();
+        let outcome = enumerate_cell(
+            &mut self.solver,
+            &self.support,
+            &clauses,
+            self.config.cell_cap + 1,
+            &self.config.bsat_budget,
+        );
+        stats.solver_propagations += self.solver.stats().propagations - before.propagations;
+        stats.solver_conflicts += self.solver.stats().conflicts - before.conflicts;
         stats.bsat_calls += 1;
         stats.wall_time = started.elapsed();
 

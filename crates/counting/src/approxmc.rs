@@ -21,7 +21,7 @@ use rand::Rng;
 
 use unigen_cnf::{CnfFormula, Var};
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{Budget, Enumerator, Solver};
+use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 use crate::error::CountingError;
 
@@ -161,11 +161,22 @@ impl ApproxMc {
         let pivot = self.config.pivot();
         let mut bsat_calls = 0usize;
 
+        // The one incremental solver for the whole count: every `BSAT` call
+        // below — the base case and all t × widths core cells — runs on it
+        // under a per-cell guard, so learned clauses about the formula keep
+        // paying off across iterations.
+        let mut solver = Solver::from_formula(formula);
+
         // Base case: if the formula has at most `pivot` witnesses, count them
         // exactly by enumeration (this is also what makes the estimate exact
         // for small formulas, a property the doc-test above relies on).
-        let mut enumerator = Enumerator::new(Solver::from_formula(formula), sampling_set.to_vec());
-        let outcome = enumerator.run(pivot as usize + 1, &self.config.budget);
+        let outcome = enumerate_cell(
+            &mut solver,
+            sampling_set,
+            &[],
+            pivot as usize + 1,
+            &self.config.budget,
+        );
         bsat_calls += 1;
         if outcome.budget_exhausted {
             return Err(CountingError::BudgetExhausted);
@@ -195,7 +206,7 @@ impl ApproxMc {
                 1
             };
             match self.core(
-                formula,
+                &mut solver,
                 sampling_set,
                 &family,
                 pivot,
@@ -231,7 +242,7 @@ impl ApproxMc {
     #[allow(clippy::too_many_arguments)]
     fn core<R: Rng + ?Sized>(
         &self,
-        formula: &CnfFormula,
+        solver: &mut Solver,
         sampling_set: &[Var],
         family: &XorHashFamily,
         pivot: u64,
@@ -242,15 +253,13 @@ impl ApproxMc {
     ) -> Option<(usize, usize)> {
         for width in start_width..=max_width {
             let hash = family.sample(width, rng);
-            let mut hashed = formula.clone();
-            for xor in hash.to_xor_clauses() {
-                hashed
-                    .add_xor_clause(xor)
-                    .expect("hash clauses stay within the formula's variable range");
-            }
-            let mut enumerator =
-                Enumerator::new(Solver::from_formula(&hashed), sampling_set.to_vec());
-            let outcome = enumerator.run(pivot as usize + 1, &self.config.budget);
+            let outcome = enumerate_cell(
+                solver,
+                sampling_set,
+                &hash.to_xor_clauses(),
+                pivot as usize + 1,
+                &self.config.budget,
+            );
             *bsat_calls += 1;
             if outcome.budget_exhausted {
                 // Treat a timed-out cell like a failed iteration, as the
@@ -379,6 +388,21 @@ mod tests {
             result.estimate <= 2048,
             "estimate {} far too large",
             result.estimate
+        );
+    }
+
+    #[test]
+    fn counting_constructs_exactly_one_solver() {
+        let f = formula_with_count(10, 6);
+        let before = Solver::constructions_on_thread();
+        let result = ApproxMc::new(ApproxMcConfig::default())
+            .count(&f, 7)
+            .unwrap();
+        assert!(result.bsat_calls > 1, "expected many BSAT calls");
+        assert_eq!(
+            Solver::constructions_on_thread() - before,
+            1,
+            "every BSAT cell must reuse the one incremental solver"
         );
     }
 

@@ -18,6 +18,8 @@ pub(crate) struct Vsids {
     decay: f64,
     /// Saved phase per variable (used for polarity selection).
     phase: Vec<bool>,
+    /// Phase given to variables added by [`Vsids::grow_to`].
+    default_phase: bool,
 }
 
 const ABSENT: usize = usize::MAX;
@@ -39,11 +41,33 @@ impl Vsids {
             increment: 1.0,
             decay,
             phase: vec![default_phase; num_vars],
+            default_phase,
         };
         for i in 0..num_vars {
             vsids.insert(Var::new(i));
         }
         vsids
+    }
+
+    /// Extends the heuristic to cover `num_vars` variables, keeping the
+    /// activities and saved phases of the existing ones (essential for
+    /// incremental solving, where guard variables are added between cells and
+    /// the accumulated activity profile must survive).
+    ///
+    /// `noise` perturbs the initial activities of the *new* variables
+    /// (indexed from 0 for the first added variable).
+    pub(crate) fn grow_to(&mut self, num_vars: usize, noise: &[f64]) {
+        let old = self.activity.len();
+        if num_vars <= old {
+            return;
+        }
+        for i in old..num_vars {
+            self.activity
+                .push(noise.get(i - old).copied().unwrap_or(0.0) * self.increment);
+            self.position.push(ABSENT);
+            self.phase.push(self.default_phase);
+            self.insert(Var::new(i));
+        }
     }
 
     /// Returns the saved phase of `var`.
@@ -237,6 +261,24 @@ mod tests {
         vsids.bump(Var::new(2));
         assert!(vsids.heap_invariant_holds());
         assert_eq!(vsids.pop_unassigned(|_| false).unwrap(), Var::new(2));
+    }
+
+    #[test]
+    fn grow_to_preserves_existing_activity() {
+        let mut vsids = Vsids::new(2, 0.95, false, &[]);
+        vsids.bump(Var::new(1));
+        vsids.grow_to(4, &[]);
+        assert!(vsids.heap_invariant_holds());
+        // The bumped old variable still wins over the fresh ones.
+        assert_eq!(vsids.pop_unassigned(|_| false).unwrap(), Var::new(1));
+        vsids.save_phase(Var::new(3), true);
+        assert!(vsids.saved_phase(Var::new(3)));
+        // All four variables are present exactly once.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = vsids.pop_unassigned(|_| false) {
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 3);
     }
 
     #[test]

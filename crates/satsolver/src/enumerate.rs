@@ -1,4 +1,5 @@
-//! Bounded witness enumeration — the paper's `BSAT(F, N)` primitive.
+//! Bounded witness enumeration — the paper's `BSAT(F, N)` primitive — on top
+//! of the incremental solver.
 //!
 //! `BSAT(F, N)` returns `min(|R_F|, N)` *distinct* witnesses of `F`. UniGen
 //! calls it on `F ∧ (h(x_1 … x_|S|) = α)` with `N = hiThresh`, and relies on
@@ -9,11 +10,20 @@
 //!
 //! Distinctness is therefore defined on the projection onto the sampling
 //! set: two witnesses that agree on `S` count as the same witness.
+//!
+//! The enumerator *borrows* its solver, so one solver instance can serve the
+//! whole sequence of `BSAT` calls a sampling run issues. When driven under a
+//! [`Guard`] (see [`Enumerator::under_guard`] and [`enumerate_cell`]), the
+//! per-cell state — hash xors, blocking clauses, and every learned clause
+//! derived from them — is removed when the guard is retired, while learned
+//! clauses about the base formula, variable activities, and saved phases all
+//! survive into the next cell. This amortisation across hash cells is where
+//! the incremental interface earns its keep.
 
-use unigen_cnf::{Clause, Model, Var};
+use unigen_cnf::{Model, Var, XorClause};
 
 use crate::budget::Budget;
-use crate::solver::{SolveResult, Solver};
+use crate::solver::{Guard, SolveResult, Solver};
 
 /// Outcome of a bounded enumeration call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,12 +58,17 @@ impl EnumerationOutcome {
     }
 }
 
-/// Incremental bounded enumerator over a [`Solver`].
+/// Incremental bounded enumerator borrowing a [`Solver`].
 ///
-/// The enumerator owns the solver and adds one blocking clause (restricted to
-/// the sampling set) per witness produced. It can be driven one witness at a
-/// time via [`Enumerator::next_witness`] or drained via
-/// [`Enumerator::run`].
+/// The enumerator adds one blocking clause (restricted to the sampling set)
+/// per witness produced. It can be driven one witness at a time via
+/// [`Enumerator::next_witness`] or drained via [`Enumerator::run`].
+///
+/// Created with [`Enumerator::new`], the blocking clauses are permanent;
+/// created with [`Enumerator::under_guard`], every solve call assumes the
+/// guard and the blocking clauses are attached to it, so they vanish when
+/// the caller retires the guard — the pattern used for hash-cell `BSAT`
+/// calls (see [`enumerate_cell`]).
 ///
 /// # Example
 ///
@@ -67,8 +82,8 @@ impl EnumerationOutcome {
 /// f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])?;
 /// let sampling: Vec<Var> = vec![Var::from_dimacs(1), Var::from_dimacs(2)];
 ///
-/// let solver = Solver::from_formula(&f);
-/// let mut enumerator = Enumerator::new(solver, sampling);
+/// let mut solver = Solver::from_formula(&f);
+/// let mut enumerator = Enumerator::new(&mut solver, sampling);
 /// let outcome = enumerator.run(10, &Default::default());
 /// assert_eq!(outcome.len(), 3);
 /// assert!(outcome.is_exhaustive());
@@ -76,20 +91,26 @@ impl EnumerationOutcome {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Enumerator {
-    solver: Solver,
+pub struct Enumerator<'s> {
+    solver: &'s mut Solver,
     sampling_set: Vec<Var>,
+    guard: Option<Guard>,
     exhausted: bool,
+    /// A satisfying trail from the previous witness is still in place, so
+    /// the next solve can continue from the blocking clause's backjump point
+    /// instead of re-descending from level zero.
+    warm: bool,
 }
 
-impl Enumerator {
+impl<'s> Enumerator<'s> {
     /// Creates an enumerator over `solver`, treating `sampling_set` as the
-    /// projection on which witnesses must be distinct.
+    /// projection on which witnesses must be distinct. Blocking clauses are
+    /// added permanently.
     ///
     /// # Panics
     ///
     /// Panics if the sampling set is empty.
-    pub fn new(solver: Solver, sampling_set: Vec<Var>) -> Self {
+    pub fn new(solver: &'s mut Solver, sampling_set: Vec<Var>) -> Self {
         assert!(
             !sampling_set.is_empty(),
             "enumeration requires a non-empty sampling set"
@@ -97,13 +118,28 @@ impl Enumerator {
         Enumerator {
             solver,
             sampling_set,
+            guard: None,
             exhausted: false,
+            warm: false,
         }
+    }
+
+    /// Creates an enumerator that solves under `guard`'s assumption and
+    /// scopes its blocking clauses to the guard, so the enumeration leaves no
+    /// trace once the guard is retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampling set is empty.
+    pub fn under_guard(solver: &'s mut Solver, sampling_set: Vec<Var>, guard: Guard) -> Self {
+        let mut enumerator = Enumerator::new(solver, sampling_set);
+        enumerator.guard = Some(guard);
+        enumerator
     }
 
     /// Returns a reference to the underlying solver (for statistics).
     pub fn solver(&self) -> &Solver {
-        &self.solver
+        self.solver
     }
 
     /// Produces the next witness (distinct on the sampling set from all
@@ -116,18 +152,33 @@ impl Enumerator {
         if self.exhausted {
             return (None, false);
         }
-        match self.solver.solve_with_budget(budget) {
+        let assumptions: Vec<_> = self.guard.iter().map(|g| g.assumption()).collect();
+        match self
+            .solver
+            .solve_for_enumeration(&assumptions, budget, self.warm, true)
+        {
             SolveResult::Sat(model) => {
                 let projection = model.project(&self.sampling_set);
-                let blocking: Vec<_> = projection.to_lits().iter().map(|&l| !l).collect();
-                self.solver.add_clause(Clause::new(blocking));
+                let mut blocking: Vec<_> = projection.to_lits().iter().map(|&l| !l).collect();
+                if let Some(guard) = self.guard {
+                    blocking.push(guard.disable_lit());
+                }
+                // The satisfying trail is still in place: install the
+                // blocking clause with a conflict-style backjump and keep
+                // the descent below it for the next witness.
+                self.solver.block_and_continue(blocking);
+                self.warm = true;
                 (Some(model), false)
             }
             SolveResult::Unsat => {
                 self.exhausted = true;
+                self.warm = false;
                 (None, false)
             }
-            SolveResult::Unknown => (None, true),
+            SolveResult::Unknown => {
+                self.warm = false;
+                (None, true)
+            }
         }
     }
 
@@ -155,21 +206,55 @@ impl Enumerator {
     }
 }
 
+impl Drop for Enumerator<'_> {
+    fn drop(&mut self) {
+        // A warm (mid-enumeration) trail must not leak into whatever the
+        // caller does with the solver next.
+        self.solver.end_enumeration();
+    }
+}
+
 /// The paper's `BSAT(F, N)`: returns up to `bound` witnesses of the formula
 /// loaded into `solver`, distinct on `sampling_set`, within `budget` per
 /// solver call.
 ///
-/// This is a convenience wrapper that consumes the solver; use
-/// [`Enumerator`] directly when the solver (or its statistics) must survive
-/// the call.
+/// The blocking clauses stay in the solver afterwards; use
+/// [`enumerate_cell`] when the enumeration must leave the solver unchanged.
 pub fn bounded_solutions(
-    solver: Solver,
+    solver: &mut Solver,
     sampling_set: &[Var],
     bound: usize,
     budget: &Budget,
 ) -> EnumerationOutcome {
     let mut enumerator = Enumerator::new(solver, sampling_set.to_vec());
     enumerator.run(bound, budget)
+}
+
+/// One complete hash-cell `BSAT` call against a persistent solver: installs
+/// `xors` under a fresh guard, enumerates up to `bound` witnesses distinct on
+/// `sampling_set`, then retires the guard so the solver is ready for the next
+/// cell with all its base-formula knowledge intact.
+///
+/// This is the primitive every sampler and counter loop in the workspace is
+/// built on; passing an empty `xors` slice gives a side-effect-free `BSAT`
+/// over the bare formula (used by preparation phases).
+pub fn enumerate_cell(
+    solver: &mut Solver,
+    sampling_set: &[Var],
+    xors: &[XorClause],
+    bound: usize,
+    budget: &Budget,
+) -> EnumerationOutcome {
+    let guard = solver.new_guard();
+    for xor in xors {
+        solver.add_xor_under(xor.clone(), guard);
+    }
+    let outcome = {
+        let mut enumerator = Enumerator::under_guard(solver, sampling_set.to_vec(), guard);
+        enumerator.run(bound, budget)
+    };
+    solver.retire_guard(guard);
+    outcome
 }
 
 #[cfg(test)]
@@ -186,8 +271,8 @@ mod tests {
     fn enumerates_exactly_all_models() {
         // x1 ∨ x2 ∨ x3 has 7 models.
         let f = dimacs::parse("p cnf 3 1\n1 2 3 0\n").unwrap();
-        let outcome =
-            bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
+        let mut solver = Solver::from_formula(&f);
+        let outcome = bounded_solutions(&mut solver, &all_vars(3), 100, &Budget::new());
         assert_eq!(outcome.len(), 7);
         assert!(outcome.is_exhaustive());
         for w in &outcome.witnesses {
@@ -198,7 +283,8 @@ mod tests {
     #[test]
     fn respects_the_bound() {
         let f = dimacs::parse("p cnf 4 0\n").unwrap();
-        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(4), 5, &Budget::new());
+        let mut solver = Solver::from_formula(&f);
+        let outcome = bounded_solutions(&mut solver, &all_vars(4), 5, &Budget::new());
         assert_eq!(outcome.len(), 5);
         assert!(outcome.bound_reached);
         assert!(!outcome.is_exhaustive());
@@ -212,7 +298,8 @@ mod tests {
         f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], false))
             .unwrap();
         let sampling = vec![Var::from_dimacs(1), Var::from_dimacs(2)];
-        let outcome = bounded_solutions(Solver::from_formula(&f), &sampling, 100, &Budget::new());
+        let mut solver = Solver::from_formula(&f);
+        let outcome = bounded_solutions(&mut solver, &sampling, 100, &Budget::new());
         assert_eq!(outcome.len(), 4);
         let projections: HashSet<_> = outcome
             .witnesses
@@ -225,7 +312,8 @@ mod tests {
     #[test]
     fn unsat_formula_yields_no_witnesses() {
         let f = dimacs::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
-        let outcome = bounded_solutions(Solver::from_formula(&f), &all_vars(1), 10, &Budget::new());
+        let mut solver = Solver::from_formula(&f);
+        let outcome = bounded_solutions(&mut solver, &all_vars(1), 10, &Budget::new());
         assert!(outcome.is_empty());
         assert!(outcome.is_exhaustive());
     }
@@ -233,9 +321,11 @@ mod tests {
     #[test]
     fn incremental_driving_matches_batch() {
         let f = dimacs::parse("p cnf 3 2\n1 2 0\n-1 3 0\n").unwrap();
-        let batch = bounded_solutions(Solver::from_formula(&f), &all_vars(3), 100, &Budget::new());
+        let mut batch_solver = Solver::from_formula(&f);
+        let batch = bounded_solutions(&mut batch_solver, &all_vars(3), 100, &Budget::new());
 
-        let mut enumerator = Enumerator::new(Solver::from_formula(&f), all_vars(3));
+        let mut solver = Solver::from_formula(&f);
+        let mut enumerator = Enumerator::new(&mut solver, all_vars(3));
         let mut count = 0;
         while let (Some(_), _) = enumerator.next_witness(&Budget::new()) {
             count += 1;
@@ -247,7 +337,8 @@ mod tests {
     #[should_panic]
     fn empty_sampling_set_panics() {
         let f = dimacs::parse("p cnf 1 0\n").unwrap();
-        let _ = Enumerator::new(Solver::from_formula(&f), Vec::new());
+        let mut solver = Solver::from_formula(&f);
+        let _ = Enumerator::new(&mut solver, Vec::new());
     }
 
     #[test]
@@ -261,8 +352,82 @@ mod tests {
         f.add_xor_clause(XorClause::from_dimacs([2, 4], false))
             .unwrap();
         let brute = f.enumerate_models_brute_force();
-        let outcome =
-            bounded_solutions(Solver::from_formula(&f), &all_vars(4), 100, &Budget::new());
+        let mut solver = Solver::from_formula(&f);
+        let outcome = bounded_solutions(&mut solver, &all_vars(4), 100, &Budget::new());
         assert_eq!(outcome.len(), brute.len());
+    }
+
+    #[test]
+    fn enumerate_cell_leaves_the_solver_reusable() {
+        // x1 ∨ x2 ∨ x3 has 7 models; each hash halves the space.
+        let f = dimacs::parse("p cnf 3 1\n1 2 3 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        let sampling = all_vars(3);
+
+        let base = enumerate_cell(&mut solver, &sampling, &[], 100, &Budget::new());
+        assert_eq!(base.len(), 7);
+
+        // A cell carved by a hash constraint…
+        let xors = vec![XorClause::from_dimacs([1, 2], true)];
+        let cell = enumerate_cell(&mut solver, &sampling, &xors, 100, &Budget::new());
+        assert!(cell.is_exhaustive());
+        for w in &cell.witnesses {
+            assert!(f.evaluate(w));
+            assert!(w.value(Var::from_dimacs(1)) ^ w.value(Var::from_dimacs(2)));
+        }
+
+        // …leaves no residue: the full model set is still reachable.
+        let again = enumerate_cell(&mut solver, &sampling, &[], 100, &Budget::new());
+        assert_eq!(again.len(), 7);
+        // And the opposite cell plus this cell partition the space.
+        let other = enumerate_cell(
+            &mut solver,
+            &sampling,
+            &[XorClause::from_dimacs([1, 2], false)],
+            100,
+            &Budget::new(),
+        );
+        assert_eq!(cell.len() + other.len(), 7);
+    }
+
+    #[test]
+    fn enumerate_cell_matches_scratch_enumeration() {
+        let mut f = CnfFormula::new(4);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)])
+            .unwrap();
+        let sampling = all_vars(4);
+        let layers = [
+            vec![XorClause::from_dimacs([1, 2, 3], true)],
+            vec![
+                XorClause::from_dimacs([1, 4], false),
+                XorClause::from_dimacs([2, 3], true),
+            ],
+            vec![XorClause::from_dimacs([3], true)],
+        ];
+        let mut incremental = Solver::from_formula(&f);
+        for layer in &layers {
+            let cell = enumerate_cell(&mut incremental, &sampling, layer, 100, &Budget::new());
+
+            let mut hashed = f.clone();
+            for xor in layer {
+                hashed.add_xor_clause(xor.clone()).unwrap();
+            }
+            let mut scratch = Solver::from_formula(&hashed);
+            let reference = bounded_solutions(&mut scratch, &sampling, 100, &Budget::new());
+
+            let got: HashSet<_> = cell
+                .witnesses
+                .iter()
+                .map(|w| w.project(&sampling))
+                .collect();
+            let want: HashSet<_> = reference
+                .witnesses
+                .iter()
+                .map(|w| w.project(&sampling))
+                .collect();
+            assert_eq!(got, want);
+        }
     }
 }

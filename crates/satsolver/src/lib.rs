@@ -1,5 +1,6 @@
-//! A CDCL SAT solver with native xor-constraint support and bounded witness
-//! enumeration, standing in for CryptoMiniSAT in the UniGen reproduction.
+//! An incremental CDCL SAT solver with native xor-constraint support and
+//! bounded witness enumeration, standing in for CryptoMiniSAT in the UniGen
+//! reproduction.
 //!
 //! **Paper map:** implements the `BSAT(F ∧ (h(y) = α), hiThresh, S)`
 //! primitive that Algorithm 1 of *Balancing Scalability and Uniformity in
@@ -15,17 +16,50 @@
 //! 2. `BSAT(F, N)` — enumerating up to `N` witnesses that are **distinct on
 //!    the sampling set** `S`, using blocking clauses restricted to `S`.
 //!
-//! This crate provides both:
+//! Both services are issued *many times against the same base formula*: a
+//! sampling run solves `F` under a long sequence of different hash layers.
+//! This crate therefore exposes an **incremental interface** so that one
+//! [`Solver`] survives the whole sequence:
+//!
+//! * [`Solver::solve_under_assumptions`] solves with a set of assumption
+//!   literals installed as the first decision levels (the MiniSat
+//!   discipline), so an `Unsat` answer under assumptions leaves the solver
+//!   consistent and reusable;
+//! * [`Solver::new_guard`] allocates an *activation guard* `g`;
+//!   [`Solver::add_xor_under`] / [`Solver::add_clause_under`] attach a hash
+//!   layer (and the enumerator's blocking clauses) to it, representing
+//!   `g ∨ constraint`. The layer is enabled by assuming
+//!   [`Guard::assumption`] (`¬g`) and removed for good by
+//!   [`Solver::retire_guard`], which asserts `g` and deletes every clause
+//!   mentioning the guard.
+//!
+//! # What survives a cell, and why it is sound
+//!
+//! While a guard is active, `¬g` is a pseudo-decision, so `g` is falsified
+//! at a decision level ≥ 1 — never at level zero. First-UIP conflict
+//! analysis keeps every falsified literal above level zero, so **any learned
+//! clause whose derivation touched a guarded constraint contains `g`** and
+//! is thereby tagged with its cell. Retiring the guard deletes exactly those
+//! clauses (and satisfies any straggler by asserting `g`). Everything else —
+//! learned clauses over base-formula variables, VSIDS activities, saved
+//! phases, and the clause arena's watch lists — carries over to the next
+//! cell, which is where the incremental interface gets its speedup
+//! (measured in `BENCH_incremental.json` at the repository root).
+//!
+//! The crate provides:
 //!
 //! * [`Solver`] — a conflict-driven clause-learning solver with two-watched
-//!   literals, first-UIP clause learning, VSIDS decisions with phase saving,
-//!   Luby restarts, LBD-based learned-clause reduction, and a watched-variable
-//!   propagation engine for xor constraints (with lazily generated reason
-//!   clauses, so xor constraints participate in conflict analysis exactly
-//!   like ordinary clauses),
-//! * [`enumerate::bounded_solutions`] (the paper's `BSAT`) and
+//!   literals over a flat clause arena (blocker literals skip satisfied
+//!   clauses without touching clause memory), first-UIP clause learning,
+//!   VSIDS decisions with phase saving, Luby restarts, LBD-based
+//!   learned-clause reduction, and a watched-variable propagation engine for
+//!   (optionally guarded) xor constraints with lazily generated reason
+//!   clauses,
+//! * [`enumerate::bounded_solutions`] (the paper's `BSAT`),
 //!   [`enumerate::Enumerator`] for incremental enumeration with
-//!   sampling-set-restricted blocking clauses,
+//!   sampling-set-restricted blocking clauses, and
+//!   [`enumerate::enumerate_cell`] — the guard-scoped hash-cell `BSAT` every
+//!   sampler loop in the workspace is built on,
 //! * [`Budget`] — per-call conflict/time budgets emulating the paper's
 //!   per-`BSAT`-invocation timeouts.
 //!
@@ -38,13 +72,19 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut f = CnfFormula::new(3);
 //! f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])?;
-//! f.add_xor_clause(XorClause::from_dimacs([1, 2, 3], true))?;
 //!
 //! let mut solver = Solver::from_formula(&f);
-//! match solver.solve() {
+//!
+//! // One persistent solver, many hash cells:
+//! let guard = solver.new_guard();
+//! solver.add_xor_under(XorClause::from_dimacs([1, 2, 3], true), guard);
+//! match solver.solve_under_assumptions(&[guard.assumption()]) {
 //!     SolveResult::Sat(model) => assert!(f.evaluate(&model)),
-//!     other => panic!("expected SAT, got {other:?}"),
+//!     SolveResult::Unsat => {} // cell is empty; the solver stays usable
+//!     other => panic!("unexpected {other:?}"),
 //! }
+//! solver.retire_guard(guard); // drop the hash layer, keep what was learned
+//! assert!(solver.solve().is_sat());
 //! # Ok(())
 //! # }
 //! ```
@@ -66,6 +106,6 @@ pub mod support;
 
 pub use budget::Budget;
 pub use config::SolverConfig;
-pub use enumerate::{bounded_solutions, EnumerationOutcome, Enumerator};
-pub use solver::{SolveResult, Solver};
+pub use enumerate::{bounded_solutions, enumerate_cell, EnumerationOutcome, Enumerator};
+pub use solver::{Guard, SolveResult, Solver};
 pub use stats::SolverStats;

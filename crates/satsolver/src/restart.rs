@@ -43,6 +43,14 @@ impl LubyRestarts {
         self.index += 1;
         luby(self.index) * self.base.max(1)
     }
+
+    /// Rewinds the sequence to its start. Called on every cold solve entry:
+    /// a long-lived incremental solver would otherwise crawl ever deeper
+    /// into the Luby sequence and effectively stop restarting, degrading
+    /// search on later cells relative to a freshly built solver.
+    pub(crate) fn reset(&mut self) {
+        self.index = 0;
+    }
 }
 
 #[cfg(test)]

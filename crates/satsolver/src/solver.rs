@@ -1,4 +1,8 @@
-//! The CDCL search loop.
+//! The CDCL search loop, with incremental solving under assumptions and
+//! assumption-guarded constraint layers.
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -6,12 +10,20 @@ use rand::{Rng, SeedableRng};
 use unigen_cnf::{Clause, CnfFormula, Lit, Model, Var, XorClause};
 
 use crate::budget::Budget;
-use crate::clause_db::{ClauseDb, ClauseRef};
+use crate::clause_db::{ClauseDb, ClauseRef, Watcher};
 use crate::config::SolverConfig;
 use crate::decide::Vsids;
 use crate::restart::LubyRestarts;
 use crate::stats::SolverStats;
-use crate::xor_engine::{AddXor, XorEngine, XorPropagation, XorRef};
+use crate::xor_engine::{AddXor, XorEngine, XorPropagation, XorRef, XorState};
+
+thread_local! {
+    static CONSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Largest LBD a learned clause may have and still survive a guard
+/// retirement (glucose-style "core" clauses; binary clauses always survive).
+const RETAINED_LBD_LIMIT: u32 = 4;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +57,44 @@ impl SolveResult {
     }
 }
 
+/// Handle to an *activation guard*: a fresh solver-internal variable `g` that
+/// gates a layer of constraints added with [`Solver::add_xor_under`] /
+/// [`Solver::add_clause_under`].
+///
+/// The guarded constraints are enabled by solving under the assumption `¬g`
+/// ([`Guard::assumption`]) and permanently disabled by
+/// [`Solver::retire_guard`], which asserts `g` at the top level and removes
+/// every clause that mentions the guard. Learned clauses whose derivation
+/// used a guarded constraint contain `g` (the guard is falsified at an
+/// assumption decision level, never at level zero), so they are exactly the
+/// clauses removed at retirement — everything the solver learned about the
+/// base formula survives from one cell to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard(Var);
+
+impl Guard {
+    /// The guard's activation variable.
+    pub fn var(&self) -> Var {
+        self.0
+    }
+
+    /// The literal to assume (via [`Solver::solve_under_assumptions`]) while
+    /// the guarded constraint layer should be active.
+    pub fn assumption(&self) -> Lit {
+        self.0.negative()
+    }
+
+    /// The literal whose truth disables the guarded layer (asserted by
+    /// [`Solver::retire_guard`]).
+    pub fn disable_lit(&self) -> Lit {
+        self.0.positive()
+    }
+}
+
 /// Why a variable is assigned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Reason {
-    /// Branching decision.
+    /// Branching decision (or an assumption).
     Decision,
     /// Implied by a CNF clause.
     Clause(ClauseRef),
@@ -65,7 +111,8 @@ enum ConflictSource {
     Xor(XorRef),
 }
 
-/// A conflict-driven clause-learning SAT solver with native xor support.
+/// A conflict-driven clause-learning SAT solver with native xor support and
+/// an incremental interface (assumptions + guarded constraint layers).
 ///
 /// See the crate-level documentation for an overview and an example. The
 /// solver is deterministic for a fixed [`SolverConfig::seed`] and input
@@ -73,6 +120,10 @@ enum ConflictSource {
 #[derive(Debug, Clone)]
 pub struct Solver {
     num_vars: usize,
+    /// Variables belonging to the problem itself (guard variables allocated
+    /// by [`Solver::new_guard`] live above this range and are excluded from
+    /// extracted models).
+    num_base_vars: usize,
     clauses: ClauseDb,
     xors: XorEngine,
     /// Current partial assignment, indexed by variable.
@@ -96,6 +147,15 @@ pub struct Solver {
     learned_limit: f64,
     /// Scratch space for conflict analysis.
     seen: Vec<bool>,
+    /// Marks guard variables (indexed by variable).
+    is_guard: Vec<bool>,
+    /// Clauses mentioning each guard variable, deleted wholesale when the
+    /// guard is retired.
+    guarded_clauses: HashMap<u32, Vec<ClauseRef>>,
+    /// Reusable buffer for xor propagation results.
+    xor_scratch: Vec<XorPropagation>,
+    /// Reusable marker buffer for clause minimisation.
+    minimise_marked: Vec<bool>,
 }
 
 impl Solver {
@@ -106,10 +166,12 @@ impl Solver {
 
     /// Creates an empty solver with an explicit configuration.
     pub fn with_config(num_vars: usize, config: SolverConfig) -> Self {
+        CONSTRUCTIONS.with(|c| c.set(c.get() + 1));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let noise: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
         Solver {
             num_vars,
+            num_base_vars: num_vars,
             clauses: ClauseDb::new(num_vars, config.clause_decay),
             xors: XorEngine::new(num_vars),
             assign: vec![None; num_vars],
@@ -125,6 +187,10 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             seen: vec![false; num_vars],
+            is_guard: vec![false; num_vars],
+            guarded_clauses: HashMap::new(),
+            xor_scratch: Vec::new(),
+            minimise_marked: vec![false; num_vars],
         }
     }
 
@@ -147,9 +213,27 @@ impl Solver {
         solver
     }
 
-    /// Returns the number of variables known to the solver.
+    /// Number of `Solver` values constructed on the current thread since it
+    /// started.
+    ///
+    /// This exists so tests can assert that the samplers reuse one
+    /// incremental solver per top-level call instead of rebuilding one per
+    /// hash cell (cloning a solver does not count as a construction).
+    pub fn constructions_on_thread() -> u64 {
+        CONSTRUCTIONS.with(|c| c.get())
+    }
+
+    /// Returns the number of variables known to the solver (including guard
+    /// variables).
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Returns the number of *base* (problem) variables; extracted models
+    /// cover exactly this range. Guard variables allocated by
+    /// [`Solver::new_guard`] are excluded.
+    pub fn num_base_vars(&self) -> usize {
+        self.num_base_vars
     }
 
     /// Returns the accumulated search statistics.
@@ -159,12 +243,34 @@ impl Solver {
 
     /// Returns `false` if a top-level conflict has already been derived (any
     /// further `solve` call will return `Unsat`).
+    ///
+    /// An `Unsat` answer from [`Solver::solve_under_assumptions`] does *not*
+    /// make the solver inconsistent; only base-level unsatisfiability does.
     pub fn is_consistent(&self) -> bool {
         self.ok
     }
 
-    /// Grows the variable range to at least `num_vars`.
+    /// Grows the variable range to at least `num_vars` base variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if guard variables have already been allocated and the new
+    /// base range would span them: base variables are positional in
+    /// extracted models, so they must all sit below every guard. Add base
+    /// variables before creating guards (every sampler in the workspace
+    /// loads the formula first and allocates guards per cell afterwards).
     pub fn ensure_vars(&mut self, num_vars: usize) {
+        assert!(
+            num_vars <= self.num_base_vars || self.num_base_vars == self.num_vars,
+            "cannot widen the base variable range past existing guard variables"
+        );
+        self.grow_storage(num_vars);
+        self.num_base_vars = self.num_base_vars.max(num_vars);
+    }
+
+    /// Grows the backing storage without widening the base-variable range
+    /// (used for guard variables).
+    fn grow_storage(&mut self, num_vars: usize) {
         if num_vars <= self.num_vars {
             return;
         }
@@ -174,26 +280,49 @@ impl Solver {
         self.level.resize(num_vars, 0);
         self.reason.resize(num_vars, Reason::Unit);
         self.seen.resize(num_vars, false);
+        self.is_guard.resize(num_vars, false);
+        self.minimise_marked.resize(num_vars, false);
         self.clauses.grow_to(num_vars);
         self.xors.grow_to(num_vars);
-        // Rebuild the decision heuristic to cover the new variables while
-        // keeping previous phases; activities restart from scratch, which is
-        // acceptable because growing happens only between solve calls.
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ num_vars as u64);
-        let noise: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
-        let old_vsids = std::mem::replace(
-            &mut self.vsids,
-            Vsids::new(
-                num_vars,
-                self.config.var_decay,
-                self.config.default_polarity,
-                &noise,
-            ),
-        );
-        for i in 0..old {
-            let v = Var::new(i);
-            self.vsids.save_phase(v, old_vsids.saved_phase(v));
+        let noise: Vec<f64> = (old..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
+        self.vsids.grow_to(num_vars, &noise);
+    }
+
+    /// Grows storage to cover every literal of `lits`, widening the base
+    /// range only for non-guard variables.
+    fn ensure_clause_vars(&mut self, lits: &[Lit]) {
+        let mut overall = 0usize;
+        let mut base = 0usize;
+        for &l in lits {
+            let n = l.var().index() + 1;
+            overall = overall.max(n);
+            if n > self.num_vars || !self.is_guard[l.var().index()] {
+                base = base.max(n);
+            }
         }
+        assert!(
+            base <= self.num_base_vars || self.num_base_vars == self.num_vars,
+            "cannot widen the base variable range past existing guard variables"
+        );
+        self.grow_storage(overall);
+        self.num_base_vars = self.num_base_vars.max(base);
+    }
+
+    /// Allocates a fresh activation guard.
+    ///
+    /// The guard variable is excluded from extracted models. Constraints are
+    /// attached to the guard with [`Solver::add_xor_under`] and
+    /// [`Solver::add_clause_under`]; they take effect only while
+    /// [`Guard::assumption`] is assumed and are removed for good by
+    /// [`Solver::retire_guard`].
+    pub fn new_guard(&mut self) -> Guard {
+        self.backtrack_to(0);
+        let index = self.num_vars;
+        self.grow_storage(index + 1);
+        self.is_guard[index] = true;
+        self.stats.guards_created += 1;
+        Guard(Var::new(index))
     }
 
     /// Adds a CNF clause. May be called between `solve` calls (the solver is
@@ -205,9 +334,27 @@ impl Solver {
         if clause.is_tautology() {
             return;
         }
-        if let Some(max) = clause.max_var() {
-            self.ensure_vars(max.index() + 1);
+        let lits: Vec<Lit> = clause.iter().copied().collect();
+        self.add_clause_lits(lits);
+    }
+
+    /// Adds a CNF clause under a guard: the clause is weakened with the
+    /// guard's disable literal, so it binds only while the guard is assumed
+    /// and disappears when the guard is retired. This is how the enumerator
+    /// scopes its per-cell blocking clauses.
+    pub fn add_clause_under(&mut self, clause: Clause, guard: Guard) {
+        if clause.is_tautology() {
+            return;
         }
+        let mut lits: Vec<Lit> = clause.iter().copied().collect();
+        if !lits.contains(&guard.disable_lit()) {
+            lits.push(guard.disable_lit());
+        }
+        self.add_clause_lits(lits);
+    }
+
+    fn add_clause_lits(&mut self, clause: Vec<Lit>) {
+        self.ensure_clause_vars(&clause);
         self.backtrack_to(0);
         if !self.ok {
             return;
@@ -215,7 +362,7 @@ impl Solver {
         // Remove literals already false at level zero and drop the clause if
         // any literal is already true at level zero.
         let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
-        for &lit in clause.iter() {
+        for &lit in &clause {
             match self.lit_value(lit) {
                 Some(true) => return,
                 Some(false) => {}
@@ -233,13 +380,37 @@ impl Solver {
                 }
             }
             _ => {
-                self.clauses.add_clause(lits, false, 0);
+                let cref = self.clauses.add_clause(&lits, false, 0);
+                self.register_guarded(cref, &lits);
+            }
+        }
+    }
+
+    /// Records `cref` against every guard variable it mentions, so retiring
+    /// the guard can delete it.
+    fn register_guarded(&mut self, cref: ClauseRef, lits: &[Lit]) {
+        for &l in lits {
+            let i = l.var().index();
+            if self.is_guard[i] {
+                self.guarded_clauses.entry(i as u32).or_default().push(cref);
             }
         }
     }
 
     /// Adds an xor constraint. May be called between `solve` calls.
     pub fn add_xor_clause(&mut self, xor: XorClause) {
+        self.add_xor_with_guard(xor, None);
+    }
+
+    /// Adds an xor constraint under a guard: the constraint represents
+    /// `g ∨ (xor)` and so is active only while [`Guard::assumption`] is
+    /// assumed. Retiring the guard removes the constraint (and every learned
+    /// clause derived from it).
+    pub fn add_xor_under(&mut self, xor: XorClause, guard: Guard) {
+        self.add_xor_with_guard(xor, Some(guard));
+    }
+
+    fn add_xor_with_guard(&mut self, xor: XorClause, guard: Option<Guard>) {
         if let Some(max) = xor.max_var() {
             self.ensure_vars(max.index() + 1);
         }
@@ -247,47 +418,200 @@ impl Solver {
         if !self.ok {
             return;
         }
-        match self.xors.add(&xor) {
+        let guard_lit = guard.map(|g| g.disable_lit());
+        match self.xors.add(&xor, guard_lit) {
             AddXor::Tautology => {}
-            AddXor::Unsatisfiable => self.ok = false,
-            AddXor::Unit(var, value) => match self.value(var) {
-                Some(current) if current != value => self.ok = false,
-                Some(_) => {}
-                None => {
-                    self.enqueue(var.lit(value), Reason::Unit);
-                    if self.propagate().is_some() {
-                        self.ok = false;
+            AddXor::Unsatisfiable => match guard_lit {
+                // `g ∨ ⊥` is the unit clause `g`: the guarded layer is
+                // unsatisfiable, so solving under the guard's assumption
+                // reports Unsat while the solver stays consistent.
+                Some(g) => self.assert_level_zero(g, Reason::Unit),
+                None => self.ok = false,
+            },
+            AddXor::Unit(var, value) => match guard_lit {
+                // `g ∨ lit` is an ordinary guarded binary clause.
+                Some(g) => self.add_clause_lits(vec![var.lit(value), g]),
+                None => match self.value(var) {
+                    Some(current) if current != value => self.ok = false,
+                    Some(_) => {}
+                    None => {
+                        self.enqueue(var.lit(value), Reason::Unit);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                        }
                     }
-                }
+                },
             },
             AddXor::Stored(xref) => {
-                // If some variables are already assigned at level zero the
-                // constraint may already be unit or violated; replaying the
-                // level-zero trail through the engine keeps it consistent.
-                let mut results = Vec::new();
-                for i in 0..self.trail.len() {
-                    let var = self.trail[i].var();
+                // Some variables may already be assigned at level zero: move
+                // the watches onto unassigned variables and resolve any
+                // implication or violation the level-zero trail produces.
+                let state = {
                     let assign = &self.assign;
-                    self.xors
-                        .on_assign(var, |v| assign[v.index()], &mut results);
-                }
-                for result in results {
-                    match result {
-                        XorPropagation::Implied { lit, xref } => match self.lit_value(lit) {
-                            Some(true) => {}
-                            Some(false) => self.ok = false,
-                            None => {
-                                self.enqueue(lit, Reason::Xor(xref));
+                    self.xors.position_watches(xref, |v| assign[v.index()]);
+                    self.xors.probe(xref, |v| assign[v.index()])
+                };
+                match (state, guard_lit) {
+                    (XorState::Open | XorState::Satisfied, _) => {}
+                    (XorState::Implied(lit), None) => match self.lit_value(lit) {
+                        Some(true) => {}
+                        Some(false) => self.ok = false,
+                        None => {
+                            self.enqueue(lit, Reason::Xor(xref));
+                            if self.propagate().is_some() {
+                                self.ok = false;
                             }
-                        },
-                        XorPropagation::Conflict { .. } => self.ok = false,
+                        }
+                    },
+                    // Guard unassigned: `g ∨ …` still has two free literals;
+                    // the guard-activation event will fire the implication.
+                    (XorState::Implied(_), Some(_)) => {}
+                    (XorState::Violated, None) => self.ok = false,
+                    // All variables assigned against the parity: `g ∨ lits`
+                    // is unit on the guard.
+                    (XorState::Violated, Some(g)) => {
+                        self.assert_level_zero(g, Reason::Xor(xref));
                     }
                 }
-                if self.ok && self.propagate().is_some() {
+            }
+        }
+    }
+
+    /// Enqueues a literal at level zero (if not already satisfied) and
+    /// propagates, recording inconsistency.
+    fn assert_level_zero(&mut self, lit: Lit, reason: Reason) {
+        debug_assert_eq!(self.decision_level(), 0);
+        match self.lit_value(lit) {
+            Some(true) => {}
+            Some(false) => self.ok = false,
+            None => {
+                self.enqueue(lit, reason);
+                if self.propagate().is_some() {
                     self.ok = false;
                 }
-                let _ = xref;
             }
+        }
+    }
+
+    /// Retires a guard: deletes every clause and xor constraint attached to
+    /// it (including learned clauses whose derivation depended on the guarded
+    /// layer — they all mention the guard literal) and asserts the guard's
+    /// disable literal at the top level. The guard must not be used again.
+    pub fn retire_guard(&mut self, guard: Guard) {
+        self.backtrack_to(0);
+        debug_assert!(self.is_guard[guard.var().index()], "retiring a non-guard");
+        self.stats.guards_retired += 1;
+        let key = guard.var().index() as u32;
+        let mut retired_learned = 0u64;
+        if let Some(list) = self.guarded_clauses.remove(&key) {
+            let mut deleted: Vec<ClauseRef> = Vec::with_capacity(list.len());
+            for cref in list {
+                if !self.clauses.is_deleted(cref) {
+                    if self.clauses.is_learned(cref) {
+                        retired_learned += 1;
+                    }
+                    self.clauses.delete(cref);
+                    deleted.push(cref);
+                }
+            }
+            // Drop the dead watch entries now instead of letting propagation
+            // stumble over them until the next garbage collection.
+            self.clauses.sweep_deleted_watchers(&deleted);
+        }
+        self.xors.retire(guard.var());
+        self.stats.guarded_learned_retired += retired_learned;
+        // Keep only the glucose-style core of the remaining learned clauses:
+        // across hash cells, high-LBD clauses cost more propagation work
+        // than their pruning is worth, so a retirement is the natural point
+        // to shed them. (Level-zero reasons are never dereferenced, so no
+        // lock set is needed here.)
+        self.stats.deleted_clauses += self.clauses.trim_learned(RETAINED_LBD_LIMIT) as u64;
+        self.stats.learned_clauses = self.clauses.num_learned() as u64;
+        self.stats.learned_retained = self.stats.learned_clauses;
+        if self.ok {
+            // `¬g` can never be implied (no clause contains it), so this
+            // either asserts a fresh unit or is a no-op.
+            self.assert_level_zero(guard.disable_lit(), Reason::Unit);
+        }
+        self.maybe_collect_garbage();
+    }
+
+    /// Installs a blocking clause while a satisfying trail from
+    /// [`Solver::solve_for_enumeration`] (with `keep_trail_on_sat`) is still
+    /// in place: instead of unwinding to level zero and re-descending, the
+    /// solver backjumps just far enough to unassign the clause's
+    /// deepest-level literal — exactly the conflict-driven assertion scheme,
+    /// applied to enumeration. Every literal of `lits` must be false under
+    /// the current total assignment.
+    pub(crate) fn block_and_continue(&mut self, mut lits: Vec<Lit>) {
+        if !self.ok {
+            return;
+        }
+        debug_assert!(lits.iter().all(|&l| self.lit_value(l) == Some(false)));
+        let level_of = |s: &Self, l: Lit| s.level[l.var().index()];
+        let max_level = lits.iter().map(|&l| level_of(self, l)).max().unwrap_or(0);
+        if max_level == 0 || lits.len() < 2 {
+            // Everything is forced at the top level: the cell is a single
+            // (projected) witness. The ordinary add path handles the
+            // resulting unit/empty clause.
+            self.add_clause_lits(lits);
+            return;
+        }
+        // Position a deepest literal first and the next-deepest second (the
+        // watched pair after the backjump).
+        let first = lits
+            .iter()
+            .position(|&l| level_of(self, l) == max_level)
+            .expect("some literal is at the maximum level");
+        lits.swap(0, first);
+        let mut second = 1;
+        for i in 2..lits.len() {
+            if level_of(self, lits[i]) > level_of(self, lits[second]) {
+                second = i;
+            }
+        }
+        lits.swap(1, second);
+        let second_level = level_of(self, lits[1]);
+        self.backtrack_to(max_level - 1);
+        let cref = self.clauses.add_clause(&lits, false, 0);
+        self.register_guarded(cref, &lits);
+        if second_level < max_level {
+            // Exactly one literal was at the deepest level: after the
+            // backjump the clause is unit on it, as in conflict analysis.
+            debug_assert!(self.lit_value(lits[0]).is_none());
+            self.enqueue(lits[0], Reason::Clause(cref));
+        }
+        // Otherwise two literals were unassigned by the backjump and the
+        // clause is watched normally.
+    }
+
+    /// Unwinds any in-progress enumeration (used when an enumerator is
+    /// dropped mid-cell, so the solver is back at level zero for whatever
+    /// comes next).
+    pub(crate) fn end_enumeration(&mut self) {
+        self.backtrack_to(0);
+    }
+
+    /// Compacts the clause arena when enough of it is tombstoned. Only legal
+    /// at decision level zero, where no clause reference is ever
+    /// dereferenced as a reason.
+    fn maybe_collect_garbage(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.clauses.should_collect() {
+            return;
+        }
+        // Level-zero assignments never have their reasons inspected; null
+        // them so no stale ClauseRef survives the compaction.
+        for i in 0..self.trail.len() {
+            let var = self.trail[i].var();
+            self.reason[var.index()] = Reason::Unit;
+        }
+        let remap = self.clauses.collect_garbage();
+        for list in self.guarded_clauses.values_mut() {
+            *list = list
+                .iter()
+                .filter_map(|cref| remap.get(cref).copied())
+                .collect();
         }
     }
 
@@ -299,14 +623,73 @@ impl Solver {
     /// Solves the current formula, giving up (with [`SolveResult::Unknown`])
     /// when the budget is exhausted.
     pub fn solve_with_budget(&mut self, budget: &Budget) -> SolveResult {
+        self.solve_under_assumptions_with_budget(&[], budget)
+    }
+
+    /// Solves under the given assumptions with an unlimited budget.
+    ///
+    /// See [`Solver::solve_under_assumptions_with_budget`].
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_under_assumptions_with_budget(assumptions, &Budget::new())
+    }
+
+    /// Solves the formula under the given assumptions: the assumptions are
+    /// installed as pseudo-decisions at the first decision levels (one level
+    /// per assumption, in order), so conflict analysis treats them exactly
+    /// like decisions and every learned clause that depends on an assumption
+    /// contains its negation.
+    ///
+    /// Returns `Unsat` when the formula is unsatisfiable *under the
+    /// assumptions*; this does not make the solver inconsistent unless the
+    /// formula is unsatisfiable outright. The assumptions are released before
+    /// returning (the solver is always left at decision level zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption mentions a variable unknown to the solver.
+    pub fn solve_under_assumptions_with_budget(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> SolveResult {
+        self.solve_for_enumeration(assumptions, budget, false, false)
+    }
+
+    /// The solve entry point shared with the enumerator.
+    ///
+    /// With `warm`, the search resumes from the current (mid-enumeration)
+    /// trail instead of unwinding to level zero first — the caller has just
+    /// installed a blocking clause via [`Solver::block_and_continue`] and the
+    /// descent below the backjump point is still valid. With
+    /// `keep_trail_on_sat`, a `Sat` return leaves the satisfying trail in
+    /// place so the next blocking clause can backjump instead of restarting.
+    pub(crate) fn solve_for_enumeration(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        warm: bool,
+        keep_trail_on_sat: bool,
+    ) -> SolveResult {
         self.stats.solve_calls += 1;
-        self.backtrack_to(0);
+        if !warm {
+            self.backtrack_to(0);
+            self.restarts.reset();
+        }
         if !self.ok {
             return SolveResult::Unsat;
         }
-        if self.propagate().is_some() {
-            self.ok = false;
-            return SolveResult::Unsat;
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars,
+                "assumption over an unknown variable"
+            );
+        }
+        if self.decision_level() == 0 {
+            if self.propagate().is_some() {
+                self.ok = false;
+                return SolveResult::Unsat;
+            }
+            self.maybe_collect_garbage();
         }
 
         let mut meter = budget.start();
@@ -319,45 +702,68 @@ impl Solver {
                 self.backtrack_to(0);
                 return SolveResult::Unknown;
             }
-            match self.propagate() {
-                Some(conflict) => {
-                    self.stats.conflicts += 1;
-                    conflicts_this_period += 1;
-                    if self.decision_level() == 0 {
-                        self.ok = false;
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_period += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack_level, lbd) = self.analyze(conflict);
+                self.backtrack_to(backtrack_level);
+                self.attach_learnt(learnt, lbd);
+                self.vsids.decay();
+                self.clauses.decay_clauses();
+                if self.clauses.num_learned() as f64 > self.learned_limit {
+                    self.reduce_learned();
+                }
+                continue;
+            }
+            if conflicts_this_period >= restart_limit {
+                conflicts_this_period = 0;
+                restart_limit = self.restarts.next_limit();
+                self.stats.restarts += 1;
+                self.backtrack_to(0);
+                continue;
+            }
+            // (Re-)establish pending assumptions as pseudo-decisions, one
+            // decision level each.
+            if (self.decision_level() as usize) < assumptions.len() {
+                let a = assumptions[self.decision_level() as usize];
+                match self.lit_value(a) {
+                    Some(true) => {
+                        // Already satisfied: open an empty level so every
+                        // assumption keeps a fixed decision level.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        // The formula (plus earlier assumptions) falsifies
+                        // this assumption: UNSAT under assumptions, while
+                        // the solver itself stays consistent.
+                        self.backtrack_to(0);
                         return SolveResult::Unsat;
                     }
-                    let (learnt, backtrack_level, lbd) = self.analyze(conflict);
-                    self.backtrack_to(backtrack_level);
-                    self.attach_learnt(learnt, lbd);
-                    self.vsids.decay();
-                    self.clauses.decay_clauses();
-                    if self.clauses.num_learned() as f64 > self.learned_limit {
-                        self.reduce_learned();
+                    None => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, Reason::Decision);
                     }
                 }
+                continue;
+            }
+            match self.pick_branch_variable() {
                 None => {
-                    if conflicts_this_period >= restart_limit {
-                        conflicts_this_period = 0;
-                        restart_limit = self.restarts.next_limit();
-                        self.stats.restarts += 1;
+                    // All variables assigned: model found.
+                    let model = self.extract_model();
+                    if !keep_trail_on_sat {
                         self.backtrack_to(0);
-                        continue;
                     }
-                    match self.pick_branch_variable() {
-                        None => {
-                            // All variables assigned: model found.
-                            let model = self.extract_model();
-                            self.backtrack_to(0);
-                            return SolveResult::Sat(model);
-                        }
-                        Some(var) => {
-                            self.stats.decisions += 1;
-                            let phase = self.vsids.saved_phase(var);
-                            self.trail_lim.push(self.trail.len());
-                            self.enqueue(var.lit(phase), Reason::Decision);
-                        }
-                    }
+                    return SolveResult::Sat(model);
+                }
+                Some(var) => {
+                    self.stats.decisions += 1;
+                    let phase = self.vsids.saved_phase(var);
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(var.lit(phase), Reason::Decision);
                 }
             }
         }
@@ -379,7 +785,7 @@ impl Solver {
 
     fn extract_model(&self) -> Model {
         Model::new(
-            self.assign
+            self.assign[..self.num_base_vars]
                 .iter()
                 .map(|v| v.expect("model extraction requires a total assignment"))
                 .collect(),
@@ -439,95 +845,120 @@ impl Solver {
     }
 
     /// Propagates through CNF clauses watching `¬lit` (which just became
-    /// false).
+    /// false), using the standard two-pointer copy-back walk: entries are
+    /// visited exactly once, satisfied clauses are skipped via their blocker
+    /// literal without touching clause memory, and moved or deleted watchers
+    /// are dropped in place.
     fn propagate_clauses(&mut self, lit: Lit) -> Option<ConflictSource> {
         let false_lit = !lit;
         let mut watchers = std::mem::take(self.clauses.watchers_mut(false_lit));
+        let mut conflict = None;
         let mut i = 0;
+        let mut j = 0;
         while i < watchers.len() {
-            let cref = watchers[i];
-            if self.clauses.clause(cref).deleted {
-                watchers.swap_remove(i);
+            let watcher = watchers[i];
+            i += 1;
+            // Blocker check: if some other literal of the clause is already
+            // true, the clause is satisfied — keep the watch, skip the rest.
+            if self.lit_value(watcher.blocker) == Some(true) {
+                watchers[j] = watcher;
+                j += 1;
                 continue;
             }
-            // Ensure the false literal is at position 1.
-            {
-                let clause = self.clauses.clause_mut(cref);
-                if clause.lits[0] == false_lit {
-                    clause.lits.swap(0, 1);
-                }
-                debug_assert_eq!(clause.lits[1], false_lit);
+            let cref = watcher.cref;
+            if self.clauses.is_deleted(cref) {
+                continue; // drop the watcher
             }
-            // If the other watched literal is already true, keep watching.
-            let first = self.clauses.clause(cref).lits[0];
-            if self.lit_value(first) == Some(true) {
-                i += 1;
+            // Ensure the false literal is at position 1.
+            if self.clauses.lit_at(cref, 0) == false_lit {
+                self.clauses.swap_lits(cref, 0, 1);
+            }
+            debug_assert_eq!(self.clauses.lit_at(cref, 1), false_lit);
+            // If the other watched literal is already true, keep watching
+            // (and remember it as the new blocker).
+            let first = self.clauses.lit_at(cref, 0);
+            if first != watcher.blocker && self.lit_value(first) == Some(true) {
+                watchers[j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                j += 1;
                 continue;
             }
             // Look for a new literal to watch.
-            let replacement = {
-                let clause = self.clauses.clause(cref);
-                clause.lits[2..]
-                    .iter()
-                    .position(|&l| self.lit_value(l) != Some(false))
-                    .map(|p| p + 2)
-            };
-            match replacement {
-                Some(pos) => {
-                    let clause = self.clauses.clause_mut(cref);
-                    clause.lits.swap(1, pos);
-                    let new_watch = clause.lits[1];
-                    self.clauses.move_watch(cref, new_watch);
-                    watchers.swap_remove(i);
-                }
-                None => {
-                    // Clause is unit or conflicting.
-                    match self.lit_value(first) {
-                        Some(false) => {
-                            // Conflict: restore the (whole) watcher list and
-                            // abort propagation; the caller backtracks past
-                            // the current level, so the unprocessed watchers
-                            // keep a valid watch.
-                            *self.clauses.watchers_mut(false_lit) = watchers;
-                            return Some(ConflictSource::Clause(cref));
-                        }
-                        _ => {
-                            self.enqueue(first, Reason::Clause(cref));
-                            i += 1;
-                        }
-                    }
+            let len = self.clauses.len(cref);
+            let mut moved = false;
+            for pos in 2..len {
+                let candidate = self.clauses.lit_at(cref, pos);
+                if self.lit_value(candidate) != Some(false) {
+                    self.clauses.swap_lits(cref, 1, pos);
+                    self.clauses.watchers_mut(candidate).push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    moved = true;
+                    break;
                 }
             }
+            if moved {
+                continue; // the watch left `false_lit`'s list
+            }
+            // Clause is unit or conflicting; keep the watch either way.
+            watchers[j] = Watcher {
+                cref,
+                blocker: first,
+            };
+            j += 1;
+            if self.lit_value(first) == Some(false) {
+                conflict = Some(ConflictSource::Clause(cref));
+                // Copy back the unprocessed suffix and stop; the caller
+                // backtracks past the current level, so the remaining
+                // watchers keep a valid watch.
+                while i < watchers.len() {
+                    watchers[j] = watchers[i];
+                    j += 1;
+                    i += 1;
+                }
+                break;
+            }
+            self.enqueue(first, Reason::Clause(cref));
         }
+        watchers.truncate(j);
         *self.clauses.watchers_mut(false_lit) = watchers;
-        None
+        conflict
     }
 
     /// Propagates through xor constraints watching the just-assigned
     /// variable.
     fn propagate_xors(&mut self, var: Var) -> Option<ConflictSource> {
-        let mut results = Vec::new();
+        let mut results = std::mem::take(&mut self.xor_scratch);
+        results.clear();
         {
             let assign = &self.assign;
             self.xors
                 .on_assign(var, |v| assign[v.index()], &mut results);
         }
-        for result in results {
+        let mut conflict = None;
+        for result in results.drain(..) {
+            if conflict.is_some() {
+                break;
+            }
             match result {
                 XorPropagation::Implied { lit, xref } => match self.lit_value(lit) {
                     Some(true) => {}
-                    Some(false) => return Some(ConflictSource::Xor(xref)),
+                    Some(false) => conflict = Some(ConflictSource::Xor(xref)),
                     None => {
                         self.stats.xor_propagations += 1;
                         self.enqueue(lit, Reason::Xor(xref));
                     }
                 },
                 XorPropagation::Conflict { xref } => {
-                    return Some(ConflictSource::Xor(xref));
+                    conflict = Some(ConflictSource::Xor(xref));
                 }
             }
         }
-        None
+        self.xor_scratch = results;
+        conflict
     }
 
     /// Returns the antecedent literals of `lit` (the other literals of its
@@ -537,13 +968,7 @@ impl Solver {
             Reason::Decision | Reason::Unit => Vec::new(),
             Reason::Clause(cref) => {
                 self.clauses.bump_clause(cref);
-                self.clauses
-                    .clause(cref)
-                    .lits
-                    .iter()
-                    .copied()
-                    .filter(|&l| l != lit)
-                    .collect()
+                self.clauses.iter_lits(cref).filter(|&l| l != lit).collect()
             }
             Reason::Xor(xref) => {
                 let assign = &self.assign;
@@ -563,7 +988,7 @@ impl Solver {
         let mut current_lits: Vec<Lit> = match conflict {
             ConflictSource::Clause(cref) => {
                 self.clauses.bump_clause(cref);
-                self.clauses.clause(cref).lits.clone()
+                self.clauses.iter_lits(cref).collect()
             }
             ConflictSource::Xor(xref) => {
                 let assign = &self.assign;
@@ -614,7 +1039,7 @@ impl Solver {
 
         // Clause minimisation: drop literals whose reason is entirely covered
         // by other literals of the clause (cheap, non-recursive check).
-        let minimised = self.minimise(clause, &to_clear);
+        let minimised = self.minimise(clause);
 
         for var in to_clear {
             self.seen[var.index()] = false;
@@ -645,15 +1070,12 @@ impl Solver {
 
     /// Removes redundant literals from a learnt clause: a literal is
     /// redundant if every antecedent of its variable is already present in
-    /// the clause (local / non-recursive minimisation).
-    fn minimise(&mut self, clause: Vec<Lit>, seen_vars: &[Var]) -> Vec<Lit> {
-        // Mark the clause's variables (the asserting literal at index 0 is
-        // never removed).
-        let mut marked = vec![false; self.num_vars];
+    /// the clause (local / non-recursive minimisation). Uses a persistent
+    /// marker buffer instead of allocating one per conflict.
+    fn minimise(&mut self, clause: Vec<Lit>) -> Vec<Lit> {
         for &lit in &clause {
-            marked[lit.var().index()] = true;
+            self.minimise_marked[lit.var().index()] = true;
         }
-        let _ = seen_vars;
         let mut result = Vec::with_capacity(clause.len());
         for (i, &lit) in clause.iter().enumerate() {
             if i == 0 {
@@ -665,14 +1087,18 @@ impl Solver {
                 _ => {
                     let antecedents = self.reason_lits(!lit);
                     !antecedents.is_empty()
-                        && antecedents
-                            .iter()
-                            .all(|a| self.level[a.var().index()] == 0 || marked[a.var().index()])
+                        && antecedents.iter().all(|a| {
+                            self.level[a.var().index()] == 0
+                                || self.minimise_marked[a.var().index()]
+                        })
                 }
             };
             if !redundant {
                 result.push(lit);
             }
+        }
+        for &lit in &clause {
+            self.minimise_marked[lit.var().index()] = false;
         }
         result
     }
@@ -693,7 +1119,8 @@ impl Solver {
             }
             _ => {
                 let asserting = clause[0];
-                let cref = self.clauses.add_clause(clause, true, lbd);
+                let cref = self.clauses.add_clause(&clause, true, lbd);
+                self.register_guarded(cref, &clause);
                 self.stats.learned_clauses = self.clauses.num_learned() as u64;
                 debug_assert!(self.lit_value(asserting).is_none());
                 self.enqueue(asserting, Reason::Clause(cref));
@@ -704,7 +1131,7 @@ impl Solver {
     fn reduce_learned(&mut self) {
         let reason = &self.reason;
         let trail = &self.trail;
-        let locked: std::collections::HashSet<ClauseRef> = trail
+        let locked: HashSet<ClauseRef> = trail
             .iter()
             .filter_map(|l| match reason[l.var().index()] {
                 Reason::Clause(cref) => Some(cref),
@@ -892,5 +1319,147 @@ mod tests {
         let mut solver = Solver::from_formula(&f);
         let model = solver.solve().model().cloned().expect("satisfiable");
         assert!(model.values().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn assumptions_restrict_without_poisoning() {
+        // x1 ∨ x2, solved under every assumption combination.
+        let f = dimacs::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        let a1 = Lit::from_dimacs(-1);
+        let a2 = Lit::from_dimacs(-2);
+        let result = solver.solve_under_assumptions(&[a1]);
+        let model = result.model().expect("sat under ¬x1");
+        assert!(!model.value(Var::from_dimacs(1)));
+        assert!(model.value(Var::from_dimacs(2)));
+        // Both assumptions together contradict the clause…
+        assert!(solver.solve_under_assumptions(&[a1, a2]).is_unsat());
+        // …but the solver itself stays consistent and solvable.
+        assert!(solver.is_consistent());
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_already_implied_are_harmless() {
+        let f = dimacs::parse("p cnf 2 2\n1 0\n-1 2 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        // x1 and x2 are forced at level zero; assuming them must still work.
+        let result = solver.solve_under_assumptions(&[Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+        assert!(result.is_sat());
+        // Assuming the negation of a forced literal is Unsat but consistent.
+        assert!(solver
+            .solve_under_assumptions(&[Lit::from_dimacs(-2)])
+            .is_unsat());
+        assert!(solver.is_consistent());
+    }
+
+    #[test]
+    fn guarded_xor_layer_lifecycle() {
+        // Free formula over 3 variables; hash layers carve it into cells.
+        let f = dimacs::parse("p cnf 3 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], false), guard);
+
+        let mut cell = Vec::new();
+        loop {
+            match solver.solve_under_assumptions(&[guard.assumption()]) {
+                SolveResult::Sat(model) => {
+                    // Models cover only the base variables.
+                    assert_eq!(model.len(), 3);
+                    assert!(model.value(Var::from_dimacs(1)) ^ model.value(Var::from_dimacs(2)));
+                    assert_eq!(
+                        model.value(Var::from_dimacs(2)),
+                        model.value(Var::from_dimacs(3))
+                    );
+                    let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                    solver.add_clause_under(Clause::new(blocking), guard);
+                    cell.push(model);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        // x1⊕x2=1, x2⊕x3=0 has exactly 2 solutions over 3 variables.
+        assert_eq!(cell.len(), 2);
+
+        // Retiring the guard removes the hash layer *and* its blocking
+        // clauses: the full space of 8 assignments is visible again.
+        solver.retire_guard(guard);
+        assert!(solver.is_consistent());
+        let guard2 = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1], true), guard2);
+        let mut second_cell = 0;
+        loop {
+            match solver.solve_under_assumptions(&[guard2.assumption()]) {
+                SolveResult::Sat(model) => {
+                    assert!(model.value(Var::from_dimacs(1)));
+                    let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                    solver.add_clause_under(Clause::new(blocking), guard2);
+                    second_cell += 1;
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        // x1 = 1 leaves 4 of the 8 assignments.
+        assert_eq!(second_cell, 4);
+        solver.retire_guard(guard2);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.stats().guards_created, 2);
+        assert_eq!(solver.stats().guards_retired, 2);
+    }
+
+    #[test]
+    fn unsatisfiable_guarded_layer_stays_scoped() {
+        let f = dimacs::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        let guard = solver.new_guard();
+        // Contradictory layer: x1⊕x2 = 1 and x1⊕x2 = 0.
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], false), guard);
+        assert!(solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .is_unsat());
+        assert!(solver.is_consistent());
+        solver.retire_guard(guard);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn guard_variables_do_not_leak_into_models() {
+        let f = dimacs::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        let g = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1], true), g);
+        assert_eq!(solver.num_base_vars(), 2);
+        assert_eq!(solver.num_vars(), 3);
+        let model = solver
+            .solve_under_assumptions(&[g.assumption()])
+            .model()
+            .cloned()
+            .expect("satisfiable");
+        assert_eq!(model.len(), 2);
+        assert!(f.evaluate(&model));
+    }
+
+    #[test]
+    #[should_panic(expected = "past existing guard variables")]
+    fn base_growth_past_guards_is_rejected() {
+        let mut solver = Solver::new(2);
+        let _guard = solver.new_guard();
+        // Widening the base range would make models span the guard variable.
+        solver.ensure_vars(4);
+    }
+
+    #[test]
+    fn construction_counter_counts_fresh_solvers_only() {
+        let before = Solver::constructions_on_thread();
+        let f = dimacs::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        let solver = Solver::from_formula(&f);
+        let _clone = solver.clone();
+        assert_eq!(Solver::constructions_on_thread(), before + 1);
     }
 }

@@ -7,7 +7,10 @@ use std::fmt;
 /// These are the numbers the benchmark harness reports alongside timing:
 /// they make it possible to explain *why* long xor constraints over the full
 /// support are slow (propagations and conflicts blow up) without resorting to
-/// wall-clock time alone.
+/// wall-clock time alone. The guard counters expose what the incremental
+/// interface amortises: how many guarded (per-cell) learned clauses were
+/// thrown away at retirement versus how many base-formula learned clauses
+/// kept paying off across cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolverStats {
     /// Number of decisions made.
@@ -26,13 +29,23 @@ pub struct SolverStats {
     pub deleted_clauses: u64,
     /// Number of top-level solve calls.
     pub solve_calls: u64,
+    /// Number of activation guards created.
+    pub guards_created: u64,
+    /// Number of activation guards retired.
+    pub guards_retired: u64,
+    /// Number of guarded learned clauses removed by guard retirements (they
+    /// mentioned the retired guard and could not outlive their cell).
+    pub guarded_learned_retired: u64,
+    /// Number of learned clauses that survived the most recent guard
+    /// retirement (base-formula knowledge carried into the next cell).
+    pub learned_retained: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "decisions={} propagations={} (xor={}) conflicts={} restarts={} learned={} deleted={} solves={}",
+            "decisions={} propagations={} (xor={}) conflicts={} restarts={} learned={} deleted={} solves={} guards={}/{} guarded_retired={} retained={}",
             self.decisions,
             self.propagations,
             self.xor_propagations,
@@ -40,7 +53,11 @@ impl fmt::Display for SolverStats {
             self.restarts,
             self.learned_clauses,
             self.deleted_clauses,
-            self.solve_calls
+            self.solve_calls,
+            self.guards_created,
+            self.guards_retired,
+            self.guarded_learned_retired,
+            self.learned_retained
         )
     }
 }
@@ -60,9 +77,21 @@ mod tests {
             learned_clauses: 6,
             deleted_clauses: 7,
             solve_calls: 8,
+            guards_created: 9,
+            guards_retired: 10,
+            guarded_learned_retired: 11,
+            learned_retained: 12,
         };
         let text = stats.to_string();
-        for needle in ["decisions=1", "conflicts=4", "restarts=5", "solves=8"] {
+        for needle in [
+            "decisions=1",
+            "conflicts=4",
+            "restarts=5",
+            "solves=8",
+            "guards=9/10",
+            "guarded_retired=11",
+            "retained=12",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
     }

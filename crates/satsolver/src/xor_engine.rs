@@ -1,4 +1,5 @@
-//! Watched-variable propagation for xor constraints.
+//! Watched-variable propagation for xor constraints, with optional
+//! activation guards.
 //!
 //! Each xor constraint `v_1 ⊕ … ⊕ v_k = rhs` watches two of its variables.
 //! When a watched variable is assigned, the engine tries to move the watch to
@@ -11,6 +12,20 @@
 //! lazily from the current assignment (the disjunction of the falsified
 //! literals of the other variables), which lets xor constraints participate
 //! in standard first-UIP conflict analysis without being expanded to CNF.
+//!
+//! # Guards
+//!
+//! A constraint may carry a *guard literal* `g`, in which case it represents
+//! the clause set of `g ∨ (v_1 ⊕ … ⊕ v_k = rhs)`: the constraint is **active**
+//! while `g` is false (the solver assumes `¬g`), **dormant** while `g` is
+//! true, and **pending** while `g` is unassigned. Reason and conflict clauses
+//! of an active guarded constraint include `g`, so learned clauses derived
+//! from it are automatically tagged with the guard and become satisfied (and
+//! removable) once the guard is retired by asserting `g`. This is what lets
+//! one solver instance serve every hash cell of a sampling run without ever
+//! unlearning base-formula knowledge.
+
+use std::collections::HashMap;
 
 use unigen_cnf::{Lit, Var, XorClause};
 
@@ -21,7 +36,8 @@ pub(crate) type XorRef = u32;
 /// watch the assigned variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum XorPropagation {
-    /// The constraint forces `lit` to be true.
+    /// The constraint forces `lit` to be true (for a guarded constraint this
+    /// can be the guard literal itself, when the parity is already violated).
     Implied {
         /// The implied literal.
         lit: Lit,
@@ -36,6 +52,19 @@ pub(crate) enum XorPropagation {
     },
 }
 
+/// Assignment-state of one constraint's parity part (guard not considered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum XorState {
+    /// Two or more variables are unassigned.
+    Open,
+    /// Exactly one variable is unassigned; the literal makes the parity hold.
+    Implied(Lit),
+    /// All variables are assigned and the parity holds.
+    Satisfied,
+    /// All variables are assigned and the parity is violated.
+    Violated,
+}
+
 /// A stored xor constraint.
 #[derive(Debug, Clone)]
 pub(crate) struct StoredXor {
@@ -43,14 +72,23 @@ pub(crate) struct StoredXor {
     rhs: bool,
     /// Indices (into `vars`) of the two watched variables.
     watch: [usize; 2],
+    /// Guard literal: the constraint is active only while this is false.
+    guard: Option<Lit>,
+    /// Retired constraints are skipped and their slot is reused.
+    retired: bool,
 }
 
 /// The xor constraint store plus per-variable watch lists.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct XorEngine {
     xors: Vec<StoredXor>,
-    /// `watches[var.index()]` lists the constraints watching `var`.
+    /// `watches[var.index()]` lists the constraints watching `var` (including
+    /// guard variables, which are watched permanently).
     watches: Vec<Vec<XorRef>>,
+    /// Constraints indexed by their guard variable, for retirement.
+    by_guard: HashMap<u32, Vec<XorRef>>,
+    /// Slots of retired constraints, reused by subsequent `add` calls.
+    free: Vec<XorRef>,
 }
 
 /// Result of adding an xor constraint to the engine.
@@ -71,6 +109,8 @@ impl XorEngine {
         XorEngine {
             xors: Vec::new(),
             watches: vec![Vec::new(); num_vars],
+            by_guard: HashMap::new(),
+            free: Vec::new(),
         }
     }
 
@@ -80,8 +120,11 @@ impl XorEngine {
         }
     }
 
-    /// Adds a normalised xor constraint.
-    pub(crate) fn add(&mut self, xor: &XorClause) -> AddXor {
+    /// Adds a normalised xor constraint, optionally guarded by `guard` (a
+    /// literal whose truth disables the constraint). Degenerate constraints
+    /// are reported to the caller, who decides how to combine them with the
+    /// guard.
+    pub(crate) fn add(&mut self, xor: &XorClause, guard: Option<Lit>) -> AddXor {
         match xor.len() {
             0 => {
                 if xor.rhs() {
@@ -92,17 +135,105 @@ impl XorEngine {
             }
             1 => AddXor::Unit(xor.vars()[0], xor.rhs()),
             _ => {
-                let xref = self.xors.len() as XorRef;
                 let vars = xor.vars().to_vec();
-                self.watches[vars[0].index()].push(xref);
-                self.watches[vars[1].index()].push(xref);
-                self.xors.push(StoredXor {
+                debug_assert!(
+                    guard.map_or(true, |g| !vars.contains(&g.var())),
+                    "guard variable must not occur in the constraint"
+                );
+                let stored = StoredXor {
                     vars,
                     rhs: xor.rhs(),
                     watch: [0, 1],
-                });
+                    guard,
+                    retired: false,
+                };
+                let xref = match self.free.pop() {
+                    Some(slot) => {
+                        self.xors[slot as usize] = stored;
+                        slot
+                    }
+                    None => {
+                        self.xors.push(stored);
+                        (self.xors.len() - 1) as XorRef
+                    }
+                };
+                let xor = &self.xors[xref as usize];
+                self.watches[xor.vars[0].index()].push(xref);
+                self.watches[xor.vars[1].index()].push(xref);
+                if let Some(g) = guard {
+                    self.watches[g.var().index()].push(xref);
+                    self.by_guard
+                        .entry(g.var().index() as u32)
+                        .or_default()
+                        .push(xref);
+                }
                 AddXor::Stored(xref)
             }
+        }
+    }
+
+    /// Moves both watches of `xref` onto unassigned variables where possible
+    /// (called right after `add` when some variables are already assigned, so
+    /// the two-watch invariant holds from the start).
+    pub(crate) fn position_watches<F>(&mut self, xref: XorRef, value_of: F)
+    where
+        F: Fn(Var) -> Option<bool>,
+    {
+        let xor = &mut self.xors[xref as usize];
+        let mut unassigned = xor
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| value_of(v).is_none())
+            .map(|(i, _)| i);
+        let first = unassigned.next();
+        let second = unassigned.next();
+        let new_watch = match (first, second) {
+            (Some(a), Some(b)) => [a, b],
+            (Some(a), None) => [a, if a == 0 { 1 } else { 0 }],
+            _ => return,
+        };
+        let old_watch = xor.watch;
+        if (old_watch[0] == new_watch[0] && old_watch[1] == new_watch[1])
+            || (old_watch[0] == new_watch[1] && old_watch[1] == new_watch[0])
+        {
+            return;
+        }
+        let old_vars = [xor.vars[old_watch[0]], xor.vars[old_watch[1]]];
+        let new_vars = [xor.vars[new_watch[0]], xor.vars[new_watch[1]]];
+        xor.watch = new_watch;
+        for v in old_vars {
+            self.watches[v.index()].retain(|&x| x != xref);
+        }
+        for v in new_vars {
+            self.watches[v.index()].push(xref);
+        }
+    }
+
+    /// Examines the parity part of a constraint under the current assignment
+    /// (the guard is *not* consulted).
+    pub(crate) fn probe<F>(&self, xref: XorRef, value_of: F) -> XorState
+    where
+        F: Fn(Var) -> Option<bool>,
+    {
+        let xor = &self.xors[xref as usize];
+        let mut parity = false;
+        let mut unassigned: Option<Var> = None;
+        for &v in &xor.vars {
+            match value_of(v) {
+                Some(value) => parity ^= value,
+                None => {
+                    if unassigned.is_some() {
+                        return XorState::Open;
+                    }
+                    unassigned = Some(v);
+                }
+            }
+        }
+        match unassigned {
+            Some(v) => XorState::Implied(v.lit(xor.rhs ^ parity)),
+            None if parity == xor.rhs => XorState::Satisfied,
+            None => XorState::Violated,
         }
     }
 
@@ -121,6 +252,32 @@ impl XorEngine {
         let mut retained: Vec<XorRef> = Vec::with_capacity(watching.len());
 
         for xref in watching {
+            if self.xors[xref as usize].retired {
+                // Stale entry for a retired constraint; drop it.
+                continue;
+            }
+            // Guard-variable event: the constraint may just have activated.
+            if let Some(g) = self.xors[xref as usize].guard {
+                if g.var() == var {
+                    retained.push(xref);
+                    let guard_true = value_of(var).map(|v| g.evaluate(v));
+                    if guard_true != Some(false) {
+                        // Dormant (or, impossibly, unassigned): nothing to do.
+                        continue;
+                    }
+                    match self.probe(xref, &value_of) {
+                        XorState::Implied(lit) => {
+                            results.push(XorPropagation::Implied { lit, xref });
+                        }
+                        XorState::Violated => {
+                            results.push(XorPropagation::Conflict { xref });
+                        }
+                        XorState::Open | XorState::Satisfied => {}
+                    }
+                    continue;
+                }
+            }
+
             let xor = &mut self.xors[xref as usize];
             // Which watch slot does `var` occupy?
             let slot = if xor.vars[xor.watch[0]] == var {
@@ -165,17 +322,41 @@ impl XorEngine {
                     acc ^ value_of(v).expect("all non-other variables are assigned")
                 });
 
+            let guard = xor.guard;
+            let rhs = xor.rhs;
+            // How the guard gates the outcome: None ≡ always active.
+            let guard_value = guard.map(|g| value_of(g.var()).map(|v| g.evaluate(v)));
             match value_of(other_var) {
                 None => {
-                    let implied_value = xor.rhs ^ assigned_parity;
-                    results.push(XorPropagation::Implied {
-                        lit: other_var.lit(implied_value),
-                        xref,
-                    });
+                    let active = matches!(guard_value, None | Some(Some(false)));
+                    if active {
+                        let implied_value = rhs ^ assigned_parity;
+                        results.push(XorPropagation::Implied {
+                            lit: other_var.lit(implied_value),
+                            xref,
+                        });
+                    }
+                    // Guard unassigned or true: the clause `g ∨ …` still has
+                    // two non-false literals (or is satisfied); nothing to do.
                 }
                 Some(other_value) => {
-                    if assigned_parity ^ other_value != xor.rhs {
-                        results.push(XorPropagation::Conflict { xref });
+                    if assigned_parity ^ other_value != rhs {
+                        match guard_value {
+                            // Unguarded or active: genuine conflict.
+                            None | Some(Some(false)) => {
+                                results.push(XorPropagation::Conflict { xref });
+                            }
+                            // Guard unassigned: the clause `g ∨ lits` is unit
+                            // on the guard, so the guard is implied.
+                            Some(None) => {
+                                results.push(XorPropagation::Implied {
+                                    lit: guard.expect("guard_value is Some"),
+                                    xref,
+                                });
+                            }
+                            // Guard true: constraint dormant.
+                            Some(Some(true)) => {}
+                        }
                     }
                 }
             }
@@ -188,13 +369,28 @@ impl XorEngine {
 
     /// Returns the reason literals for `implied` being forced by constraint
     /// `xref`: the falsified literals of every other variable of the
-    /// constraint. Together with `implied` they form a clause entailed by the
-    /// constraint under the current assignment.
+    /// constraint, plus the (falsified) guard literal if the constraint is
+    /// guarded. Together with `implied` they form a clause entailed by the
+    /// (guarded) constraint under the current assignment.
+    ///
+    /// When `implied` *is* the guard literal, the reason is the falsified
+    /// literal of every constraint variable.
     pub(crate) fn reason_lits<F>(&self, xref: XorRef, implied: Lit, value_of: F) -> Vec<Lit>
     where
         F: Fn(Var) -> Option<bool>,
     {
-        self.xors[xref as usize]
+        let xor = &self.xors[xref as usize];
+        if xor.guard == Some(implied) {
+            return xor
+                .vars
+                .iter()
+                .map(|&v| {
+                    let value = value_of(v).expect("reason variables must be assigned");
+                    v.lit(!value)
+                })
+                .collect();
+        }
+        let mut lits: Vec<Lit> = xor
             .vars
             .iter()
             .filter(|&&v| v != implied.var())
@@ -202,23 +398,63 @@ impl XorEngine {
                 let value = value_of(v).expect("reason variables must be assigned");
                 v.lit(!value)
             })
-            .collect()
+            .collect();
+        if let Some(g) = xor.guard {
+            debug_assert_eq!(
+                value_of(g.var()).map(|v| g.evaluate(v)),
+                Some(false),
+                "a guarded constraint only implies literals while active"
+            );
+            lits.push(g);
+        }
+        lits
     }
 
     /// Returns the conflict literals for a violated constraint: the falsified
-    /// literals of *all* of its variables.
+    /// literals of *all* of its variables, plus the (falsified) guard literal
+    /// if the constraint is guarded.
     pub(crate) fn conflict_lits<F>(&self, xref: XorRef, value_of: F) -> Vec<Lit>
     where
         F: Fn(Var) -> Option<bool>,
     {
-        self.xors[xref as usize]
+        let xor = &self.xors[xref as usize];
+        let mut lits: Vec<Lit> = xor
             .vars
             .iter()
             .map(|&v| {
                 let value = value_of(v).expect("conflict variables must be assigned");
                 v.lit(!value)
             })
-            .collect()
+            .collect();
+        if let Some(g) = xor.guard {
+            lits.push(g);
+        }
+        lits
+    }
+
+    /// Retires every constraint guarded by `guard_var`: the constraints stop
+    /// propagating, their memory is released, and their slots are reused by
+    /// later `add` calls. Returns the number of constraints retired.
+    pub(crate) fn retire(&mut self, guard_var: Var) -> usize {
+        let Some(refs) = self.by_guard.remove(&(guard_var.index() as u32)) else {
+            return 0;
+        };
+        let count = refs.len();
+        for xref in refs {
+            let xor = &mut self.xors[xref as usize];
+            debug_assert!(!xor.retired, "constraint retired twice");
+            xor.retired = true;
+            // Eagerly drop the watch entries so the slot can be reused
+            // without stale entries resolving to the new occupant.
+            let watched = [xor.vars[xor.watch[0]], xor.vars[xor.watch[1]]];
+            xor.vars = Vec::new();
+            for v in watched {
+                self.watches[v.index()].retain(|&x| x != xref);
+            }
+            self.watches[guard_var.index()].retain(|&x| x != xref);
+            self.free.push(xref);
+        }
+        count
     }
 }
 
@@ -234,14 +470,20 @@ mod tests {
     #[test]
     fn add_classifies_degenerate_constraints() {
         let mut engine = XorEngine::new(4);
-        assert_eq!(engine.add(&XorClause::new([], false)), AddXor::Tautology);
-        assert_eq!(engine.add(&XorClause::new([], true)), AddXor::Unsatisfiable);
         assert_eq!(
-            engine.add(&XorClause::new([Var::new(2)], true)),
+            engine.add(&XorClause::new([], false), None),
+            AddXor::Tautology
+        );
+        assert_eq!(
+            engine.add(&XorClause::new([], true), None),
+            AddXor::Unsatisfiable
+        );
+        assert_eq!(
+            engine.add(&XorClause::new([Var::new(2)], true), None),
             AddXor::Unit(Var::new(2), true)
         );
         assert!(matches!(
-            engine.add(&XorClause::from_dimacs([1, 2], true)),
+            engine.add(&XorClause::from_dimacs([1, 2], true), None),
             AddXor::Stored(_)
         ));
     }
@@ -249,7 +491,7 @@ mod tests {
     #[test]
     fn watch_moves_to_unassigned_variable() {
         let mut engine = XorEngine::new(4);
-        engine.add(&XorClause::from_dimacs([1, 2, 3], true));
+        engine.add(&XorClause::from_dimacs([1, 2, 3], true), None);
         let mut assigned = HashMap::new();
         assigned.insert(Var::from_dimacs(1), true);
         let mut results = Vec::new();
@@ -263,7 +505,7 @@ mod tests {
     #[test]
     fn propagates_last_unassigned_variable() {
         let mut engine = XorEngine::new(4);
-        engine.add(&XorClause::from_dimacs([1, 2, 3], true));
+        engine.add(&XorClause::from_dimacs([1, 2, 3], true), None);
         let mut assigned = HashMap::new();
         assigned.insert(Var::from_dimacs(1), true);
         let mut results = Vec::new();
@@ -285,7 +527,7 @@ mod tests {
     #[test]
     fn detects_conflict_when_fully_assigned() {
         let mut engine = XorEngine::new(3);
-        engine.add(&XorClause::from_dimacs([1, 2], true));
+        engine.add(&XorClause::from_dimacs([1, 2], true), None);
         let mut assigned = HashMap::new();
         assigned.insert(Var::from_dimacs(1), true);
         let mut results = Vec::new();
@@ -300,7 +542,7 @@ mod tests {
     #[test]
     fn reason_lits_are_falsified_other_literals() {
         let mut engine = XorEngine::new(4);
-        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3], false)) {
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3], false), None) {
             AddXor::Stored(xref) => xref,
             other => panic!("unexpected {other:?}"),
         };
@@ -319,7 +561,7 @@ mod tests {
     #[test]
     fn conflict_lits_cover_every_variable() {
         let mut engine = XorEngine::new(3);
-        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true)) {
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true), None) {
             AddXor::Stored(xref) => xref,
             other => panic!("unexpected {other:?}"),
         };
@@ -331,5 +573,117 @@ mod tests {
         // Both variables are false, so the falsified literals are positive.
         assert!(lits.contains(&Var::from_dimacs(1).positive()));
         assert!(lits.contains(&Var::from_dimacs(2).positive()));
+    }
+
+    #[test]
+    fn dormant_guarded_constraint_does_not_propagate() {
+        let mut engine = XorEngine::new(4);
+        let guard = Var::new(3).positive();
+        engine.add(&XorClause::from_dimacs([1, 2], true), Some(guard));
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        // Guard unassigned: x2 would be implied were the constraint active,
+        // but the clause g ∨ … still has two non-false literals.
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn activating_a_guard_fires_pending_implications() {
+        let mut engine = XorEngine::new(4);
+        let guard = Var::new(3).positive();
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true), Some(guard)) {
+            AddXor::Stored(xref) => xref,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+        // Assume ¬g: the constraint activates and implies x2 = 0.
+        assigned.insert(Var::new(3), false);
+        engine.on_assign(Var::new(3), value_fn(&assigned), &mut results);
+        assert_eq!(
+            results,
+            vec![XorPropagation::Implied {
+                lit: Var::from_dimacs(2).negative(),
+                xref
+            }]
+        );
+        // The reason for the implication includes the guard literal.
+        let reason = engine.reason_lits(xref, Var::from_dimacs(2).negative(), value_fn(&assigned));
+        assert!(reason.contains(&guard));
+    }
+
+    #[test]
+    fn violated_guarded_constraint_implies_its_guard() {
+        let mut engine = XorEngine::new(4);
+        let guard = Var::new(3).positive();
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true), Some(guard)) {
+            AddXor::Stored(xref) => xref,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        results.clear();
+        // x1 = x2 = 1 violates the parity; with g unassigned the clause
+        // g ∨ lits is unit on the guard.
+        assigned.insert(Var::from_dimacs(2), true);
+        engine.on_assign(Var::from_dimacs(2), value_fn(&assigned), &mut results);
+        assert_eq!(results, vec![XorPropagation::Implied { lit: guard, xref }]);
+        let reason = engine.reason_lits(xref, guard, value_fn(&assigned));
+        assert_eq!(reason.len(), 2);
+    }
+
+    #[test]
+    fn retirement_silences_and_reuses_slots() {
+        let mut engine = XorEngine::new(5);
+        let guard = Var::new(4).positive();
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3], true), Some(guard)) {
+            AddXor::Stored(xref) => xref,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(engine.retire(Var::new(4)), 1);
+        // Retired constraints no longer propagate.
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        assigned.insert(Var::from_dimacs(2), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        engine.on_assign(Var::from_dimacs(2), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+        // The slot is reused by the next add.
+        let reused = match engine.add(&XorClause::from_dimacs([1, 2], false), None) {
+            AddXor::Stored(x) => x,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(reused, xref);
+    }
+
+    #[test]
+    fn position_watches_prefers_unassigned_variables() {
+        let mut engine = XorEngine::new(5);
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3, 4], true), None) {
+            AddXor::Stored(x) => x,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        assigned.insert(Var::from_dimacs(2), false);
+        engine.position_watches(xref, value_fn(&assigned));
+        // Watches moved off the assigned vars 1 and 2 onto 3 and 4: assigning
+        // 3 now triggers an event that finds no replacement and implies 4.
+        assigned.insert(Var::from_dimacs(3), false);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(3), value_fn(&assigned), &mut results);
+        assert_eq!(results.len(), 1);
+        assert!(matches!(
+            results[0],
+            XorPropagation::Implied { lit, .. } if lit.var() == Var::from_dimacs(4)
+        ));
     }
 }

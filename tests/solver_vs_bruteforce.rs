@@ -58,7 +58,7 @@ proptest! {
         let brute = formula.enumerate_models_brute_force();
         let all_vars: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
         let outcome = bounded_solutions(
-            Solver::from_formula(&formula),
+            &mut Solver::from_formula(&formula),
             &all_vars,
             brute.len() + 5,
             &Budget::new(),
@@ -80,7 +80,7 @@ proptest! {
         let distinct: std::collections::HashSet<_> =
             brute.iter().map(|m| m.project(&sampling)).collect();
         let outcome = bounded_solutions(
-            Solver::from_formula(&formula),
+            &mut Solver::from_formula(&formula),
             &sampling,
             brute.len() + 5,
             &Budget::new(),
