@@ -1,20 +1,26 @@
 //! Incremental-vs-scratch `BSAT` benchmark: measures how much the persistent
-//! guard-scoped solver saves over rebuilding a solver per hash cell, and
-//! emits the machine-readable `BENCH_incremental.json` perf baseline.
+//! guard-scoped solver saves over rebuilding a solver per hash cell — with a
+//! Gauss–Jordan on/off ablation of the incremental mode — and emits the
+//! machine-readable `BENCH_incremental.json` perf baseline.
 //!
 //! ```text
-//! bench_incremental [--smoke] [--out PATH]
+//! bench_incremental [--smoke] [--check BASELINE] [--tolerance FRAC] [--out PATH]
 //!
-//!   --smoke     run one tiny instance and exit non-zero if the incremental
-//!               path is slower than scratch or the modes disagree (CI gate)
-//!   --out PATH  where to write the JSON report [default: BENCH_incremental.json]
+//!   --smoke           run one tiny instance and exit non-zero if the
+//!                     incremental path is slower than scratch or the modes
+//!                     disagree (CI gate)
+//!   --check BASELINE  re-run the full suite (best of three) and exit
+//!                     non-zero if the geometric-mean speedup regressed more
+//!                     than the tolerance below the committed baseline
+//!   --tolerance FRAC  allowed relative regression for --check [default: 0.15]
+//!   --out PATH        where to write the JSON report [default: BENCH_incremental.json]
 //! ```
 
 use std::process::ExitCode;
 
 use unigen_bench::harness::{
-    incremental_bench_suite, render_incremental_json, run_incremental_bench,
-    IncrementalBenchConfig, IncrementalReport,
+    incremental_bench_suite, parse_baseline_geomean, render_incremental_json,
+    run_incremental_bench, IncrementalBenchConfig, IncrementalReport,
 };
 use unigen_circuit::benchmarks;
 
@@ -24,24 +30,95 @@ fn report_is_sound(report: &IncrementalReport) -> bool {
 
 fn print_summary(report: &IncrementalReport) {
     eprintln!(
-        "{:<20} {:>6} {:>9} {:>12} {:>12} {:>8}",
-        "instance", "cells", "witnesses", "scratch(s)", "increm.(s)", "speedup"
+        "{:<20} {:>6} {:>9} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "instance",
+        "cells",
+        "witnesses",
+        "scratch(s)",
+        "increm.(s)",
+        "nogauss(s)",
+        "speedup",
+        "conf/call",
+        "ng-conf"
     );
     for i in &report.instances {
         eprintln!(
-            "{:<20} {:>6} {:>9} {:>12.3} {:>12.3} {:>7.2}x",
+            "{:<20} {:>6} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x {:>10.1} {:>10.1}",
             i.name,
             i.cells,
             i.incremental.witnesses,
             i.scratch.seconds,
             i.incremental.seconds,
-            i.speedup()
+            i.incremental_nogauss.seconds,
+            i.speedup(),
+            i.incremental.conflicts_per_call,
+            i.incremental_nogauss.conflicts_per_call
         );
     }
     eprintln!(
         "geometric-mean speedup: {:.2}x",
         report.geometric_mean_speedup()
     );
+}
+
+/// Runs the full suite `runs` times and keeps the fastest (by geometric-mean
+/// speedup) sound report; witness-set agreement is checked on every run.
+fn best_of(runs: usize) -> Result<IncrementalReport, String> {
+    let suite = incremental_bench_suite();
+    let config = IncrementalBenchConfig::default();
+    let mut best: Option<IncrementalReport> = None;
+    for _ in 0..runs {
+        let report = run_incremental_bench(&suite, &config);
+        if !report_is_sound(&report) {
+            print_summary(&report);
+            return Err("incremental and scratch enumerations disagree".into());
+        }
+        let better = best
+            .as_ref()
+            .map(|b| report.geometric_mean_speedup() > b.geometric_mean_speedup())
+            .unwrap_or(true);
+        if better {
+            best = Some(report);
+        }
+    }
+    Ok(best.expect("at least one run"))
+}
+
+/// The perf-trajectory gate: compares a fresh best-of-three run against the
+/// committed baseline and fails on a regression beyond the tolerance.
+fn check_against(baseline_path: &str, tolerance: f64) -> ExitCode {
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(baseline) = parse_baseline_geomean(&baseline_json) else {
+        eprintln!("error: no geometric_mean_speedup in {baseline_path}");
+        return ExitCode::FAILURE;
+    };
+    let report = match best_of(3) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_summary(&report);
+    let current = report.geometric_mean_speedup();
+    let floor = baseline * (1.0 - tolerance);
+    eprintln!(
+        "perf trajectory: current {current:.3}x vs baseline {baseline:.3}x (floor {floor:.3}x)"
+    );
+    if current < floor {
+        eprintln!(
+            "error: geometric-mean speedup regressed more than {:.0}% below the committed baseline",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -53,6 +130,19 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_incremental.json".to_string());
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+    if let Some(baseline) = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+    {
+        return check_against(baseline, tolerance);
+    }
 
     if smoke {
         // A single small instance in the representative regime (constrained

@@ -7,9 +7,9 @@ use rand::SeedableRng;
 
 use unigen::{SampleStats, UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler};
 use unigen_circuit::benchmarks::{self, Benchmark};
-use unigen_cnf::{Var, XorClause};
+use unigen_cnf::{CnfFormula, Var, XorClause};
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{enumerate_cell, Budget, Solver};
+use unigen_satsolver::{enumerate_cell, Budget, GaussMode, Solver, SolverConfig};
 
 /// Aggregate statistics for one sampler on one benchmark — one half of a
 /// table row.
@@ -312,7 +312,8 @@ pub struct CellLoopMeasurement {
     pub witness_fingerprint: u64,
 }
 
-/// One instance's incremental-vs-scratch comparison.
+/// One instance's incremental-vs-scratch comparison, with a Gauss–Jordan
+/// on/off ablation of the incremental mode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncrementalComparison {
     /// Benchmark instance name.
@@ -321,12 +322,16 @@ pub struct IncrementalComparison {
     pub num_vars: usize,
     /// Sampling-set size.
     pub sampling_set_size: usize,
-    /// Number of hash cells enumerated (identical layers in both modes).
+    /// Number of hash cells enumerated (identical layers in all modes).
     pub cells: usize,
     /// Rebuilding a fresh solver per cell (the pre-incremental behaviour).
     pub scratch: CellLoopMeasurement,
-    /// One persistent solver with guard-scoped cells.
+    /// One persistent solver with guard-scoped cells (the default
+    /// configuration, i.e. Gauss–Jordan auto-enabled on wide layers).
     pub incremental: CellLoopMeasurement,
+    /// The same persistent-solver loop with Gauss–Jordan forced off
+    /// (watched-variable xor propagation only) — the ablation column.
+    pub incremental_nogauss: CellLoopMeasurement,
 }
 
 impl IncrementalComparison {
@@ -340,12 +345,33 @@ impl IncrementalComparison {
         }
     }
 
-    /// `true` when both modes enumerated identical witness *sets* per cell
+    /// Scratch time divided by the gauss-off incremental time.
+    pub fn nogauss_speedup(&self) -> f64 {
+        if self.incremental_nogauss.seconds > 0.0 {
+            self.scratch.seconds / self.incremental_nogauss.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Gauss-off conflicts per call divided by gauss-on conflicts per call
+    /// (> 1 means the matrix propagation avoided conflicts).
+    pub fn gauss_conflict_reduction(&self) -> f64 {
+        if self.incremental.conflicts_per_call > 0.0 {
+            self.incremental_nogauss.conflicts_per_call / self.incremental.conflicts_per_call
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `true` when all modes enumerated identical witness *sets* per cell
     /// (they solve the same deterministic cell sequence, so anything else is
     /// a solver bug).
     pub fn witnesses_match(&self) -> bool {
         self.scratch.witnesses == self.incremental.witnesses
             && self.scratch.witness_fingerprint == self.incremental.witness_fingerprint
+            && self.scratch.witnesses == self.incremental_nogauss.witnesses
+            && self.scratch.witness_fingerprint == self.incremental_nogauss.witness_fingerprint
     }
 }
 
@@ -483,6 +509,43 @@ fn fold_cell(
     acc
 }
 
+/// One persistent-solver pass over the deterministic layer sequence, with
+/// the given solver configuration (the gauss on/off ablation knob).
+fn measure_guarded_loop(
+    formula: &CnfFormula,
+    sampling: &[Var],
+    layers: &[Vec<XorClause>],
+    bound: usize,
+    budget: &Budget,
+    solver_config: SolverConfig,
+) -> CellLoopMeasurement {
+    let calls = layers.len().max(1) as f64;
+    let started = Instant::now();
+    let mut solver = Solver::from_formula_with_config(formula, solver_config);
+    let mut witnesses = 0usize;
+    let mut fingerprint = 0u64;
+    for (cell_index, layer) in layers.iter().enumerate() {
+        let outcome = enumerate_cell(&mut solver, sampling, layer, bound, budget);
+        witnesses += outcome.len();
+        fingerprint = fold_cell(
+            fingerprint,
+            cell_index,
+            &outcome.witnesses,
+            outcome.is_exhaustive(),
+            sampling,
+        );
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    CellLoopMeasurement {
+        seconds,
+        seconds_per_cell: seconds / calls,
+        propagations_per_call: solver.stats().propagations as f64 / calls,
+        conflicts_per_call: solver.stats().conflicts as f64 / calls,
+        witnesses,
+        witness_fingerprint: fingerprint,
+    }
+}
+
 /// Runs the incremental-vs-scratch comparison on one instance.
 pub fn measure_incremental_comparison(
     benchmark: &Benchmark,
@@ -497,31 +560,27 @@ pub fn measure_incremental_comparison(
     let budget = Budget::new();
     let calls = layers.len().max(1) as f64;
 
-    // Incremental: one solver, guard-scoped cells.
-    let started = Instant::now();
-    let mut solver = Solver::from_formula(formula);
-    let mut incremental_witnesses = 0usize;
-    let mut incremental_fingerprint = 0u64;
-    for (cell_index, layer) in layers.iter().enumerate() {
-        let outcome = enumerate_cell(&mut solver, &sampling, layer, config.bound, &budget);
-        incremental_witnesses += outcome.len();
-        incremental_fingerprint = fold_cell(
-            incremental_fingerprint,
-            cell_index,
-            &outcome.witnesses,
-            outcome.is_exhaustive(),
-            &sampling,
-        );
-    }
-    let incremental_seconds = started.elapsed().as_secs_f64();
-    let incremental = CellLoopMeasurement {
-        seconds: incremental_seconds,
-        seconds_per_cell: incremental_seconds / calls,
-        propagations_per_call: solver.stats().propagations as f64 / calls,
-        conflicts_per_call: solver.stats().conflicts as f64 / calls,
-        witnesses: incremental_witnesses,
-        witness_fingerprint: incremental_fingerprint,
-    };
+    // Incremental: one solver, guard-scoped cells — once with the default
+    // configuration (Gauss–Jordan auto) and once with the matrices off.
+    let incremental = measure_guarded_loop(
+        formula,
+        &sampling,
+        &layers,
+        config.bound,
+        &budget,
+        SolverConfig::default(),
+    );
+    let incremental_nogauss = measure_guarded_loop(
+        formula,
+        &sampling,
+        &layers,
+        config.bound,
+        &budget,
+        SolverConfig {
+            gauss: GaussMode::Off,
+            ..SolverConfig::default()
+        },
+    );
 
     // Scratch: the seed codebase's behaviour, reproduced exactly — clone the
     // formula, rebuild a solver for every cell, and solve cold (from level
@@ -588,6 +647,7 @@ pub fn measure_incremental_comparison(
         cells: layers.len(),
         scratch,
         incremental,
+        incremental_nogauss,
     }
 }
 
@@ -602,6 +662,18 @@ pub fn run_incremental_bench(
             .iter()
             .map(|b| measure_incremental_comparison(b, config))
             .collect(),
+    }
+}
+
+/// Formats a ratio for the hand-rolled JSON: division by a zero denominator
+/// yields `f64::INFINITY` (e.g. zero conflicts in the gauss-on loop), which
+/// `{:.3}` would render as the invalid JSON token `inf` — emit `null`
+/// instead so the document stays machine-readable.
+fn json_ratio(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -625,24 +697,27 @@ pub fn render_incremental_json(report: &IncrementalReport) -> String {
         report.config.seed
     ));
     out.push_str(&format!(
-        "  \"geometric_mean_speedup\": {:.3},\n",
-        report.geometric_mean_speedup()
+        "  \"geometric_mean_speedup\": {},\n",
+        json_ratio(report.geometric_mean_speedup())
     ));
     out.push_str("  \"instances\": [\n");
     for (i, instance) in report.instances.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"num_vars\": {}, \"sampling_set\": {}, \"cells\": {}, \"speedup\": {:.3}, \"witnesses_match\": {},\n",
+            "    {{\"name\": \"{}\", \"num_vars\": {}, \"sampling_set\": {}, \"cells\": {}, \"speedup\": {}, \"nogauss_speedup\": {}, \"gauss_conflict_reduction\": {}, \"witnesses_match\": {},\n",
             instance.name,
             instance.num_vars,
             instance.sampling_set_size,
             instance.cells,
-            instance.speedup(),
+            json_ratio(instance.speedup()),
+            json_ratio(instance.nogauss_speedup()),
+            json_ratio(instance.gauss_conflict_reduction()),
             instance.witnesses_match()
         ));
         out.push_str(&format!(
-            "     \"scratch\": {}, \"incremental\": {}}}{}\n",
+            "     \"scratch\": {},\n     \"incremental\": {},\n     \"incremental_nogauss\": {}}}{}\n",
             json_measurement(&instance.scratch),
             json_measurement(&instance.incremental),
+            json_measurement(&instance.incremental_nogauss),
             if i + 1 < report.instances.len() {
                 ","
             } else {
@@ -652,6 +727,20 @@ pub fn render_incremental_json(report: &IncrementalReport) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Extracts the committed `geometric_mean_speedup` from a previously written
+/// `BENCH_incremental.json` document (the perf-trajectory baseline the CI
+/// gate compares against). Hand-rolled to match the hand-rolled writer; the
+/// workspace deliberately has no JSON dependency.
+pub fn parse_baseline_geomean(json: &str) -> Option<f64> {
+    let key = "\"geometric_mean_speedup\":";
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -740,10 +829,71 @@ mod tests {
         assert!(json.contains("\"incremental_vs_scratch_bsat\""));
         assert!(json.contains("\"inc-json\""));
         assert!(json.contains("geometric_mean_speedup"));
+        assert!(json.contains("\"incremental_nogauss\""));
+        assert!(json.contains("\"gauss_conflict_reduction\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced braces in {json}"
+        );
+        // The perf gate reads its baseline back out of exactly this format.
+        let geomean = parse_baseline_geomean(&json).expect("geomean parses back");
+        assert!((geomean - report.geometric_mean_speedup()).abs() < 0.001);
+    }
+
+    #[test]
+    fn infinite_ratios_render_as_null_not_inf() {
+        assert_eq!(json_ratio(2.5), "2.500");
+        assert_eq!(json_ratio(f64::INFINITY), "null");
+        assert_eq!(json_ratio(f64::NAN), "null");
+
+        // A gauss-on loop with zero conflicts (the matrices' best case)
+        // must not corrupt the machine-readable report.
+        let perfect = CellLoopMeasurement {
+            seconds: 0.5,
+            seconds_per_cell: 0.05,
+            propagations_per_call: 10.0,
+            conflicts_per_call: 0.0,
+            witnesses: 4,
+            witness_fingerprint: 1,
+        };
+        let report = IncrementalReport {
+            config: IncrementalBenchConfig::default(),
+            instances: vec![IncrementalComparison {
+                name: "zero-conflicts".into(),
+                num_vars: 4,
+                sampling_set_size: 4,
+                cells: 1,
+                scratch: CellLoopMeasurement {
+                    conflicts_per_call: 7.0,
+                    ..perfect
+                },
+                incremental: perfect,
+                incremental_nogauss: CellLoopMeasurement {
+                    conflicts_per_call: 7.0,
+                    ..perfect
+                },
+            }],
+        };
+        let json = render_incremental_json(&report);
+        assert!(json.contains("\"gauss_conflict_reduction\": null"));
+        assert!(!json.contains("inf"), "invalid JSON token in {json}");
+    }
+
+    #[test]
+    fn baseline_geomean_parsing_is_robust() {
+        assert_eq!(
+            parse_baseline_geomean("{\"geometric_mean_speedup\": 2.337,\n"),
+            Some(2.337)
+        );
+        assert_eq!(
+            parse_baseline_geomean("{ \"geometric_mean_speedup\":1.0}"),
+            Some(1.0)
+        );
+        assert_eq!(parse_baseline_geomean("{}"), None);
+        assert_eq!(
+            parse_baseline_geomean("\"geometric_mean_speedup\": x"),
+            None
         );
     }
 }

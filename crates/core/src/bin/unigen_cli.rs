@@ -181,6 +181,16 @@ fn run(options: &CliOptions) -> Result<(), String> {
             stats.guarded_learned_retired,
             stats.learned_retained
         );
+        // Gauss–Jordan matrix propagation over the guarded hash layers:
+        // how many layers were compiled to matrices and what they did.
+        eprintln!(
+            "c gauss: matrices={} rows={} propagations={} conflicts={} row xors={}",
+            stats.gauss_matrices,
+            stats.gauss_rows,
+            stats.gauss_propagations,
+            stats.gauss_conflicts,
+            stats.gauss_row_ops
+        );
     }
     Ok(())
 }

@@ -1,5 +1,26 @@
 //! Solver configuration.
 
+/// How the solver propagates *guarded* xor layers (hash cells).
+///
+/// Unguarded xor constraints always use the watched-variable engine; this
+/// knob only controls whether a guard's rows are additionally compiled into
+/// a per-guard Gauss–Jordan matrix (see [`crate::Solver::add_xor_under`]),
+/// which discovers implications and conflicts entailed by *combinations*
+/// of rows at the cost of dense row arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaussMode {
+    /// Never build matrices; every xor uses watched-variable propagation.
+    Off,
+    /// Build a matrix for every guarded layer, regardless of size.
+    On,
+    /// Build a matrix only for layers with at least
+    /// [`SolverConfig::gauss_auto_threshold`] rows — wide hash layers are
+    /// where cross-row reasoning pays for itself, while tiny layers stay
+    /// on the cheaper watched engine.
+    #[default]
+    Auto,
+}
+
 /// Tunable parameters of the CDCL search.
 ///
 /// The defaults follow MiniSat-style folklore values and are what every
@@ -39,6 +60,11 @@ pub struct SolverConfig {
     /// variable activities; two solvers built with the same seed and the same
     /// formula explore the same search tree.
     pub seed: u64,
+    /// Gauss–Jordan elimination policy for guarded xor layers.
+    pub gauss: GaussMode,
+    /// Minimum number of rows a guarded layer needs before
+    /// [`GaussMode::Auto`] compiles it into a matrix.
+    pub gauss_auto_threshold: usize,
 }
 
 impl Default for SolverConfig {
@@ -51,6 +77,8 @@ impl Default for SolverConfig {
             learned_clause_growth: 1.3,
             default_polarity: false,
             seed: 0x5eed_cafe,
+            gauss: GaussMode::Auto,
+            gauss_auto_threshold: 2,
         }
     }
 }
@@ -66,5 +94,7 @@ mod tests {
         assert!(c.clause_decay > 0.0 && c.clause_decay < 1.0);
         assert!(c.restart_interval > 0);
         assert!(c.learned_clause_growth > 1.0);
+        assert_eq!(c.gauss, GaussMode::Auto);
+        assert!(c.gauss_auto_threshold >= 1);
     }
 }

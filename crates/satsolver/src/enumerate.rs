@@ -391,6 +391,58 @@ mod tests {
     }
 
     #[test]
+    fn enumerate_cell_agrees_across_gauss_modes() {
+        use crate::config::{GaussMode, SolverConfig};
+
+        // A cell wide enough for cross-row reasoning to matter: the layer's
+        // rows overlap pairwise, so the matrix path and the watched path
+        // take genuinely different propagation routes to the same set.
+        let mut f = CnfFormula::new(5);
+        f.add_clause([
+            Lit::from_dimacs(1),
+            Lit::from_dimacs(2),
+            Lit::from_dimacs(5),
+        ])
+        .unwrap();
+        f.add_clause([Lit::from_dimacs(-3), Lit::from_dimacs(4)])
+            .unwrap();
+        let sampling = all_vars(5);
+        let layer = vec![
+            XorClause::from_dimacs([1, 2, 3], true),
+            XorClause::from_dimacs([2, 3, 4], false),
+            XorClause::from_dimacs([1, 4, 5], true),
+        ];
+        let mut sets = Vec::new();
+        for gauss in [GaussMode::Off, GaussMode::Auto, GaussMode::On] {
+            let config = SolverConfig {
+                gauss,
+                gauss_auto_threshold: 2,
+                ..SolverConfig::default()
+            };
+            let mut solver = Solver::from_formula_with_config(&f, config);
+            let cell = enumerate_cell(&mut solver, &sampling, &layer, 100, &Budget::new());
+            assert!(cell.is_exhaustive());
+            for w in &cell.witnesses {
+                assert!(f.evaluate(w));
+                for xor in &layer {
+                    assert!(xor.evaluate(w));
+                }
+            }
+            let set: HashSet<_> = cell
+                .witnesses
+                .iter()
+                .map(|w| w.project(&sampling))
+                .collect();
+            // The guard cycle left no residue in any mode.
+            let base = enumerate_cell(&mut solver, &sampling, &[], 100, &Budget::new());
+            assert_eq!(base.len(), 21, "base model count in mode {gauss:?}");
+            sets.push(set);
+        }
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+    }
+
+    #[test]
     fn enumerate_cell_matches_scratch_enumeration() {
         let mut f = CnfFormula::new(4);
         f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])

@@ -1,0 +1,782 @@
+//! Gauss–Jordan elimination over guarded xor layers.
+//!
+//! The watched-variable engine in [`crate::xor_engine`] propagates each xor
+//! constraint in isolation: it discovers an implied literal or a conflict
+//! only when a *single* row has at most one unassigned variable left. Random
+//! hash layers, however, routinely entail units and conflicts through
+//! *combinations* of rows (`x⊕y = 0` and `x⊕y⊕z = 1` imply `z` long before
+//! either row is unit on its own). CryptoMiniSAT — the solver behind the
+//! experiments of the UniGen paper (DAC 2014) and its CAV 2013 predecessor —
+//! recovers those through Gaussian elimination; this module brings the same
+//! capability to the guarded hash layers here.
+//!
+//! # Data structure
+//!
+//! One dense bit matrix per activation guard, built from the guard's xor
+//! rows when the layer is *sealed* (first solve after the rows were added).
+//! Columns are the variables occurring in the layer — for a hash layer that
+//! is a subset of the sampling set — packed into `u64` words; each row also
+//! carries its parity bit. The matrix is kept in **reduced row-echelon
+//! form**: every row owns a *basic* column that occurs in no other row.
+//!
+//! # Propagation (the "simplex way")
+//!
+//! Following Han & Jiang (CAV 2012) and CryptoMiniSAT's `EGaussian`, the
+//! matrix reacts to variable assignments:
+//!
+//! * when a row's **basic** variable is assigned, the row re-pivots onto one
+//!   of its unassigned columns and that column is eliminated from every
+//!   other row (actual row xors — this is where cross-row reasoning
+//!   happens dynamically);
+//! * every row with at most one unassigned variable then yields an implied
+//!   literal, a conflict, or — when the guard is still unassigned — an
+//!   implication of the guard itself (the clause `g ∨ row` is unit on `g`).
+//!
+//! Because each not-fully-assigned row keeps a *distinct unassigned* basic
+//! variable, any unit or conflicting linear combination of two or more rows
+//! would contain at least two unassigned variables — so checking rows
+//! individually is complete: the matrix propagates everything Gauss–Jordan
+//! elimination under the current assignment could derive.
+//!
+//! # Why backtracking needs no undo hook
+//!
+//! Row operations are equivalence transformations of the linear system and
+//! are valid under *any* assignment, so the matrix is never rolled back.
+//! The basic-column bookkeeping is conservative: a basic variable that was
+//! assigned (and could not be replaced because its row was fully assigned)
+//! becomes a valid pivot again the moment backtracking unassigns it. The
+//! only per-assignment state — implication *reasons* — is captured eagerly
+//! as literal vectors at propagation time, exactly because later row
+//! operations may rewrite the row that justified an earlier implication.
+//! Reasons are keyed by the implied variable and stay valid until the
+//! variable leaves the trail, after which they are overwritten by the next
+//! implication of that variable.
+
+use std::collections::HashMap;
+
+use unigen_cnf::{Lit, Var, XorClause};
+
+/// A guard's key: the index of its activation variable.
+pub(crate) type GuardKey = u32;
+
+/// Outcome of compiling a layer's rows into a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BuildOutcome {
+    /// The matrix is installed and may propagate.
+    Built {
+        /// Number of (non-redundant) rows this call added to the matrix.
+        added: usize,
+        /// `true` if this call created the matrix (as opposed to merging
+        /// more rows into an existing one) — the stats count each matrix
+        /// once.
+        fresh: bool,
+    },
+    /// The rows are jointly unsatisfiable (some combination reduces to
+    /// `0 = 1`): the caller must assert the guard's disable literal — the
+    /// guarded layer contributes exactly the unit clause `g`.
+    LayerUnsat,
+}
+
+/// One propagation event discovered by a matrix scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum GaussResult {
+    /// Some row forces `lit`; `reason` holds the antecedent literals (all
+    /// currently false). `lit` may be the guard's disable literal when a
+    /// row is violated while the guard is still unassigned. The solver
+    /// stores the reason (via [`GaussEngine::store_reason`]) only for the
+    /// implication it actually enqueues, so a later event can never
+    /// clobber the justification of an assignment already on the trail.
+    Implied {
+        /// The implied literal.
+        lit: Lit,
+        /// The antecedent literals justifying `lit`.
+        reason: Vec<Lit>,
+    },
+    /// A row of an *active* guard is violated by the current assignment;
+    /// the conflict clause was stored and is retrieved with
+    /// [`GaussEngine::conflict_lits`].
+    Conflict,
+}
+
+/// One row: column bitset plus parity, owning one basic column.
+#[derive(Debug, Clone)]
+struct Row {
+    bits: Vec<u64>,
+    rhs: bool,
+    /// Column index of this row's basic variable.
+    basic: usize,
+}
+
+impl Row {
+    fn get(&self, col: usize) -> bool {
+        self.bits[col / 64] >> (col % 64) & 1 != 0
+    }
+
+    fn xor_in(&mut self, other: &Row) {
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w ^= o;
+        }
+        self.rhs ^= other.rhs;
+    }
+
+    fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the set columns of the row.
+    fn cols(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+/// Per-guard dense matrix in reduced row-echelon form.
+#[derive(Debug, Clone)]
+struct GaussMatrix {
+    /// The guard's disable literal `g`; the layer is active while `g` is
+    /// false.
+    guard: Lit,
+    /// Column index → variable.
+    cols: Vec<Var>,
+    /// Variable index → column index.
+    col_of: HashMap<u32, usize>,
+    words: usize,
+    rows: Vec<Row>,
+}
+
+/// What a row looks like under the current partial assignment.
+struct RowState {
+    unassigned: usize,
+    /// Some unassigned column of the row (meaningful when `unassigned == 1`).
+    unassigned_col: usize,
+    /// Parity of the assigned variables' values.
+    parity: bool,
+}
+
+impl GaussMatrix {
+    fn new(guard: Lit) -> Self {
+        GaussMatrix {
+            guard,
+            cols: Vec::new(),
+            col_of: HashMap::new(),
+            words: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Registers `var` as a column, growing every row's bitset as needed.
+    /// Returns the column index and whether the column is new.
+    fn intern_col(&mut self, var: Var) -> (usize, bool) {
+        if let Some(&c) = self.col_of.get(&(var.index() as u32)) {
+            return (c, false);
+        }
+        let c = self.cols.len();
+        self.cols.push(var);
+        self.col_of.insert(var.index() as u32, c);
+        let words = c / 64 + 1;
+        if words > self.words {
+            self.words = words;
+            for row in &mut self.rows {
+                row.bits.resize(words, 0);
+            }
+        }
+        (c, true)
+    }
+
+    /// Reduces a fresh xor row against the matrix and inserts it, keeping
+    /// the reduced row-echelon invariant. Returns the variables of any
+    /// newly created columns, `Ok(false)` if the row was redundant,
+    /// `Ok(true)` if it was inserted, and `Err(())` if it reduced to
+    /// `0 = 1` (the layer is unsatisfiable).
+    ///
+    /// `row_ops` counts the elimination xors performed.
+    fn insert_row(
+        &mut self,
+        xor: &XorClause,
+        value_of: impl Fn(Var) -> Option<bool>,
+        new_cols: &mut Vec<Var>,
+        row_ops: &mut u64,
+    ) -> Result<bool, ()> {
+        for &v in xor.vars() {
+            let (_, fresh) = self.intern_col(v);
+            if fresh {
+                new_cols.push(v);
+            }
+        }
+        let mut row = Row {
+            bits: vec![0; self.words],
+            rhs: xor.rhs(),
+            basic: 0,
+        };
+        for &v in xor.vars() {
+            let c = self.col_of[&(v.index() as u32)];
+            row.bits[c / 64] ^= 1 << (c % 64);
+        }
+        // Eliminate existing basic columns from the new row.
+        for existing in &self.rows {
+            if row.get(existing.basic) {
+                row.xor_in(existing);
+                *row_ops += 1;
+            }
+        }
+        if row.is_zero() {
+            return if row.rhs { Err(()) } else { Ok(false) };
+        }
+        // Pick a basic column, preferring an unassigned variable so the
+        // row starts out obeying the propagation invariant.
+        let basic = row
+            .cols()
+            .find(|&c| value_of(self.cols[c]).is_none())
+            .or_else(|| row.cols().next())
+            .expect("non-zero row has a column");
+        row.basic = basic;
+        // Jordan step: clear the new basic column from every other row.
+        for existing in &mut self.rows {
+            if existing.get(basic) {
+                existing.xor_in(&row);
+                *row_ops += 1;
+            }
+        }
+        self.rows.push(row);
+        Ok(true)
+    }
+
+    /// Re-pivots any row whose basic column is `col` (whose variable was
+    /// just assigned) onto an unassigned column, eliminating that column
+    /// from all other rows. Indices of rows modified by the elimination
+    /// (including the pivot row) are appended to `modified`.
+    fn repivot_on_assign(
+        &mut self,
+        col: usize,
+        value_of: impl Fn(Var) -> Option<bool>,
+        row_ops: &mut u64,
+        modified: &mut Vec<usize>,
+    ) {
+        let Some(r) = self.rows.iter().position(|row| row.basic == col) else {
+            return;
+        };
+        let Some(new_basic) = self.rows[r]
+            .cols()
+            .find(|&c| value_of(self.cols[c]).is_none())
+        else {
+            // Fully assigned row: it stays as-is and becomes a valid pivot
+            // row again once backtracking unassigns its basic variable.
+            return;
+        };
+        self.rows[r].basic = new_basic;
+        modified.push(r);
+        let pivot = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i != r && row.get(new_basic) {
+                row.xor_in(&pivot);
+                *row_ops += 1;
+                modified.push(i);
+            }
+        }
+    }
+
+    fn state_of(&self, row: &Row, value_of: &impl Fn(Var) -> Option<bool>) -> RowState {
+        let mut state = RowState {
+            unassigned: 0,
+            unassigned_col: 0,
+            parity: false,
+        };
+        for c in row.cols() {
+            match value_of(self.cols[c]) {
+                Some(v) => state.parity ^= v,
+                None => {
+                    state.unassigned += 1;
+                    state.unassigned_col = c;
+                }
+            }
+        }
+        state
+    }
+
+    /// The falsified literals of the row's assigned variables (the reason
+    /// side of an implication or conflict derived from the row).
+    fn falsified_lits(&self, row: &Row, value_of: &impl Fn(Var) -> Option<bool>) -> Vec<Lit> {
+        row.cols()
+            .filter_map(|c| {
+                let v = self.cols[c];
+                value_of(v).map(|value| v.lit(!value))
+            })
+            .collect()
+    }
+}
+
+/// The per-guard Gauss–Jordan matrices plus the bookkeeping that connects
+/// them to the solver: pending (not yet sealed) layers, variable→matrix
+/// dispatch, eagerly stored implication reasons, and the last conflict.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GaussEngine {
+    /// Rows added under a guard but not yet compiled (sealed at the next
+    /// solve). Insertion-ordered so sealing is deterministic.
+    pending: Vec<(GuardKey, Vec<XorClause>)>,
+    matrices: HashMap<GuardKey, GaussMatrix>,
+    /// Variable index → guards whose matrix has the variable as a column.
+    touching: HashMap<u32, Vec<GuardKey>>,
+    /// Antecedent literals of the most recent implication of each variable.
+    reasons: HashMap<u32, Vec<Lit>>,
+    /// Conflict literals of the most recent conflict.
+    conflict: Vec<Lit>,
+    /// Reusable buffer of affected row indices (avoids an allocation per
+    /// propagated literal on the hot path).
+    affected_scratch: Vec<usize>,
+    /// Number of row xors performed (build, insert and re-pivot combined).
+    pub(crate) row_ops: u64,
+}
+
+impl GaussEngine {
+    /// Queues a row for `guard`; it becomes part of the guard's matrix when
+    /// the layer is sealed.
+    pub(crate) fn push_pending(&mut self, guard: GuardKey, xor: XorClause) {
+        match self.pending.iter_mut().find(|(g, _)| *g == guard) {
+            Some((_, rows)) => rows.push(xor),
+            None => self.pending.push((guard, vec![xor])),
+        }
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    pub(crate) fn take_pending(&mut self) -> Vec<(GuardKey, Vec<XorClause>)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Returns `true` if no matrix exists (fast path for propagation).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.matrices.is_empty()
+    }
+
+    /// Number of matrices currently installed.
+    #[cfg(test)]
+    pub(crate) fn num_matrices(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Compiles `rows` into a matrix for `guard` (merging into an existing
+    /// matrix if the guard already has one — rows can arrive across several
+    /// solve calls).
+    pub(crate) fn build(
+        &mut self,
+        guard: GuardKey,
+        guard_lit: Lit,
+        rows: &[XorClause],
+        value_of: impl Fn(Var) -> Option<bool>,
+    ) -> BuildOutcome {
+        let fresh = !self.matrices.contains_key(&guard);
+        let matrix = self
+            .matrices
+            .entry(guard)
+            .or_insert_with(|| GaussMatrix::new(guard_lit));
+        let rows_before = matrix.rows.len();
+        let mut new_cols = Vec::new();
+        let mut unsat = false;
+        for xor in rows {
+            match matrix.insert_row(xor, &value_of, &mut new_cols, &mut self.row_ops) {
+                Ok(_) => {}
+                Err(()) => {
+                    unsat = true;
+                    break;
+                }
+            }
+        }
+        if unsat {
+            self.drop_matrix(guard);
+            return BuildOutcome::LayerUnsat;
+        }
+        let total = matrix.rows.len();
+        for v in new_cols {
+            self.touching
+                .entry(v.index() as u32)
+                .or_default()
+                .push(guard);
+        }
+        if total == 0 {
+            // Every row was redundant: nothing to watch, drop the shell.
+            self.drop_matrix(guard);
+        }
+        BuildOutcome::Built {
+            added: total - rows_before,
+            fresh: fresh && total > 0,
+        }
+    }
+
+    /// Number of rows in the guard's installed matrix (zero if none).
+    pub(crate) fn matrix_rows(&self, guard: GuardKey) -> usize {
+        self.matrices.get(&guard).map(|m| m.rows.len()).unwrap_or(0)
+    }
+
+    fn drop_matrix(&mut self, guard: GuardKey) {
+        if let Some(matrix) = self.matrices.remove(&guard) {
+            for v in &matrix.cols {
+                if let Some(list) = self.touching.get_mut(&(v.index() as u32)) {
+                    list.retain(|&g| g != guard);
+                    if list.is_empty() {
+                        self.touching.remove(&(v.index() as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the guard's matrix and any pending rows. Returns the number
+    /// of matrix rows dropped.
+    pub(crate) fn retire(&mut self, guard_var: Var) -> usize {
+        let key = guard_var.index() as GuardKey;
+        self.pending.retain(|(g, _)| *g != key);
+        let rows = self.matrices.get(&key).map(|m| m.rows.len()).unwrap_or(0);
+        self.drop_matrix(key);
+        rows
+    }
+
+    /// Records the antecedents of an implication the solver enqueued; they
+    /// stay retrievable (via [`GaussEngine::reason_for`]) until the
+    /// variable is implied again, which can only happen after backtracking
+    /// unassigned it.
+    pub(crate) fn store_reason(&mut self, var: Var, reason: Vec<Lit>) {
+        self.reasons.insert(var.index() as u32, reason);
+    }
+
+    /// The antecedent literals stored for the most recent implication of
+    /// `var` (all currently false).
+    pub(crate) fn reason_for(&self, var: Var) -> &[Lit] {
+        self.reasons
+            .get(&(var.index() as u32))
+            .expect("gauss reason queried for a variable it never implied")
+    }
+
+    /// Stores an explicit conflict clause (used by the solver when an
+    /// implied literal turns out to be already false).
+    pub(crate) fn set_conflict(&mut self, lits: Vec<Lit>) {
+        self.conflict = lits;
+    }
+
+    /// The literals of the most recent conflict (all currently false).
+    pub(crate) fn conflict_lits(&self) -> Vec<Lit> {
+        self.conflict.clone()
+    }
+
+    /// Reacts to the assignment of `var`: re-pivots matrices whose basic
+    /// variable it is, then scans affected matrices for implications and
+    /// conflicts. `var` may also be a guard variable, in which case the
+    /// layer's pending implications fire on activation.
+    pub(crate) fn on_assign(
+        &mut self,
+        var: Var,
+        value_of: impl Fn(Var) -> Option<bool>,
+        results: &mut Vec<GaussResult>,
+    ) {
+        // Guard event: the matrix (if any) may just have become active.
+        let key = var.index() as GuardKey;
+        if self.matrices.contains_key(&key) {
+            self.scan_matrix(key, &value_of, results);
+        }
+        // Take (rather than clone) the touching list and the affected-rows
+        // buffer: this runs for nearly every propagated literal of a hashed
+        // solve, so the loop must not allocate. Nothing inside the loop
+        // mutates `touching`, so the list is restored verbatim below.
+        let Some(entry) = self.touching.get_mut(&key) else {
+            return;
+        };
+        let guards = std::mem::take(entry);
+        let mut affected = std::mem::take(&mut self.affected_scratch);
+        for &guard in &guards {
+            // Only rows whose contents or column set this assignment could
+            // have changed need a state check: rows containing the assigned
+            // column, plus rows rewritten by the re-pivot elimination
+            // (which may have gained or lost the column in the process).
+            // `affected` stays tiny (≤ the layer's row count), so the
+            // linear dedup below beats any set structure.
+            affected.clear();
+            let Some(matrix) = self.matrices.get_mut(&guard) else {
+                continue;
+            };
+            let Some(&col) = matrix.col_of.get(&key) else {
+                continue;
+            };
+            matrix.repivot_on_assign(col, &value_of, &mut self.row_ops, &mut affected);
+            for (i, row) in matrix.rows.iter().enumerate() {
+                if row.get(col) && !affected.contains(&i) {
+                    affected.push(i);
+                }
+            }
+            self.scan_rows(guard, Some(&affected), &value_of, results);
+            if matches!(results.last(), Some(GaussResult::Conflict)) {
+                break;
+            }
+        }
+        self.affected_scratch = affected;
+        self.touching.insert(key, guards);
+    }
+
+    /// Scans every row of one matrix under the current assignment, pushing
+    /// implications (and at most one conflict, which terminates the scan).
+    /// Used on guard activation and at seal time, where any row may fire.
+    pub(crate) fn scan_matrix(
+        &mut self,
+        guard: GuardKey,
+        value_of: &impl Fn(Var) -> Option<bool>,
+        results: &mut Vec<GaussResult>,
+    ) {
+        self.scan_rows(guard, None, value_of, results);
+    }
+
+    /// Scans the given rows (all of them for `None`) of one matrix under
+    /// the current assignment, pushing implications (and at most one
+    /// conflict, which terminates the scan).
+    fn scan_rows(
+        &mut self,
+        guard: GuardKey,
+        rows: Option<&[usize]>,
+        value_of: &impl Fn(Var) -> Option<bool>,
+        results: &mut Vec<GaussResult>,
+    ) {
+        let Some(matrix) = self.matrices.get(&guard) else {
+            return;
+        };
+        let g = matrix.guard;
+        // None: the guard is unassigned (layer pending). Some(true): the
+        // guard is satisfied (layer dormant). Some(false): layer active.
+        let guard_value = value_of(g.var()).map(|v| g.evaluate(v));
+        if guard_value == Some(true) {
+            return; // dormant: `g ∨ row` is satisfied outright
+        }
+        let active = guard_value == Some(false);
+        let mut conflict: Option<Vec<Lit>> = None;
+        let mut indices = 0..matrix.rows.len();
+        let mut listed = rows.map(|r| r.iter().copied());
+        let mut next = || match listed.as_mut() {
+            Some(iter) => iter.next(),
+            None => indices.next(),
+        };
+        while let Some(index) = next() {
+            let row = &matrix.rows[index];
+            let state = matrix.state_of(row, value_of);
+            match state.unassigned {
+                0 if state.parity != row.rhs => {
+                    let mut lits = matrix.falsified_lits(row, value_of);
+                    if active {
+                        lits.push(g);
+                        conflict = Some(lits);
+                        break;
+                    }
+                    // Guard unassigned: `g ∨ row` is unit on the guard.
+                    results.push(GaussResult::Implied {
+                        lit: g,
+                        reason: lits,
+                    });
+                }
+                1 if active => {
+                    let v = matrix.cols[state.unassigned_col];
+                    let lit = v.lit(row.rhs ^ state.parity);
+                    let mut lits = matrix.falsified_lits(row, value_of);
+                    lits.push(g);
+                    results.push(GaussResult::Implied { lit, reason: lits });
+                }
+                _ => {}
+            }
+        }
+        if let Some(lits) = conflict {
+            self.conflict = lits;
+            results.push(GaussResult::Conflict);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn value_fn(map: &Map<Var, bool>) -> impl Fn(Var) -> Option<bool> + '_ {
+        move |v| map.get(&v).copied()
+    }
+
+    fn xor(vars: &[usize], rhs: bool) -> XorClause {
+        XorClause::new(vars.iter().map(|&i| Var::new(i)).collect::<Vec<_>>(), rhs)
+    }
+
+    fn guard_var() -> Var {
+        Var::new(9)
+    }
+
+    fn guard_lit() -> Lit {
+        guard_var().positive()
+    }
+
+    fn implied_lits(results: &[GaussResult]) -> Vec<Lit> {
+        results
+            .iter()
+            .map(|r| match r {
+                GaussResult::Implied { lit, .. } => *lit,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    fn build(engine: &mut GaussEngine, rows: &[XorClause]) -> BuildOutcome {
+        let assigned: Map<Var, bool> = Map::new();
+        engine.build(9, guard_lit(), rows, value_fn(&assigned))
+    }
+
+    #[test]
+    fn contradictory_rows_reduce_to_layer_unsat() {
+        let mut engine = GaussEngine::default();
+        // x0⊕x1 = 0, x1⊕x2 = 1, x0⊕x2 = 0 sums to 0 = 1.
+        let outcome = build(
+            &mut engine,
+            &[xor(&[0, 1], false), xor(&[1, 2], true), xor(&[0, 2], false)],
+        );
+        assert_eq!(outcome, BuildOutcome::LayerUnsat);
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let mut engine = GaussEngine::default();
+        let outcome = build(
+            &mut engine,
+            &[xor(&[0, 1], true), xor(&[1, 2], false), xor(&[0, 2], true)],
+        );
+        assert_eq!(
+            outcome,
+            BuildOutcome::Built {
+                added: 2,
+                fresh: true
+            }
+        );
+    }
+
+    #[test]
+    fn cross_row_implication_is_found() {
+        let mut engine = GaussEngine::default();
+        // x0⊕x1 = 0 and x0⊕x1⊕x2 = 1 together force x2 = 1 with *no*
+        // assignment at all — the reduction digests it, and activation
+        // (assigning ¬g) fires the implication.
+        let outcome = build(&mut engine, &[xor(&[0, 1], false), xor(&[0, 1, 2], true)]);
+        assert_eq!(
+            outcome,
+            BuildOutcome::Built {
+                added: 2,
+                fresh: true
+            }
+        );
+        let mut assigned = Map::new();
+        assigned.insert(guard_var(), false); // ¬g: layer active
+        let mut results = Vec::new();
+        engine.on_assign(guard_var(), value_fn(&assigned), &mut results);
+        assert_eq!(implied_lits(&results), vec![Var::new(2).positive()]);
+        match &results[0] {
+            GaussResult::Implied { reason, .. } => assert!(reason.contains(&guard_lit())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violated_rows_imply_the_guard_while_unassigned() {
+        let mut engine = GaussEngine::default();
+        build(&mut engine, &[xor(&[0, 1], true)]);
+        let mut assigned = Map::new();
+        assigned.insert(Var::new(0), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::new(0), value_fn(&assigned), &mut results);
+        assert!(results.is_empty(), "guard unassigned, row still open");
+        assigned.insert(Var::new(1), true); // parity now violated
+        engine.on_assign(Var::new(1), value_fn(&assigned), &mut results);
+        assert_eq!(implied_lits(&results), vec![guard_lit()]);
+        // The reason is the falsified row, without the guard itself.
+        match &results[0] {
+            GaussResult::Implied { reason, .. } => {
+                assert_eq!(reason.len(), 2);
+                assert!(!reason.contains(&guard_lit()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn active_violated_row_is_a_conflict_with_guard_in_the_clause() {
+        let mut engine = GaussEngine::default();
+        build(&mut engine, &[xor(&[0, 1], true)]);
+        let mut assigned = Map::new();
+        assigned.insert(guard_var(), false);
+        assigned.insert(Var::new(0), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::new(0), value_fn(&assigned), &mut results);
+        results.clear();
+        assigned.insert(Var::new(1), true);
+        engine.on_assign(Var::new(1), value_fn(&assigned), &mut results);
+        assert_eq!(results, vec![GaussResult::Conflict]);
+        let lits = engine.conflict_lits();
+        assert_eq!(lits.len(), 3);
+        assert!(lits.contains(&guard_lit()));
+    }
+
+    #[test]
+    fn dormant_matrix_is_silent() {
+        let mut engine = GaussEngine::default();
+        build(&mut engine, &[xor(&[0, 1], true)]);
+        let mut assigned = Map::new();
+        assigned.insert(guard_var(), true); // g: layer dormant
+        assigned.insert(Var::new(0), true);
+        assigned.insert(Var::new(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::new(0), value_fn(&assigned), &mut results);
+        engine.on_assign(Var::new(1), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn repivot_keeps_propagating_after_basic_assignment() {
+        let mut engine = GaussEngine::default();
+        // Two rows over four variables.
+        build(
+            &mut engine,
+            &[xor(&[0, 1, 2], false), xor(&[1, 2, 3], true)],
+        );
+        let mut assigned = Map::new();
+        assigned.insert(guard_var(), false);
+        let mut results = Vec::new();
+        engine.on_assign(guard_var(), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+        // Assign both basics' candidates one by one; whatever the internal
+        // pivots are, after x0 and x1 the system x2 = x0⊕x1, x3 = ¬(x1⊕x2)
+        // must imply the rest.
+        assigned.insert(Var::new(0), true);
+        engine.on_assign(Var::new(0), value_fn(&assigned), &mut results);
+        assigned.insert(Var::new(1), true);
+        engine.on_assign(Var::new(1), value_fn(&assigned), &mut results);
+        // x0⊕x1⊕x2 = 0 with x0 = x1 = 1 forces x2 = 0; then x1⊕x2⊕x3 = 1
+        // forces x3 = 0.
+        assert!(implied_lits(&results).contains(&Var::new(2).negative()));
+    }
+
+    #[test]
+    fn retire_drops_matrix_and_pending() {
+        let mut engine = GaussEngine::default();
+        engine.push_pending(9, xor(&[0, 1], true));
+        assert!(engine.has_pending());
+        build(&mut engine, &[xor(&[2, 3], false)]);
+        assert_eq!(engine.retire(Var::new(9)), 1);
+        assert!(!engine.has_pending());
+        assert!(engine.is_idle());
+        let mut assigned = Map::new();
+        assigned.insert(Var::new(2), true);
+        assigned.insert(Var::new(3), false);
+        let mut results = Vec::new();
+        engine.on_assign(Var::new(2), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+    }
+}

@@ -52,9 +52,11 @@
 //!   literals over a flat clause arena (blocker literals skip satisfied
 //!   clauses without touching clause memory), first-UIP clause learning,
 //!   VSIDS decisions with phase saving, Luby restarts, LBD-based
-//!   learned-clause reduction, and a watched-variable propagation engine for
+//!   learned-clause reduction, a watched-variable propagation engine for
 //!   (optionally guarded) xor constraints with lazily generated reason
-//!   clauses,
+//!   clauses, and per-guard Gauss–Jordan matrices ([`SolverConfig::gauss`])
+//!   that recover implications and conflicts entailed by *combinations* of a
+//!   hash layer's xor rows,
 //! * [`enumerate::bounded_solutions`] (the paper's `BSAT`),
 //!   [`enumerate::Enumerator`] for incremental enumeration with
 //!   sampling-set-restricted blocking clauses, and
@@ -96,6 +98,7 @@ mod budget;
 mod clause_db;
 mod config;
 mod decide;
+mod gauss;
 mod restart;
 mod solver;
 mod stats;
@@ -105,7 +108,7 @@ pub mod enumerate;
 pub mod support;
 
 pub use budget::Budget;
-pub use config::SolverConfig;
+pub use config::{GaussMode, SolverConfig};
 pub use enumerate::{bounded_solutions, enumerate_cell, EnumerationOutcome, Enumerator};
 pub use solver::{Guard, SolveResult, Solver};
 pub use stats::SolverStats;

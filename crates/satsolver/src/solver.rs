@@ -11,8 +11,9 @@ use unigen_cnf::{Clause, CnfFormula, Lit, Model, Var, XorClause};
 
 use crate::budget::Budget;
 use crate::clause_db::{ClauseDb, ClauseRef, Watcher};
-use crate::config::SolverConfig;
+use crate::config::{GaussMode, SolverConfig};
 use crate::decide::Vsids;
+use crate::gauss::{BuildOutcome, GaussEngine, GaussResult};
 use crate::restart::LubyRestarts;
 use crate::stats::SolverStats;
 use crate::xor_engine::{AddXor, XorEngine, XorPropagation, XorRef, XorState};
@@ -100,6 +101,9 @@ enum Reason {
     Clause(ClauseRef),
     /// Implied by an xor constraint.
     Xor(XorRef),
+    /// Implied by a Gauss–Jordan matrix row; the antecedents were stored
+    /// eagerly in the gauss engine, keyed by the implied variable.
+    Gauss,
     /// Asserted at level zero with no recorded antecedent (top-level unit).
     Unit,
 }
@@ -109,6 +113,9 @@ enum Reason {
 enum ConflictSource {
     Clause(ClauseRef),
     Xor(XorRef),
+    /// Conflict found by a Gauss–Jordan matrix; the clause literals were
+    /// stored eagerly in the gauss engine.
+    Gauss,
 }
 
 /// A conflict-driven clause-learning SAT solver with native xor support and
@@ -156,6 +163,16 @@ pub struct Solver {
     xor_scratch: Vec<XorPropagation>,
     /// Reusable marker buffer for clause minimisation.
     minimise_marked: Vec<bool>,
+    /// Gauss–Jordan matrices over guarded xor layers.
+    gauss: GaussEngine,
+    /// Reusable buffer for gauss propagation results.
+    gauss_scratch: Vec<GaussResult>,
+    /// Guarded rows routed to the watched engine while their layer was
+    /// below the Auto threshold, remembered so a later batch that pushes
+    /// the layer over the threshold can promote the *whole* layer into the
+    /// matrix (the watched copies stay installed — redundant propagation
+    /// is sound — so the matrix never reasons over a partial layer).
+    watched_guard_rows: HashMap<u32, Vec<XorClause>>,
 }
 
 impl Solver {
@@ -191,6 +208,9 @@ impl Solver {
             guarded_clauses: HashMap::new(),
             xor_scratch: Vec::new(),
             minimise_marked: vec![false; num_vars],
+            gauss: GaussEngine::default(),
+            gauss_scratch: Vec::new(),
+            watched_guard_rows: HashMap::new(),
         }
     }
 
@@ -419,7 +439,27 @@ impl Solver {
             return;
         }
         let guard_lit = guard.map(|g| g.disable_lit());
-        match self.xors.add(&xor, guard_lit) {
+        // Non-degenerate guarded rows are deferred: the gauss engine
+        // collects a guard's whole layer and decides at the next solve
+        // (the *seal* point) whether it becomes a Gauss–Jordan matrix or
+        // falls back to watched propagation. Degenerate rows (empty/unit
+        // after normalisation) combine with the guard immediately below.
+        if let Some(g) = guard_lit {
+            if xor.len() >= 2 && self.config.gauss != GaussMode::Off {
+                self.gauss.push_pending(g.var().index() as u32, xor);
+                return;
+            }
+        }
+        self.install_watched_xor(&xor, guard_lit);
+    }
+
+    /// Adds an xor constraint to the watched-variable engine, resolving
+    /// degenerate rows against the guard: an empty unsatisfiable row under
+    /// a guard is the unit clause `g` (the guarded layer is unsatisfiable,
+    /// not the solver), and a unit row under a guard is the binary clause
+    /// `g ∨ lit`.
+    fn install_watched_xor(&mut self, xor: &XorClause, guard_lit: Option<Lit>) {
+        match self.xors.add(xor, guard_lit) {
             AddXor::Tautology => {}
             AddXor::Unsatisfiable => match guard_lit {
                 // `g ∨ ⊥` is the unit clause `g`: the guarded layer is
@@ -493,6 +533,130 @@ impl Solver {
         }
     }
 
+    /// Compiles every pending guarded xor layer: layers at or above the
+    /// configured row threshold become Gauss–Jordan matrices, smaller ones
+    /// fall back to watched-variable propagation. Any level-zero
+    /// consequence (a jointly unsatisfiable layer reduces to the unit
+    /// clause `g`; rows violated by level-zero units imply `g`) is asserted
+    /// here, before search begins.
+    fn seal_gauss_layers(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.gauss.has_pending() {
+            return;
+        }
+        for (key, rows) in self.gauss.take_pending() {
+            if !self.ok {
+                return;
+            }
+            let guard_lit = Var::new(key as usize).positive();
+            // The Auto threshold judges the guard's whole layer — matrix
+            // rows from earlier solves, rows previously routed to the
+            // watched engine, and this batch. A guard with a matrix keeps
+            // extending it, and crossing the threshold late promotes the
+            // earlier watched rows into the matrix, so the matrix never
+            // reasons over a partial layer.
+            let existing = self.gauss.matrix_rows(key);
+            let watched = self.watched_guard_rows.get(&key).map_or(0, Vec::len);
+            let use_matrix = match self.config.gauss {
+                GaussMode::On => true,
+                GaussMode::Auto => {
+                    existing > 0
+                        || rows.len() + existing + watched >= self.config.gauss_auto_threshold
+                }
+                GaussMode::Off => false,
+            };
+            if !use_matrix {
+                for xor in &rows {
+                    if !self.ok {
+                        return;
+                    }
+                    self.install_watched_xor(xor, Some(guard_lit));
+                }
+                if self.config.gauss == GaussMode::Auto {
+                    self.watched_guard_rows.entry(key).or_default().extend(rows);
+                }
+                continue;
+            }
+            let mut rows = rows;
+            if let Some(promoted) = self.watched_guard_rows.remove(&key) {
+                // Earlier sub-threshold batches live in the watched engine;
+                // give the matrix the whole layer (the duplicated watched
+                // propagation is sound).
+                rows.extend(promoted);
+            }
+            let outcome = {
+                let assign = &self.assign;
+                self.gauss
+                    .build(key, guard_lit, &rows, |v| assign[v.index()])
+            };
+            match outcome {
+                BuildOutcome::LayerUnsat => {
+                    // The rows combine to `0 = 1`: the guarded layer
+                    // contributes exactly the unit clause `g`.
+                    self.assert_level_zero(guard_lit, Reason::Unit);
+                }
+                BuildOutcome::Built { added, fresh } => {
+                    if fresh {
+                        self.stats.gauss_matrices += 1;
+                    }
+                    self.stats.gauss_rows += added as u64;
+                    if added == 0 {
+                        continue;
+                    }
+                    // Level-zero units may already satisfy or violate rows.
+                    let mut results = std::mem::take(&mut self.gauss_scratch);
+                    results.clear();
+                    {
+                        let assign = &self.assign;
+                        self.gauss
+                            .scan_matrix(key, &|v: Var| assign[v.index()], &mut results);
+                    }
+                    if self.apply_gauss_results(&mut results).is_some() {
+                        self.ok = false;
+                    }
+                    self.gauss_scratch = results;
+                }
+            }
+        }
+        self.stats.gauss_row_ops = self.gauss.row_ops;
+    }
+
+    /// Enqueues the implications a gauss scan produced (storing their
+    /// reasons for conflict analysis) and converts violated implications
+    /// into conflicts. Returns the conflict source, if any.
+    fn apply_gauss_results(&mut self, results: &mut Vec<GaussResult>) -> Option<ConflictSource> {
+        let mut conflict = None;
+        for result in results.drain(..) {
+            if conflict.is_some() {
+                break;
+            }
+            match result {
+                GaussResult::Implied { lit, reason } => match self.lit_value(lit) {
+                    Some(true) => {}
+                    Some(false) => {
+                        // The row forces `lit`, which is already false: the
+                        // entailed clause `reason ∨ lit` is the conflict.
+                        let mut lits = reason;
+                        lits.push(lit);
+                        self.gauss.set_conflict(lits);
+                        self.stats.gauss_conflicts += 1;
+                        conflict = Some(ConflictSource::Gauss);
+                    }
+                    None => {
+                        self.stats.gauss_propagations += 1;
+                        self.gauss.store_reason(lit.var(), reason);
+                        self.enqueue(lit, Reason::Gauss);
+                    }
+                },
+                GaussResult::Conflict => {
+                    self.stats.gauss_conflicts += 1;
+                    conflict = Some(ConflictSource::Gauss);
+                }
+            }
+        }
+        conflict
+    }
+
     /// Retires a guard: deletes every clause and xor constraint attached to
     /// it (including learned clauses whose derivation depended on the guarded
     /// layer — they all mention the guard literal) and asserts the guard's
@@ -519,6 +683,9 @@ impl Solver {
             self.clauses.sweep_deleted_watchers(&deleted);
         }
         self.xors.retire(guard.var());
+        self.gauss.retire(guard.var());
+        self.watched_guard_rows
+            .remove(&(guard.var().index() as u32));
         self.stats.guarded_learned_retired += retired_learned;
         // Keep only the glucose-style core of the remaining learned clauses:
         // across hash cells, high-LBD clauses cost more propagation work
@@ -685,6 +852,10 @@ impl Solver {
             );
         }
         if self.decision_level() == 0 {
+            self.seal_gauss_layers();
+            if !self.ok {
+                return SolveResult::Unsat;
+            }
             if self.propagate().is_some() {
                 self.ok = false;
                 return SolveResult::Unsat;
@@ -840,6 +1011,9 @@ impl Solver {
             if let Some(conflict) = self.propagate_xors(lit.var()) {
                 return Some(conflict);
             }
+            if let Some(conflict) = self.propagate_gauss(lit.var()) {
+                return Some(conflict);
+            }
         }
         None
     }
@@ -961,6 +1135,26 @@ impl Solver {
         conflict
     }
 
+    /// Propagates through the Gauss–Jordan matrices touched by the
+    /// just-assigned variable (re-pivoting rows whose basic variable it
+    /// was), including guard-activation events.
+    fn propagate_gauss(&mut self, var: Var) -> Option<ConflictSource> {
+        if self.gauss.is_idle() {
+            return None;
+        }
+        let mut results = std::mem::take(&mut self.gauss_scratch);
+        results.clear();
+        {
+            let assign = &self.assign;
+            self.gauss
+                .on_assign(var, |v| assign[v.index()], &mut results);
+        }
+        let conflict = self.apply_gauss_results(&mut results);
+        self.gauss_scratch = results;
+        self.stats.gauss_row_ops = self.gauss.row_ops;
+        conflict
+    }
+
     /// Returns the antecedent literals of `lit` (the other literals of its
     /// reason constraint, all currently false).
     fn reason_lits(&mut self, lit: Lit) -> Vec<Lit> {
@@ -974,6 +1168,7 @@ impl Solver {
                 let assign = &self.assign;
                 self.xors.reason_lits(xref, lit, |v| assign[v.index()])
             }
+            Reason::Gauss => self.gauss.reason_for(lit.var()).to_vec(),
         }
     }
 
@@ -994,6 +1189,7 @@ impl Solver {
                 let assign = &self.assign;
                 self.xors.conflict_lits(xref, |v| assign[v.index()])
             }
+            ConflictSource::Gauss => self.gauss.conflict_lits(),
         };
 
         let mut index = self.trail.len();
@@ -1452,6 +1648,198 @@ mod tests {
         let _guard = solver.new_guard();
         // Widening the base range would make models span the guard variable.
         solver.ensure_vars(4);
+    }
+
+    fn gauss_on_config() -> SolverConfig {
+        SolverConfig {
+            gauss: GaussMode::On,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn gauss_layer_lifecycle_builds_and_retires_matrices() {
+        let f = dimacs::parse("p cnf 3 0\n").unwrap();
+        let mut solver = Solver::from_formula_with_config(&f, gauss_on_config());
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], false), guard);
+
+        let mut cell = Vec::new();
+        loop {
+            match solver.solve_under_assumptions(&[guard.assumption()]) {
+                SolveResult::Sat(model) => {
+                    assert!(model.value(Var::from_dimacs(1)) ^ model.value(Var::from_dimacs(2)));
+                    assert_eq!(
+                        model.value(Var::from_dimacs(2)),
+                        model.value(Var::from_dimacs(3))
+                    );
+                    let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                    solver.add_clause_under(Clause::new(blocking), guard);
+                    cell.push(model);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(cell.len(), 2);
+        assert_eq!(solver.stats().gauss_matrices, 1);
+        assert_eq!(solver.stats().gauss_rows, 2);
+        assert!(solver.stats().gauss_propagations > 0);
+        assert_eq!(solver.gauss.num_matrices(), 1);
+
+        // Retirement drops the matrix and the full space reopens.
+        solver.retire_guard(guard);
+        assert_eq!(solver.gauss.num_matrices(), 0);
+        assert!(solver.is_consistent());
+        let guard2 = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], false), guard2);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], true), guard2);
+        let mut second = 0;
+        loop {
+            match solver.solve_under_assumptions(&[guard2.assumption()]) {
+                SolveResult::Sat(model) => {
+                    let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                    solver.add_clause_under(Clause::new(blocking), guard2);
+                    second += 1;
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn gauss_layer_extended_across_solves_merges_into_one_matrix() {
+        // Rows arriving in separate batches (with a solve in between) must
+        // extend the guard's existing matrix, not build a second one or
+        // fall back to the watched engine — and the stats must count one
+        // matrix with the union of its rows.
+        let f = dimacs::parse("p cnf 4 0\n").unwrap();
+        let mut solver = Solver::from_formula_with_config(&f, gauss_on_config());
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], false), guard);
+        assert!(solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .is_sat());
+        // Second batch under the same guard: together with the first rows
+        // it pins a single solution on x1..x4.
+        solver.add_xor_under(XorClause::from_dimacs([3, 4], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([1], true), guard);
+        let model = solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .model()
+            .cloned()
+            .expect("satisfiable");
+        // x1 = 1, x1⊕x2 = 1 → x2 = 0, x2⊕x3 = 0 → x3 = 0, x3⊕x4 = 1 → x4 = 1.
+        assert_eq!(model.values(), &[true, false, false, true]);
+        assert_eq!(solver.stats().gauss_matrices, 1, "one matrix per guard");
+        // The unit row became a guarded binary clause, the other three
+        // merged into the guard's single matrix.
+        assert_eq!(solver.stats().gauss_rows, 3);
+        assert_eq!(solver.gauss.num_matrices(), 1);
+        solver.retire_guard(guard);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn gauss_auto_threshold_counts_the_whole_layer() {
+        // Two one-row batches under the same guard: each batch alone is
+        // below the Auto threshold, but the layer as a whole is not, so the
+        // second seal must compile a matrix rather than leaving the layer
+        // permanently on the watched engine.
+        let f = dimacs::parse("p cnf 3 0\n").unwrap();
+        let config = SolverConfig {
+            gauss: GaussMode::Auto,
+            gauss_auto_threshold: 2,
+            ..SolverConfig::default()
+        };
+        let mut solver = Solver::from_formula_with_config(&f, config);
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        assert!(solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .is_sat());
+        assert_eq!(solver.stats().gauss_matrices, 0, "one row stays watched");
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], false), guard);
+        assert!(solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .is_sat());
+        assert_eq!(
+            solver.stats().gauss_matrices,
+            1,
+            "the two-row layer crosses the threshold"
+        );
+        solver.retire_guard(guard);
+    }
+
+    #[test]
+    fn gauss_detects_cross_row_unsat_layer_as_unit_guard() {
+        // x1⊕x2 = 0, x2⊕x3 = 0, x1⊕x3 = 1 sums to 0 = 1: no single row is
+        // ever violated, only the combination. The matrix build reduces the
+        // layer to the unit clause `g`.
+        let f = dimacs::parse("p cnf 3 1\n1 2 3 0\n").unwrap();
+        let mut solver = Solver::from_formula_with_config(&f, gauss_on_config());
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], false), guard);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], false), guard);
+        solver.add_xor_under(XorClause::from_dimacs([1, 3], true), guard);
+        assert!(solver
+            .solve_under_assumptions(&[guard.assumption()])
+            .is_unsat());
+        assert!(solver.is_consistent(), "layer UNSAT must stay scoped");
+        solver.retire_guard(guard);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn gauss_and_watched_modes_enumerate_identical_cells() {
+        let f = dimacs::parse("p cnf 4 2\n1 2 0\n-2 3 4 0\n").unwrap();
+        let layers: Vec<Vec<XorClause>> = vec![
+            vec![
+                XorClause::from_dimacs([1, 2, 3], true),
+                XorClause::from_dimacs([2, 4], false),
+            ],
+            vec![
+                XorClause::from_dimacs([1, 4], true),
+                XorClause::from_dimacs([1, 2, 3, 4], false),
+                XorClause::from_dimacs([3, 4], true),
+            ],
+        ];
+        let off = SolverConfig {
+            gauss: GaussMode::Off,
+            ..SolverConfig::default()
+        };
+        let mut gauss_solver = Solver::from_formula_with_config(&f, gauss_on_config());
+        let mut watched_solver = Solver::from_formula_with_config(&f, off);
+        for layer in &layers {
+            let mut sets = Vec::new();
+            for solver in [&mut gauss_solver, &mut watched_solver] {
+                let guard = solver.new_guard();
+                for xor in layer {
+                    solver.add_xor_under(xor.clone(), guard);
+                }
+                let mut models = std::collections::BTreeSet::new();
+                loop {
+                    match solver.solve_under_assumptions(&[guard.assumption()]) {
+                        SolveResult::Sat(model) => {
+                            let blocking: Vec<Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                            solver.add_clause_under(Clause::new(blocking), guard);
+                            models.insert(model.values().to_vec());
+                        }
+                        SolveResult::Unsat => break,
+                        SolveResult::Unknown => panic!("unexpected unknown"),
+                    }
+                }
+                solver.retire_guard(guard);
+                sets.push(models);
+            }
+            assert_eq!(sets[0], sets[1], "gauss and watched modes disagree");
+        }
+        assert!(gauss_solver.stats().gauss_matrices >= 2);
+        assert_eq!(watched_solver.stats().gauss_matrices, 0);
     }
 
     #[test]

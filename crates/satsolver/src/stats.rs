@@ -39,17 +39,30 @@ pub struct SolverStats {
     /// Number of learned clauses that survived the most recent guard
     /// retirement (base-formula knowledge carried into the next cell).
     pub learned_retained: u64,
+    /// Number of Gauss–Jordan matrices compiled from guarded xor layers.
+    pub gauss_matrices: u64,
+    /// Number of matrix rows across all compiled matrices (lifetime total).
+    pub gauss_rows: u64,
+    /// Number of propagations produced by Gauss–Jordan matrices.
+    pub gauss_propagations: u64,
+    /// Number of conflicts detected by Gauss–Jordan matrices.
+    pub gauss_conflicts: u64,
+    /// Number of row-xor operations (eliminations and re-pivots) performed
+    /// by the Gauss–Jordan engine.
+    pub gauss_row_ops: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "decisions={} propagations={} (xor={}) conflicts={} restarts={} learned={} deleted={} solves={} guards={}/{} guarded_retired={} retained={}",
+            "decisions={} propagations={} (xor={} gauss={}) conflicts={} (gauss={}) restarts={} learned={} deleted={} solves={} guards={}/{} guarded_retired={} retained={} gauss_matrices={} gauss_rows={} gauss_row_ops={}",
             self.decisions,
             self.propagations,
             self.xor_propagations,
+            self.gauss_propagations,
             self.conflicts,
+            self.gauss_conflicts,
             self.restarts,
             self.learned_clauses,
             self.deleted_clauses,
@@ -57,7 +70,10 @@ impl fmt::Display for SolverStats {
             self.guards_created,
             self.guards_retired,
             self.guarded_learned_retired,
-            self.learned_retained
+            self.learned_retained,
+            self.gauss_matrices,
+            self.gauss_rows,
+            self.gauss_row_ops
         )
     }
 }
@@ -81,16 +97,25 @@ mod tests {
             guards_retired: 10,
             guarded_learned_retired: 11,
             learned_retained: 12,
+            gauss_matrices: 13,
+            gauss_rows: 14,
+            gauss_propagations: 15,
+            gauss_conflicts: 16,
+            gauss_row_ops: 17,
         };
         let text = stats.to_string();
         for needle in [
             "decisions=1",
-            "conflicts=4",
             "restarts=5",
             "solves=8",
             "guards=9/10",
             "guarded_retired=11",
             "retained=12",
+            "gauss_matrices=13",
+            "gauss_rows=14",
+            "gauss=15",
+            "gauss=16",
+            "gauss_row_ops=17",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }

@@ -140,6 +140,17 @@ impl XorEngine {
                     guard.map_or(true, |g| !vars.contains(&g.var())),
                     "guard variable must not occur in the constraint"
                 );
+                // Callers may introduce variables (fresh guards in
+                // particular) beyond the construction-time bound; grow the
+                // watch lists rather than indexing past them.
+                let needed = vars
+                    .iter()
+                    .map(|v| v.index())
+                    .chain(guard.map(|g| g.var().index()))
+                    .max()
+                    .expect("at least two variables")
+                    + 1;
+                self.grow_to(needed);
                 let stored = StoredXor {
                     vars,
                     rhs: xor.rhs(),
@@ -435,26 +446,30 @@ impl XorEngine {
     /// Retires every constraint guarded by `guard_var`: the constraints stop
     /// propagating, their memory is released, and their slots are reused by
     /// later `add` calls. Returns the number of constraints retired.
+    ///
+    /// Watch entries of the retired constraints are purged exhaustively: a
+    /// slot handed back out by a later `add` must never be resolved through
+    /// a stale entry left behind for its previous occupant. An entry for a
+    /// constraint is only ever pushed onto the lists of the constraint's
+    /// own variables and its guard (see `add`, `position_watches` and
+    /// `on_assign`), so sweeping exactly those lists covers every possible
+    /// stale entry — including ones whose watch slot no longer points at
+    /// them — without walking the whole engine.
     pub(crate) fn retire(&mut self, guard_var: Var) -> usize {
         let Some(refs) = self.by_guard.remove(&(guard_var.index() as u32)) else {
             return 0;
         };
-        let count = refs.len();
-        for xref in refs {
+        for &xref in &refs {
             let xor = &mut self.xors[xref as usize];
             debug_assert!(!xor.retired, "constraint retired twice");
             xor.retired = true;
-            // Eagerly drop the watch entries so the slot can be reused
-            // without stale entries resolving to the new occupant.
-            let watched = [xor.vars[xor.watch[0]], xor.vars[xor.watch[1]]];
-            xor.vars = Vec::new();
-            for v in watched {
+            for v in std::mem::take(&mut xor.vars) {
                 self.watches[v.index()].retain(|&x| x != xref);
             }
-            self.watches[guard_var.index()].retain(|&x| x != xref);
-            self.free.push(xref);
         }
-        count
+        self.watches[guard_var.index()].retain(|x| !refs.contains(x));
+        self.free.extend(refs.iter().copied());
+        refs.len()
     }
 }
 
@@ -662,6 +677,100 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(reused, xref);
+    }
+
+    #[test]
+    fn slot_reuse_after_watch_moves_does_not_inherit_stale_watches() {
+        // Regression test: drive a guarded constraint's watches around the
+        // variable set, retire it, and reuse its slot for a constraint over
+        // the *same* variables. No watch entry of the old constraint may
+        // survive to fire (or double-fire) against the new occupant.
+        let mut engine = XorEngine::new(6);
+        let guard = Var::new(5).positive();
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2, 3, 4], true), Some(guard)) {
+            AddXor::Stored(x) => x,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Move one watch off x1 by assigning it.
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+
+        // Retire (with the moved watches still in place) and re-add over
+        // the same variables, reusing the slot.
+        assert_eq!(engine.retire(Var::new(5)), 1);
+        let reused = match engine.add(&XorClause::from_dimacs([1, 2], false), None) {
+            AddXor::Stored(x) => x,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(reused, xref, "slot must be reused");
+
+        // Unassign everything and drive the new constraint: x1 = 1 forces
+        // x2 = 1 (parity 0). The old 4-variable constraint must contribute
+        // nothing — in particular no event from x3/x4 watch lists.
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        assert_eq!(
+            results,
+            vec![XorPropagation::Implied {
+                lit: Var::from_dimacs(2).positive(),
+                xref: reused
+            }]
+        );
+        results.clear();
+        assigned.insert(Var::from_dimacs(3), false);
+        assigned.insert(Var::from_dimacs(4), false);
+        engine.on_assign(Var::from_dimacs(3), value_fn(&assigned), &mut results);
+        engine.on_assign(Var::from_dimacs(4), value_fn(&assigned), &mut results);
+        assert!(results.is_empty(), "stale refs fired: {results:?}");
+    }
+
+    #[test]
+    fn add_grows_watch_lists_for_variables_beyond_construction_bound() {
+        // Regression test: a guard variable allocated mid-run can exceed the
+        // engine's construction-time variable count; `add` must grow the
+        // watch lists instead of indexing out of bounds.
+        let mut engine = XorEngine::new(2);
+        let guard = Var::new(7).positive();
+        let xref = match engine.add(&XorClause::from_dimacs([1, 2], true), Some(guard)) {
+            AddXor::Stored(x) => x,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Activating the guard propagates through the grown lists.
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(1), true);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(1), value_fn(&assigned), &mut results);
+        assert!(results.is_empty());
+        assigned.insert(Var::new(7), false);
+        engine.on_assign(Var::new(7), value_fn(&assigned), &mut results);
+        assert_eq!(
+            results,
+            vec![XorPropagation::Implied {
+                lit: Var::from_dimacs(2).negative(),
+                xref
+            }]
+        );
+        // Retirement across the grown range works too.
+        assert_eq!(engine.retire(Var::new(7)), 1);
+    }
+
+    #[test]
+    fn add_grows_watch_lists_for_constraint_variables_too() {
+        let mut engine = XorEngine::new(1);
+        assert!(matches!(
+            engine.add(&XorClause::from_dimacs([5, 9], true), None),
+            AddXor::Stored(_)
+        ));
+        let mut assigned = HashMap::new();
+        assigned.insert(Var::from_dimacs(5), false);
+        let mut results = Vec::new();
+        engine.on_assign(Var::from_dimacs(5), value_fn(&assigned), &mut results);
+        assert_eq!(results.len(), 1);
     }
 
     #[test]

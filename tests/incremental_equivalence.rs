@@ -9,7 +9,9 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use unigen_cnf::{CnfFormula, Lit, Var, XorClause};
-use unigen_satsolver::{bounded_solutions, enumerate_cell, Budget, SolveResult, Solver};
+use unigen_satsolver::{
+    bounded_solutions, enumerate_cell, Budget, GaussMode, SolveResult, Solver, SolverConfig,
+};
 
 /// Strategy producing small random formulas with both clause kinds.
 fn small_formula() -> impl Strategy<Value = CnfFormula> {
@@ -104,6 +106,68 @@ proptest! {
         let base = enumerate_cell(&mut persistent, &all_vars, &[], 1 << 12, &budget);
         let brute = formula.enumerate_models_brute_force();
         prop_assert_eq!(base.len(), brute.len());
+    }
+
+    /// Gauss–Jordan-on and Gauss–Jordan-off enumeration produce identical
+    /// witness sets for every cell of a random layer sequence — including
+    /// degenerate rows (duplicate variables cancel to empty/unit rows) and
+    /// guard retire/re-add cycles over the same variables (`enumerate_cell`
+    /// cycles one guard per layer) — and both agree with a scratch solver
+    /// on the conjoined formula.
+    #[test]
+    fn gauss_on_and_off_enumerate_identical_cells(
+        (formula, layers) in formula_with_layers()
+    ) {
+        let all_vars: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
+        let budget = Budget::new();
+        let on = SolverConfig {
+            gauss: GaussMode::On,
+            gauss_auto_threshold: 1,
+            ..SolverConfig::default()
+        };
+        let off = SolverConfig {
+            gauss: GaussMode::Off,
+            ..SolverConfig::default()
+        };
+        let mut gauss_solver = Solver::from_formula_with_config(&formula, on);
+        let mut watched_solver = Solver::from_formula_with_config(&formula, off);
+        for layer in &layers {
+            let gauss_cell =
+                enumerate_cell(&mut gauss_solver, &all_vars, layer, 1 << 12, &budget);
+            let watched_cell =
+                enumerate_cell(&mut watched_solver, &all_vars, layer, 1 << 12, &budget);
+            prop_assert!(gauss_cell.is_exhaustive());
+            prop_assert!(watched_cell.is_exhaustive());
+            prop_assert_eq!(
+                projections(&gauss_cell.witnesses, &all_vars),
+                projections(&watched_cell.witnesses, &all_vars)
+            );
+
+            let mut hashed = formula.clone();
+            let mut layer_unsat = false;
+            for xor in layer {
+                layer_unsat |= xor.is_trivially_false();
+                hashed.add_xor_clause(xor.clone()).unwrap();
+            }
+            let reference = if layer_unsat {
+                HashSet::new()
+            } else {
+                let mut scratch = Solver::from_formula(&hashed);
+                let outcome = bounded_solutions(&mut scratch, &all_vars, 1 << 12, &budget);
+                prop_assert!(outcome.is_exhaustive());
+                projections(&outcome.witnesses, &all_vars)
+            };
+            prop_assert_eq!(projections(&gauss_cell.witnesses, &all_vars), reference);
+            for w in &gauss_cell.witnesses {
+                prop_assert!(hashed.evaluate(w));
+            }
+        }
+        // Both persistent solvers end the run unharmed.
+        let brute = formula.enumerate_models_brute_force().len();
+        for solver in [&mut gauss_solver, &mut watched_solver] {
+            let base = enumerate_cell(solver, &all_vars, &[], 1 << 12, &budget);
+            prop_assert_eq!(base.len(), brute);
+        }
     }
 
     /// Solving under assumptions agrees with a scratch solver that has the
