@@ -12,9 +12,11 @@
 //! while the Criterion benches under `benches/` time the individual steps
 //! (per-sample cost, ApproxMC, and the two ablations discussed in
 //! EXPERIMENTS.md). The [`harness`] module holds the shared measurement and
-//! formatting code.
+//! formatting code, and the [`parallel`] module the thread-scaling
+//! throughput benchmark behind `BENCH_parallel.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod parallel;

@@ -1,0 +1,497 @@
+//! Thread-scaling throughput benchmark for the deterministic parallel batch
+//! engine (`unigen::ParallelSampler`) — the measurement behind
+//! `BENCH_parallel.json` and the CI regression gate on it.
+//!
+//! For each instance the run prepares one `UniGen` sampler, then draws the
+//! same batch (same `master_seed`) through the serial reference
+//! (`WitnessSampler::sample_batch`) and through the worker pool at each
+//! configured thread count, recording samples/sec and a fingerprint of the
+//! produced witness *sequence*. Identical fingerprints across every mode are
+//! the serial-equivalence half of the gate: the engine's whole point is that
+//! threading changes throughput and nothing else.
+
+use std::time::Instant;
+
+use unigen::{ParallelSampler, SampleOutcome, UniGen, UniGenConfig, WitnessSampler};
+use unigen_circuit::benchmarks::{self, Benchmark};
+use unigen_cnf::Var;
+
+/// Parameters of a thread-scaling run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelBenchConfig {
+    /// Samples drawn per instance per mode.
+    pub samples: usize,
+    /// Worker counts measured (the serial reference is measured separately).
+    pub thread_counts: Vec<usize>,
+    /// Master seed of every batch (the whole run is deterministic).
+    pub master_seed: u64,
+}
+
+impl Default for ParallelBenchConfig {
+    fn default() -> Self {
+        ParallelBenchConfig {
+            samples: 48,
+            thread_counts: vec![1, 2, 4, 8],
+            master_seed: 0xdac2014,
+        }
+    }
+}
+
+/// One timed batch: a thread count, its throughput, and the witness-sequence
+/// fingerprint used for the serial-equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Worker threads used (`0` denotes the serial reference).
+    pub threads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+    /// Samples per second (attempted samples, successful or not).
+    pub samples_per_sec: f64,
+    /// Samples that produced a witness.
+    pub successes: usize,
+    /// Order-sensitive fingerprint of the witness sequence.
+    pub fingerprint: u64,
+}
+
+/// One instance's serial-vs-parallel throughput comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelComparison {
+    /// Benchmark instance name.
+    pub name: String,
+    /// Number of CNF variables.
+    pub num_vars: usize,
+    /// Sampling-set size.
+    pub sampling_set_size: usize,
+    /// One-off preparation time (amortised over every batch).
+    pub prep_seconds: f64,
+    /// The serial reference measurement.
+    pub serial: ThroughputPoint,
+    /// One measurement per configured thread count.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ParallelComparison {
+    /// `true` when every thread count reproduced the serial witness sequence
+    /// bit for bit.
+    pub fn deterministic(&self) -> bool {
+        self.points.iter().all(|p| {
+            p.fingerprint == self.serial.fingerprint && p.successes == self.serial.successes
+        })
+    }
+
+    /// Throughput at `threads` workers divided by serial throughput.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        let point = self.points.iter().find(|p| p.threads == threads)?;
+        if self.serial.samples_per_sec > 0.0 {
+            Some(point.samples_per_sec / self.serial.samples_per_sec)
+        } else {
+            None
+        }
+    }
+
+    /// The measurement at the largest configured thread count.
+    pub fn at_max_threads(&self) -> &ThroughputPoint {
+        self.points
+            .iter()
+            .max_by_key(|p| p.threads)
+            .unwrap_or(&self.serial)
+    }
+}
+
+/// The full report emitted as `BENCH_parallel.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// The run parameters.
+    pub config: ParallelBenchConfig,
+    /// CPUs the measuring host exposed (thread scaling flattens at this
+    /// value; the committed baseline records it so regressions are compared
+    /// like for like).
+    pub host_cpus: usize,
+    /// Per-instance comparisons.
+    pub instances: Vec<ParallelComparison>,
+}
+
+impl ParallelReport {
+    /// Geometric mean over instances of samples/sec at the largest thread
+    /// count — the number the CI gate tracks.
+    pub fn geomean_samples_per_sec_at_max(&self) -> f64 {
+        geomean(
+            self.instances
+                .iter()
+                .map(|i| i.at_max_threads().samples_per_sec),
+        )
+    }
+
+    /// Geometric mean over instances of the speedup at `threads` workers.
+    pub fn geomean_speedup_at(&self, threads: usize) -> f64 {
+        geomean(self.instances.iter().filter_map(|i| i.speedup_at(threads)))
+    }
+
+    /// Geometric mean over instances of *parallel efficiency* at the largest
+    /// thread count: samples/sec through the pool divided by the same run's
+    /// serial samples/sec.
+    ///
+    /// This is the number the CI gate compares against the committed
+    /// baseline. Normalising by a same-host, same-run serial measurement
+    /// makes the gate track regressions in the pool itself (partitioning,
+    /// cloning, scheduling overhead) rather than raw-CPU-speed differences
+    /// between the machine that recorded the baseline and the machine
+    /// running CI. The ratio still depends on the *core count* (a multicore
+    /// host records real speedup, a single-core host records pure overhead),
+    /// which is why the baseline stores `host_cpus` and the gate only
+    /// compares numerically when the core counts match — absolute
+    /// samples/sec is recorded per point for visibility.
+    pub fn geomean_parallel_efficiency_at_max(&self) -> f64 {
+        let max = self.max_threads();
+        geomean(self.instances.iter().filter_map(|i| i.speedup_at(max)))
+    }
+
+    /// `true` when every instance passed the serial-equivalence check.
+    pub fn deterministic(&self) -> bool {
+        self.instances.iter().all(|i| i.deterministic())
+    }
+
+    /// The largest configured thread count.
+    pub fn max_threads(&self) -> usize {
+        self.config.thread_counts.iter().copied().max().unwrap_or(1)
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .fold((0.0f64, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Order-sensitive fingerprint of a batch's witness sequence: each position
+/// contributes a hash of its index and its witness's **projection onto the
+/// sampling set** (`⊥` outcomes contribute the index alone), xor-folded so
+/// the check is cheap and the JSON stays one number per point.
+///
+/// The projection is what the determinism contract guarantees (distinctness,
+/// uniformity and the Theorem 1 envelope are all defined on the sampling
+/// set); hashing the full model would make the gate fire spuriously on any
+/// future instance whose sampling set under-determines the auxiliary
+/// variables, where the completion legitimately varies with worker count.
+pub fn fingerprint_batch(outcomes: &[SampleOutcome], sampling_set: &[Var]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut acc = 0u64;
+    for (index, outcome) in outcomes.iter().enumerate() {
+        let mut hasher = DefaultHasher::new();
+        index.hash(&mut hasher);
+        if let Some(witness) = &outcome.witness {
+            witness.project(sampling_set).values().hash(&mut hasher);
+        }
+        acc ^= hasher.finish();
+    }
+    acc
+}
+
+fn measure_batch(
+    outcomes: Vec<SampleOutcome>,
+    sampling_set: &[Var],
+    threads: usize,
+    seconds: f64,
+) -> ThroughputPoint {
+    let samples = outcomes.len().max(1);
+    ThroughputPoint {
+        threads,
+        seconds,
+        samples_per_sec: samples as f64 / seconds.max(1e-9),
+        successes: outcomes.iter().filter(|o| o.is_success()).count(),
+        fingerprint: fingerprint_batch(&outcomes, sampling_set),
+    }
+}
+
+/// Runs the serial-vs-parallel comparison on one instance.
+pub fn measure_parallel_comparison(
+    benchmark: &Benchmark,
+    config: &ParallelBenchConfig,
+) -> ParallelComparison {
+    let sampler_config = UniGenConfig::default().with_seed(config.master_seed);
+    let sampling_set = benchmark.formula.sampling_set_or_all();
+    let prep_start = Instant::now();
+    let prepared = UniGen::new(&benchmark.formula, sampler_config)
+        .expect("benchmark instances are satisfiable and well-formed");
+    let prep_seconds = prep_start.elapsed().as_secs_f64();
+
+    // Serial reference: the trait's per-index-stream loop on one clone.
+    let started = Instant::now();
+    let outcomes = prepared
+        .clone()
+        .sample_batch(config.samples, config.master_seed);
+    let serial = measure_batch(outcomes, &sampling_set, 0, started.elapsed().as_secs_f64());
+
+    let pool = ParallelSampler::new(prepared);
+    let points = config
+        .thread_counts
+        .iter()
+        .map(|&threads| {
+            let pool = pool.clone().with_jobs(threads);
+            let started = Instant::now();
+            let outcomes = pool.sample_batch(config.samples, config.master_seed);
+            measure_batch(
+                outcomes,
+                &sampling_set,
+                threads,
+                started.elapsed().as_secs_f64(),
+            )
+        })
+        .collect();
+
+    ParallelComparison {
+        name: benchmark.name.clone(),
+        num_vars: benchmark.num_vars(),
+        sampling_set_size: benchmark.sampling_set_size(),
+        prep_seconds,
+        serial,
+        points,
+    }
+}
+
+/// Runs the comparison over a suite.
+pub fn run_parallel_bench(suite: &[Benchmark], config: &ParallelBenchConfig) -> ParallelReport {
+    ParallelReport {
+        config: config.clone(),
+        host_cpus: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        instances: suite
+            .iter()
+            .map(|b| measure_parallel_comparison(b, config))
+            .collect(),
+    }
+}
+
+/// The instances used for the committed throughput baseline: hashed-mode
+/// UniGen workloads (so every sample pays for real hashing + enumeration
+/// work) spanning the structurally distinct families, sized so the whole
+/// run finishes in seconds.
+pub fn parallel_bench_suite() -> Vec<Benchmark> {
+    vec![
+        benchmarks::parity_chain("case121-like", 16, 4, 4, 0x0121),
+        benchmarks::iscas_like("s526-like", 14, 180, 4, 0x0526),
+        benchmarks::squaring("squaring10-like", 10, 2, 0x0a10),
+        benchmarks::login_like("login3x6-like", 3, 6, 0x1061),
+    ]
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_point(point: &ThroughputPoint) -> String {
+    format!(
+        "{{\"threads\": {}, \"seconds\": {}, \"samples_per_sec\": {}, \"successes\": {}, \"fingerprint\": {}}}",
+        point.threads,
+        json_number(point.seconds),
+        json_number(point.samples_per_sec),
+        point.successes,
+        point.fingerprint
+    )
+}
+
+/// Renders the report as the machine-readable `BENCH_parallel.json` document
+/// (hand-rolled JSON; instance names are plain ASCII).
+pub fn render_parallel_json(report: &ParallelReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel_batch_throughput\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"samples\": {}, \"thread_counts\": [{}], \"master_seed\": {}}},\n",
+        report.config.samples,
+        report
+            .config
+            .thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        report.config.master_seed
+    ));
+    out.push_str(&format!("  \"host_cpus\": {},\n", report.host_cpus));
+    out.push_str(&format!(
+        "  \"deterministic\": {},\n",
+        report.deterministic()
+    ));
+    out.push_str(&format!(
+        "  \"geomean_samples_per_sec_at_max_threads\": {},\n",
+        json_number(report.geomean_samples_per_sec_at_max())
+    ));
+    out.push_str(&format!(
+        "  \"geomean_parallel_efficiency_at_max_threads\": {},\n",
+        json_number(report.geomean_parallel_efficiency_at_max())
+    ));
+    out.push_str(&format!(
+        "  \"geomean_speedup_at_4_threads\": {},\n",
+        json_number(report.geomean_speedup_at(4))
+    ));
+    out.push_str("  \"instances\": [\n");
+    for (i, instance) in report.instances.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"num_vars\": {}, \"sampling_set\": {}, \"prep_seconds\": {}, \"deterministic\": {},\n",
+            instance.name,
+            instance.num_vars,
+            instance.sampling_set_size,
+            json_number(instance.prep_seconds),
+            instance.deterministic()
+        ));
+        out.push_str(&format!(
+            "     \"serial\": {},\n",
+            json_point(&instance.serial)
+        ));
+        out.push_str("     \"points\": [");
+        for (j, point) in instance.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_point(point));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < report.instances.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts one of the top-level numbers from a previously written
+/// `BENCH_parallel.json`. Hand-rolled to match the hand-rolled writer; the
+/// workspace deliberately has no JSON dependency.
+fn parse_baseline_number(json: &str, key: &str) -> Option<f64> {
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the committed `geomean_parallel_efficiency_at_max_threads` — the
+/// machine-portable baseline the CI gate compares a fresh run against.
+pub fn parse_baseline_efficiency(json: &str) -> Option<f64> {
+    parse_baseline_number(json, "\"geomean_parallel_efficiency_at_max_threads\":")
+}
+
+/// Extracts the committed `geomean_samples_per_sec_at_max_threads`
+/// (informational: absolute throughput on the host that recorded the
+/// baseline, whose CPU count is in `host_cpus`).
+pub fn parse_baseline_throughput(json: &str) -> Option<f64> {
+    parse_baseline_number(json, "\"geomean_samples_per_sec_at_max_threads\":")
+}
+
+/// Extracts the committed `host_cpus` — the CPU count of the machine that
+/// recorded the baseline. Parallel efficiency is only comparable between
+/// hosts with the same core count (a multicore baseline records real
+/// speedup a single-core CI runner can never reach), so the gate compares
+/// numerically only when this matches the measuring host.
+pub fn parse_baseline_host_cpus(json: &str) -> Option<usize> {
+    parse_baseline_number(json, "\"host_cpus\":").map(|v| v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ParallelBenchConfig {
+        ParallelBenchConfig {
+            samples: 6,
+            thread_counts: vec![1, 2],
+            master_seed: 11,
+        }
+    }
+
+    #[test]
+    fn comparison_is_deterministic_across_thread_counts() {
+        let benchmark = benchmarks::parity_chain("par-smoke", 8, 2, 2, 3);
+        let comparison = measure_parallel_comparison(&benchmark, &tiny_config());
+        assert!(comparison.deterministic(), "{comparison:?}");
+        assert_eq!(comparison.points.len(), 2);
+        assert!(comparison.serial.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_the_gate_number() {
+        let benchmark = benchmarks::parity_chain("par-json", 8, 2, 2, 4);
+        let report = run_parallel_bench(std::slice::from_ref(&benchmark), &tiny_config());
+        let json = render_parallel_json(&report);
+        assert!(json.contains("\"parallel_batch_throughput\""));
+        assert!(json.contains("\"par-json\""));
+        assert!(json.contains("\"deterministic\": true"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        let gate = parse_baseline_efficiency(&json).expect("gate number parses back");
+        assert!((gate - report.geomean_parallel_efficiency_at_max()).abs() < 1e-3);
+        let throughput = parse_baseline_throughput(&json).expect("absolute number parses back");
+        assert!((throughput - report.geomean_samples_per_sec_at_max()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_projects() {
+        use unigen_cnf::Model;
+        let sampling = [Var::new(0), Var::new(1)];
+        let a = SampleOutcome {
+            witness: Some(Model::new(vec![true, false, false])),
+            stats: Default::default(),
+        };
+        let b = SampleOutcome {
+            witness: Some(Model::new(vec![false, true, false])),
+            stats: Default::default(),
+        };
+        assert_ne!(
+            fingerprint_batch(&[a.clone(), b.clone()], &sampling),
+            fingerprint_batch(&[b.clone(), a.clone()], &sampling)
+        );
+        // A differing *non-sampling* variable must not change the
+        // fingerprint: the contract covers the projection only.
+        let a_other_completion = SampleOutcome {
+            witness: Some(Model::new(vec![true, false, true])),
+            stats: Default::default(),
+        };
+        assert_eq!(
+            fingerprint_batch(std::slice::from_ref(&a), &sampling),
+            fingerprint_batch(&[a_other_completion], &sampling)
+        );
+    }
+
+    #[test]
+    fn baseline_parsing_is_robust() {
+        assert_eq!(
+            parse_baseline_throughput("{\"geomean_samples_per_sec_at_max_threads\": 123.5,\n"),
+            Some(123.5)
+        );
+        assert_eq!(
+            parse_baseline_efficiency("{\"geomean_parallel_efficiency_at_max_threads\": 0.953,\n"),
+            Some(0.953)
+        );
+        assert_eq!(parse_baseline_host_cpus("\"host_cpus\": 8,\n"), Some(8));
+        assert_eq!(parse_baseline_throughput("{}"), None);
+        assert_eq!(parse_baseline_efficiency("{}"), None);
+        assert_eq!(parse_baseline_host_cpus("{}"), None);
+    }
+
+    #[test]
+    fn geomean_ignores_non_positive_values() {
+        assert_eq!(geomean([].into_iter()), 0.0);
+        let g = geomean([2.0, 8.0].into_iter());
+        assert!((g - 4.0).abs() < 1e-9);
+        let g = geomean([4.0, 0.0, f64::INFINITY].into_iter());
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+}

@@ -9,8 +9,18 @@
 //!   --epsilon E      tolerance ε (> 1.71)                       [default: 6.0]
 //!   --seed S         random seed                                [default: 1]
 //!   --timeout SECS   per-solver-call budget in seconds          [default: none]
+//!   --jobs N         sample on N worker threads (0 = all cores) [default: serial]
 //!   --verbose        print per-sample statistics to stderr
 //! ```
+//!
+//! With `--jobs`, sample `i` draws its randomness from a dedicated stream
+//! derived from `(seed, i)`, so the emitted witness sequence is identical
+//! for every worker count (including `--jobs 1`) — unless `--timeout` is
+//! also given: a per-`BSAT` cutoff fires based on each worker solver's
+//! private accumulated state, which can make different samples fail at
+//! different worker counts (the CLI warns when the two flags are combined).
+//! Without `--jobs`, the historical serial behaviour (one RNG consumed
+//! across all samples) is preserved.
 //!
 //! The sampling set is taken from `c ind … 0` comment lines in the input
 //! file (the convention of the original UniGen benchmark suite); without
@@ -22,7 +32,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use unigen::{PreparedMode, UniGen, UniGenConfig, WitnessSampler};
+use unigen::{ParallelSampler, PreparedMode, SampleOutcome, UniGen, UniGenConfig, WitnessSampler};
 use unigen_cnf::dimacs;
 use unigen_satsolver::Budget;
 
@@ -33,11 +43,14 @@ struct CliOptions {
     epsilon: f64,
     seed: u64,
     timeout: Option<Duration>,
+    /// `None` = historical serial sampling; `Some(0)` = one worker per core;
+    /// `Some(n)` = n workers (deterministic per-index streams either way).
+    jobs: Option<usize>,
     verbose: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: unigen_cli [--samples N] [--epsilon E] [--seed S] [--timeout SECS] [--verbose] <FILE.cnf>"
+    "usage: unigen_cli [--samples N] [--epsilon E] [--seed S] [--timeout SECS] [--jobs N] [--verbose] <FILE.cnf>"
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -47,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         epsilon: 6.0,
         seed: 1,
         timeout: None,
+        jobs: None,
         verbose: false,
     };
     let mut iter = args.iter();
@@ -76,6 +90,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--timeout needs a number of seconds")?;
                 options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--jobs" => {
+                options.jobs = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs an unsigned integer (0 = all cores)")?,
+                );
             }
             "--verbose" => options.verbose = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -135,13 +156,11 @@ fn run(options: &CliOptions) -> Result<(), String> {
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut produced = 0usize;
-    for i in 0..options.samples {
-        let outcome = sampler.sample(&mut rng);
-        match outcome.witness {
+    // Prints one outcome (witness line or failure marker) and returns
+    // whether it was a success.
+    let emit = |i: usize, outcome: &SampleOutcome| -> bool {
+        let success = match &outcome.witness {
             Some(witness) => {
-                produced += 1;
                 // Print the witness as the projection on the sampling set in
                 // DIMACS literal form, matching the original tool's output.
                 let lits: Vec<String> = witness
@@ -151,9 +170,13 @@ fn run(options: &CliOptions) -> Result<(), String> {
                     .map(|l| l.to_string())
                     .collect();
                 println!("v {} 0", lits.join(" "));
+                true
             }
-            None => println!("c sample {i} failed"),
-        }
+            None => {
+                println!("c sample {i} failed");
+                false
+            }
+        };
         if options.verbose {
             eprintln!(
                 "c sample {i}: bsat_calls={} avg_xor_len={:.1} time={:?}",
@@ -161,6 +184,46 @@ fn run(options: &CliOptions) -> Result<(), String> {
                 outcome.stats.average_xor_length(),
                 outcome.stats.wall_time
             );
+        }
+        success
+    };
+
+    let mut produced = 0usize;
+    match options.jobs {
+        Some(jobs) => {
+            // The deterministic batch path: per-index RNG streams fanned out
+            // over a worker pool (0 = one worker per core). The witness
+            // sequence is identical for every worker count.
+            if options.timeout.is_some() {
+                eprintln!(
+                    "c warning: --timeout makes BSAT cutoffs depend on per-worker solver state, \
+                     so the witness sequence may differ between --jobs values"
+                );
+            }
+            let pool = ParallelSampler::new(sampler.clone());
+            let pool = if jobs == 0 {
+                pool
+            } else {
+                pool.with_jobs(jobs)
+            };
+            eprintln!("c sampling on {} worker thread(s)", pool.jobs());
+            for (i, outcome) in pool
+                .sample_batch(options.samples, options.seed)
+                .iter()
+                .enumerate()
+            {
+                produced += usize::from(emit(i, outcome));
+            }
+        }
+        None => {
+            // Historical serial behaviour: one RNG consumed across samples,
+            // each witness streamed out as soon as it is produced (no
+            // buffering of the whole run).
+            let mut rng = StdRng::seed_from_u64(options.seed);
+            for i in 0..options.samples {
+                let outcome = sampler.sample(&mut rng);
+                produced += usize::from(emit(i, &outcome));
+            }
         }
     }
     eprintln!(
@@ -172,6 +235,13 @@ fn run(options: &CliOptions) -> Result<(), String> {
         // The persistent incremental solver's lifetime counters: how many
         // per-cell guards were cycled and how much learned knowledge was
         // scoped to cells (retired) versus kept across them (retained).
+        // (Under --jobs each worker owns a solver clone; the counters below
+        // describe the preparation-phase solver only.)
+        if options.jobs.is_some() {
+            eprintln!(
+                "c solver counters below cover the preparation phase only (workers own clones)"
+            );
+        }
         let stats = sampler.solver_stats();
         eprintln!("c solver: {stats}");
         eprintln!(
@@ -240,6 +310,8 @@ mod tests {
             "9",
             "--timeout",
             "30",
+            "--jobs",
+            "4",
             "--verbose",
             "foo.cnf",
         ]))
@@ -248,8 +320,20 @@ mod tests {
         assert_eq!(options.epsilon, 3.5);
         assert_eq!(options.seed, 9);
         assert_eq!(options.timeout, Some(Duration::from_secs(30)));
+        assert_eq!(options.jobs, Some(4));
         assert!(options.verbose);
         assert_eq!(options.file, "foo.cnf");
+    }
+
+    #[test]
+    fn jobs_defaults_to_serial_and_rejects_garbage() {
+        assert_eq!(parse_args(&args(&["a.cnf"])).unwrap().jobs, None);
+        assert_eq!(
+            parse_args(&args(&["--jobs", "0", "a.cnf"])).unwrap().jobs,
+            Some(0)
+        );
+        assert!(parse_args(&args(&["--jobs", "many", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["--jobs"])).is_err());
     }
 
     #[test]
@@ -271,7 +355,14 @@ mod tests {
             epsilon: 6.0,
             seed: 7,
             timeout: None,
+            jobs: None,
             verbose: true,
+        };
+        run(&options).unwrap();
+        // The parallel path on the same file, exercising the pool end to end.
+        let options = CliOptions {
+            jobs: Some(2),
+            ..options
         };
         run(&options).unwrap();
         let _ = std::fs::remove_file(&path);

@@ -22,6 +22,12 @@
 //! * [`stats`] — count-of-count histograms and distance measures for the
 //!   uniformity comparison.
 //!
+//! For high-volume generation, [`ParallelSampler`] fans a batch of samples
+//! out over a worker pool with a bit-identical-at-any-thread-count
+//! determinism contract — the paper's "embarrassingly parallel" observation
+//! made concrete. See [`WitnessSampler::sample_batch`] for the serial
+//! reference semantics.
+//!
 //! # Quick start
 //!
 //! ```
@@ -55,6 +61,7 @@
 mod config;
 mod error;
 mod kappa_pivot;
+mod parallel;
 mod sampler;
 mod unigen;
 mod uniwit;
@@ -66,6 +73,7 @@ pub mod stats;
 pub use config::UniGenConfig;
 pub use error::SamplerError;
 pub use kappa_pivot::{compute_kappa_pivot, KappaPivot};
+pub use parallel::ParallelSampler;
 pub use sampler::{SampleOutcome, SampleStats, WitnessSampler};
 pub use unigen::{PreparedMode, UniGen};
 pub use uniwit::{UniWit, UniWitConfig};

@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
-use rand::RngCore;
-use unigen_cnf::Model;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use unigen_cnf::{Model, Var};
 
 /// Statistics describing the work a single sample cost.
 ///
@@ -25,6 +26,12 @@ pub struct SampleStats {
     pub solver_propagations: u64,
     /// Conflicts the solver hit for this sample.
     pub solver_conflicts: u64,
+    /// Number of times the candidate hash-width window `{q−3, …, q}` had to
+    /// be clamped because it fell entirely outside the representable widths
+    /// `1..=|S|` (an over-estimated approximate count can push `q` past
+    /// `|S| + 3`). Without the clamp the width loop would silently run zero
+    /// iterations and report `⊥` with no solver work at all.
+    pub width_window_clamped: usize,
 }
 
 impl SampleStats {
@@ -47,7 +54,51 @@ impl SampleStats {
         self.wall_time += other.wall_time;
         self.solver_propagations += other.solver_propagations;
         self.solver_conflicts += other.solver_conflicts;
+        self.width_window_clamped += other.width_window_clamped;
     }
+}
+
+/// Returns the dedicated RNG stream for sample `index` of a batch seeded
+/// with `master_seed` — the stream-derivation rule shared by the serial
+/// [`WitnessSampler::sample_batch`] reference and [`crate::ParallelSampler`].
+///
+/// The pair is mixed through a SplitMix64 finalizer rather than a plain
+/// `master_seed ^ index`: XOR alone maps batches with nearby master seeds to
+/// the *same set* of streams in permuted order (e.g. seeds 0 and 1 over
+/// indices `0..16` both yield streams seeded `{0, …, 15}`), silently
+/// correlating supposedly independent batches. The determinism contract only
+/// needs this to be a pure function of `(master_seed, index)`, which the mix
+/// preserves.
+pub(crate) fn stream_for_index(master_seed: u64, index: usize) -> StdRng {
+    let mut z = master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Sorts a cell's witnesses into the canonical order: ascending by their
+/// projection onto the sampling set.
+///
+/// An exhaustively enumerated cell is a *set* determined entirely by the
+/// formula and the hash, but the order in which the solver discovers its
+/// members depends on heuristic state (activities, saved phases) accumulated
+/// over earlier calls. Every sampler in this crate picks a uniform witness by
+/// index, so sorting first makes the picked witness a function of the cell
+/// and the RNG alone — the property the deterministic parallel batch engine
+/// ([`crate::ParallelSampler`]) relies on to produce bit-identical output
+/// regardless of how samples are scheduled across worker solvers.
+pub(crate) fn sort_witnesses_canonically(witnesses: &mut [Model], sampling_set: &[Var]) {
+    // Comparing from the *last* sampling-set variable down makes the
+    // lexicographic order coincide with ascending numeric order of
+    // `Projection::as_index` (which treats the first variable as the
+    // least-significant bit), for sampling sets of any width.
+    witnesses.sort_by_cached_key(|w| {
+        sampling_set
+            .iter()
+            .rev()
+            .map(|&v| w.value(v))
+            .collect::<Vec<bool>>()
+    });
 }
 
 /// The result of one sampling attempt.
@@ -83,6 +134,31 @@ pub trait WitnessSampler {
         (0..count).map(|_| self.sample(rng)).collect()
     }
 
+    /// Produces `count` witnesses, sample `i` drawing all of its randomness
+    /// from a dedicated stream derived (via a SplitMix64 mix) from
+    /// `(master_seed, i)`.
+    ///
+    /// This is the serial reference implementation of the batch API: because
+    /// each sample owns an RNG stream derived from its *index* (not from
+    /// however many draws earlier samples consumed), the witness at position
+    /// `i` is a function of the sampler's prepared state, `master_seed` and
+    /// `i` alone. [`crate::ParallelSampler`] exploits exactly this to fan the
+    /// index range out over a pool of worker solvers while reproducing this
+    /// method's output bit for bit, at any thread count.
+    ///
+    /// The determinism contract requires per-`BSAT` budgets that never
+    /// trigger (the default unlimited [`unigen_satsolver::Budget`]): a
+    /// wall-clock or conflict cutoff fires depending on accumulated solver
+    /// state, which is the one thing workers do not share.
+    fn sample_batch(&mut self, count: usize, master_seed: u64) -> Vec<SampleOutcome> {
+        (0..count)
+            .map(|index| {
+                let mut rng = stream_for_index(master_seed, index);
+                self.sample(&mut rng)
+            })
+            .collect()
+    }
+
     /// A short human-readable name used by the benchmark harness ("UniGen",
     /// "UniWit", …).
     fn name(&self) -> &'static str;
@@ -113,6 +189,7 @@ mod tests {
             wall_time: Duration::from_millis(5),
             solver_propagations: 100,
             solver_conflicts: 1,
+            width_window_clamped: 1,
         };
         let b = SampleStats {
             bsat_calls: 3,
@@ -121,6 +198,7 @@ mod tests {
             wall_time: Duration::from_millis(7),
             solver_propagations: 11,
             solver_conflicts: 2,
+            width_window_clamped: 0,
         };
         a.accumulate(&b);
         assert_eq!(a.bsat_calls, 4);
@@ -129,6 +207,74 @@ mod tests {
         assert_eq!(a.wall_time, Duration::from_millis(12));
         assert_eq!(a.solver_propagations, 111);
         assert_eq!(a.solver_conflicts, 3);
+        assert_eq!(a.width_window_clamped, 1);
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_sampling_set_projection() {
+        let sampling = [Var::new(0), Var::new(2)];
+        let mut witnesses = vec![
+            Model::new(vec![true, false, true]),   // projection (T, T)
+            Model::new(vec![false, true, true]),   // projection (F, T)
+            Model::new(vec![true, true, false]),   // projection (T, F)
+            Model::new(vec![false, false, false]), // projection (F, F)
+        ];
+        sort_witnesses_canonically(&mut witnesses, &sampling);
+        // Ascending numeric order of the projection index: Var(0) is the
+        // least-significant bit, Var(2) the most-significant one.
+        let indices: Vec<u64> = witnesses
+            .iter()
+            .map(|w| w.project(&sampling).as_index())
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_sample_batch_derives_one_stream_per_index() {
+        /// A fake sampler that records the first `u32` drawn from each
+        /// per-sample RNG stream, so the test can pin the stream-derivation
+        /// rule the parallel engine depends on.
+        struct StreamRecorder {
+            first_draws: Vec<u32>,
+        }
+        impl WitnessSampler for StreamRecorder {
+            fn sample(&mut self, rng: &mut dyn RngCore) -> SampleOutcome {
+                self.first_draws.push(rng.next_u32());
+                SampleOutcome {
+                    witness: None,
+                    stats: SampleStats::default(),
+                }
+            }
+            fn name(&self) -> &'static str {
+                "StreamRecorder"
+            }
+        }
+
+        let master = 0xfeed_beef;
+        let mut sampler = StreamRecorder {
+            first_draws: Vec::new(),
+        };
+        let outcomes = sampler.sample_batch(4, master);
+        assert_eq!(outcomes.len(), 4);
+        let expected: Vec<u32> = (0..4usize)
+            .map(|i| stream_for_index(master, i).next_u32())
+            .collect();
+        assert_eq!(sampler.first_draws, expected);
+    }
+
+    #[test]
+    fn nearby_master_seeds_use_disjoint_stream_sets() {
+        // A plain `master_seed ^ index` derivation would make seeds 0 and 1
+        // draw the same 16 streams in permuted order, correlating the two
+        // batches completely; the SplitMix64 mix must keep them apart.
+        let draws = |seed: u64| -> std::collections::HashSet<u64> {
+            (0..16usize)
+                .map(|i| stream_for_index(seed, i).next_u64())
+                .collect()
+        };
+        let a = draws(0);
+        let b = draws(1);
+        assert!(a.is_disjoint(&b), "seeds 0 and 1 share RNG streams");
     }
 
     #[test]

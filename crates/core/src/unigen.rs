@@ -1,5 +1,6 @@
 //! The UniGen algorithm (Algorithm 1 of the paper).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -21,8 +22,10 @@ pub enum PreparedMode {
     /// The formula has at most `hiThresh` witnesses (lines 5–7): they are all
     /// stored and sampling reduces to a uniform pick among them.
     Enumerated {
-        /// Every witness of the formula (distinct on the sampling set).
-        witnesses: Vec<Model>,
+        /// Every witness of the formula (distinct on the sampling set), in
+        /// canonical (projection) order. Shared via [`Arc`] so cloning a
+        /// prepared sampler for a parallel worker does not copy the list.
+        witnesses: Arc<[Model]>,
     },
     /// The general case (lines 9–11): an approximate count `C` fixed the
     /// candidate hash widths `{q−3,…,q}`.
@@ -48,7 +51,8 @@ pub enum PreparedMode {
 /// See the crate-level documentation for a complete example.
 #[derive(Debug, Clone)]
 pub struct UniGen {
-    sampling_set: Vec<Var>,
+    /// The sampling set `S`, shared cheaply with every parallel worker clone.
+    sampling_set: Arc<[Var]>,
     config: UniGenConfig,
     kappa_pivot: KappaPivot,
     family: XorHashFamily,
@@ -121,9 +125,12 @@ impl UniGen {
         let family = XorHashFamily::new(sampling_set.to_vec());
 
         let mode = if outcome.len() <= hi_count {
-            // Lines 5–7: the easy case.
+            // Lines 5–7: the easy case. Canonical order makes the uniform
+            // pick in `sample` independent of the enumeration order.
+            let mut witnesses = outcome.witnesses;
+            crate::sampler::sort_witnesses_canonically(&mut witnesses, sampling_set);
             PreparedMode::Enumerated {
-                witnesses: outcome.witnesses,
+                witnesses: witnesses.into(),
             }
         } else {
             // Lines 9–11: approximate count and candidate hash widths.
@@ -142,7 +149,7 @@ impl UniGen {
         };
 
         Ok(UniGen {
-            sampling_set: sampling_set.to_vec(),
+            sampling_set: sampling_set.into(),
             config,
             kappa_pivot,
             family,
@@ -188,13 +195,15 @@ impl UniGen {
     /// cell). Each returned witness individually satisfies the Theorem 1
     /// envelope, but witnesses of the same batch are *not* mutually
     /// independent because they share a cell; callers that need independent
-    /// samples must call [`UniGen::sample`] repeatedly instead. The batch
-    /// amortises the hashing and enumeration cost over its members, which is
-    /// what makes high-volume stimulus generation cheap in practice.
+    /// samples must use [`WitnessSampler::sample_batch`] (or
+    /// [`crate::ParallelSampler`]) instead — that API draws one fresh cell
+    /// per sample. The shared-cell batch amortises the hashing and
+    /// enumeration cost over its members, which is what makes high-volume
+    /// stimulus generation cheap in practice.
     ///
     /// For formulas small enough to be fully enumerated during preparation,
     /// the batch is simply `count` independent uniform picks.
-    pub fn sample_batch(&mut self, count: usize, rng: &mut dyn RngCore) -> Vec<SampleOutcome> {
+    pub fn sample_cell_batch(&mut self, count: usize, rng: &mut dyn RngCore) -> Vec<SampleOutcome> {
         if count == 0 {
             return Vec::new();
         }
@@ -251,7 +260,13 @@ impl UniGen {
     /// Runs lines 12–17 of Algorithm 1: searches the candidate hash widths
     /// for a cell whose size lies in `[loThresh, hiThresh]` and returns its
     /// witnesses (or `None` on failure), together with the work statistics.
-    fn collect_cell(
+    ///
+    /// Per lines 12–17, the scan stops at the *first* accepted width: once a
+    /// cell lands in `[loThresh, hiThresh]` no further width is tried and no
+    /// further `BSAT` call is issued. The returned cell is sorted into the
+    /// canonical (projection) order so the caller's uniform pick depends only
+    /// on the cell and the RNG, not on solver heuristic state.
+    pub(crate) fn collect_cell(
         &mut self,
         q: usize,
         rng: &mut dyn RngCore,
@@ -262,10 +277,18 @@ impl UniGen {
         let hi_count = self.kappa_pivot.hi_thresh_count();
         let max_width = self.sampling_set.len();
 
-        // i ranges over {q−3, …, q}, clamped to the representable widths.
-        let start = q.saturating_sub(3).max(1);
+        // i ranges over {q−3, …, q}, clamped to the representable widths
+        // 1..=|S|. When the whole window lies above |S| (an over-estimated
+        // approximate count can produce q > |S| + 3), fall back to the finest
+        // representable widths instead of silently running zero iterations.
+        let end = q.min(max_width).max(1);
+        let mut start = q.saturating_sub(3).max(1);
+        if start > end {
+            start = end.saturating_sub(3).max(1);
+            stats.width_window_clamped += 1;
+        }
         let mut chosen: Option<Vec<Model>> = None;
-        'widths: for width in start..=q.min(max_width) {
+        'widths: for width in start..=end {
             let mut attempts = 0usize;
             loop {
                 let hash = self.family.sample(width, rng);
@@ -301,12 +324,21 @@ impl UniGen {
 
                 let size = outcome.len();
                 if size as f64 >= lo && size <= hi_count {
+                    // Line 17: the first accepted width ends the scan. (An
+                    // earlier version of this loop kept scanning, overwrote
+                    // the accepted cell with later widths' cells and paid for
+                    // their BSAT calls — a conformance bug against lines
+                    // 12–17 that the regression tests below pin down.)
                     chosen = Some(outcome.witnesses);
+                    break 'widths;
                 }
                 continue 'widths;
             }
         }
 
+        if let Some(cell) = chosen.as_mut() {
+            crate::sampler::sort_witnesses_canonically(cell, &self.sampling_set);
+        }
         stats.wall_time = started.elapsed();
         (chosen, stats)
     }
@@ -480,7 +512,7 @@ mod tests {
             PreparedMode::Hashed { .. }
         ));
         let mut rng = seeded_rng(21);
-        let batch = sampler.sample_batch(8, &mut rng);
+        let batch = sampler.sample_cell_batch(8, &mut rng);
         let successes: Vec<_> = batch.iter().filter_map(|o| o.witness.clone()).collect();
         assert!(!successes.is_empty(), "batch produced no witnesses");
         let sampling = f.sampling_set().unwrap().to_vec();
@@ -505,9 +537,9 @@ mod tests {
         let f = formula_with_count(3, 1);
         let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
         let mut rng = seeded_rng(22);
-        assert!(sampler.sample_batch(0, &mut rng).is_empty());
+        assert!(sampler.sample_cell_batch(0, &mut rng).is_empty());
         // Enumerated mode: batch reduces to independent uniform picks.
-        let batch = sampler.sample_batch(20, &mut rng);
+        let batch = sampler.sample_cell_batch(20, &mut rng);
         assert_eq!(batch.len(), 20);
         assert!(batch.iter().all(|o| o.is_success()));
     }
@@ -541,6 +573,94 @@ mod tests {
         let stats = sampler.solver_stats();
         assert!(stats.guards_created >= 5);
         assert_eq!(stats.guards_created, stats.guards_retired);
+    }
+
+    #[test]
+    fn width_scan_stops_at_first_accepted_width() {
+        // 2^6 = 64 witnesses over a 6-variable sampling set. Any width-1
+        // hash whose row is non-degenerate splits the space into two cells
+        // of exactly 32 witnesses — inside [loThresh ≈ 25.9, hiThresh = 62]
+        // for ε = 6 — so the scan must accept at the *first* width and issue
+        // exactly one BSAT call. The pre-fix loop kept scanning: it issued
+        // one call per remaining width and overwrote the accepted cell.
+        let f = formula_with_count(6, 0);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(17);
+        let mut first_width_accepts = 0;
+        for _ in 0..10 {
+            let (cell, stats) = sampler.collect_cell(2, &mut rng);
+            if let Some(cell) = cell {
+                if cell.len() == 32 {
+                    first_width_accepts += 1;
+                    assert_eq!(
+                        stats.bsat_calls, 1,
+                        "the scan issued BSAT calls after the first accepted width"
+                    );
+                }
+            }
+        }
+        // Degenerate (all-zero) hash rows are a 1-in-64 event per draw; with
+        // this seed the common case must dominate.
+        assert!(
+            first_width_accepts >= 8,
+            "only {first_width_accepts}/10 scans accepted at the first width"
+        );
+    }
+
+    #[test]
+    fn accepted_cell_is_in_canonical_order() {
+        let f = formula_with_count(6, 0);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let sampling = sampler.sampling_set().to_vec();
+        let mut rng = seeded_rng(19);
+        let mut checked = 0;
+        for _ in 0..5 {
+            if let (Some(cell), _) = sampler.collect_cell(2, &mut rng) {
+                let indices: Vec<u64> = cell
+                    .iter()
+                    .map(|w| w.project(&sampling).as_index())
+                    .collect();
+                assert!(indices.windows(2).all(|w| w[0] < w[1]), "{indices:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no cell was ever accepted");
+    }
+
+    #[test]
+    fn oversized_q_clamps_the_width_window() {
+        let f = formula_with_count(6, 0);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut rng = seeded_rng(5);
+        // q far beyond |S| + 3: the window {q−3, …, q} contains no
+        // representable width, so before the clamp the loop body never ran
+        // and the scan reported ⊥ with zero solver work.
+        let (_, stats) = sampler.collect_cell(64, &mut rng);
+        assert_eq!(stats.width_window_clamped, 1);
+        assert!(
+            stats.bsat_calls >= 1,
+            "a clamped window must still issue solver work"
+        );
+        // The ordinary window is untouched by the clamp accounting.
+        let (_, stats) = sampler.collect_cell(2, &mut rng);
+        assert_eq!(stats.width_window_clamped, 0);
+    }
+
+    #[test]
+    fn enumerated_witnesses_are_in_canonical_order() {
+        let f = formula_with_count(3, 2);
+        let sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let sampling = sampler.sampling_set().to_vec();
+        match sampler.prepared_mode() {
+            PreparedMode::Enumerated { witnesses } => {
+                let indices: Vec<u64> = witnesses
+                    .iter()
+                    .map(|w| w.project(&sampling).as_index())
+                    .collect();
+                assert!(indices.windows(2).all(|w| w[0] < w[1]), "{indices:?}");
+            }
+            other => panic!("expected Enumerated, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! exact constant does not affect the structural comparison (xor length and
 //! per-sample search cost), which is what Tables 1 and 2 measure.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -75,7 +76,8 @@ impl Default for UniWitConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UniWit {
-    support: Vec<Var>,
+    /// The full support `X`, shared cheaply with every parallel worker clone.
+    support: Arc<[Var]>,
     family: XorHashFamily,
     config: UniWitConfig,
     /// The one incremental solver reused across samples; each hash layer and
@@ -99,7 +101,7 @@ impl UniWit {
         let support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
         Ok(UniWit {
             family: XorHashFamily::new(support.clone()),
-            support,
+            support: support.into(),
             config,
             solver: Solver::from_formula(formula),
         })
@@ -117,11 +119,19 @@ impl WitnessSampler for UniWit {
         let started = Instant::now();
         let mut stats = SampleStats::default();
         let pivot = self.config.pivot as usize;
-        let max_width = self
+        // Clamp the width window into the representable range `1..=|X|`.
+        // `max_width: Some(0)` would otherwise make `1..=0` empty and the
+        // sampler would report `⊥` with zero hashing work — the same silent
+        // empty-window failure mode fixed in UniGen's `collect_cell`.
+        let configured = self
             .config
             .max_width
             .unwrap_or(self.support.len())
             .min(self.support.len());
+        let max_width = configured.max(1);
+        if configured == 0 {
+            stats.width_window_clamped += 1;
+        }
 
         // First check whether the formula itself already has few enough
         // witnesses (the degenerate case every hashing sampler handles
@@ -142,7 +152,13 @@ impl WitnessSampler for UniWit {
             let witness = if base.is_empty() {
                 None
             } else {
-                Some(base.witnesses[rng.gen_range(0..base.len())].clone())
+                // Canonical order first: the accepted enumeration here is
+                // exhaustive, so sorting makes the uniform pick independent
+                // of solver heuristic state (the parallel determinism
+                // contract).
+                let mut cell = base.witnesses;
+                crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
+                Some(cell[rng.gen_range(0..cell.len())].clone())
             };
             return SampleOutcome { witness, stats };
         }
@@ -172,8 +188,13 @@ impl WitnessSampler for UniWit {
             }
             let size = outcome.len();
             if size >= 1 && size <= pivot {
+                // First accepted width ends the search (audited against the
+                // UniGen overshoot bug: this loop already returns here rather
+                // than scanning on and overwriting the accepted cell).
                 stats.wall_time = started.elapsed();
-                let witness = outcome.witnesses[rng.gen_range(0..size)].clone();
+                let mut cell = outcome.witnesses;
+                crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
+                let witness = cell[rng.gen_range(0..size)].clone();
                 return SampleOutcome {
                     witness: Some(witness),
                     stats,
@@ -277,5 +298,28 @@ mod tests {
             UniWit::new(&f, UniWitConfig::default()),
             Err(SamplerError::EmptySamplingSet)
         ));
+    }
+
+    #[test]
+    fn zero_max_width_is_clamped_not_silently_empty() {
+        // 2^10·0.75 witnesses, far above the pivot, so the base short-circuit
+        // does not fire and the sampler must enter the width search. With
+        // `max_width: Some(0)` the search window used to be the empty range
+        // `1..=0`: no hash was ever drawn and the sampler failed silently.
+        let mut f = CnfFormula::new(10);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        let config = UniWitConfig {
+            max_width: Some(0),
+            ..UniWitConfig::default()
+        };
+        let mut sampler = UniWit::new(&f, config).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let outcome = sampler.sample(&mut rng);
+        assert_eq!(outcome.stats.width_window_clamped, 1);
+        assert!(
+            outcome.stats.xor_clauses_added >= 1,
+            "the clamped window must still draw at least one hash"
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! common [`WitnessSampler`] interface and can be plugged into the same
 //! harness as UniGen.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -44,7 +45,9 @@ use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
 #[derive(Debug, Clone)]
 pub struct UniformSampler {
     count: u128,
-    witnesses: Option<Vec<Model>>,
+    /// Materialised witnesses in canonical (projection) order, shared via
+    /// [`Arc`] so parallel worker clones do not copy the list.
+    witnesses: Option<Arc<[Model]>>,
 }
 
 impl UniformSampler {
@@ -93,7 +96,12 @@ impl UniformSampler {
             // silently sampling from the wrong space.
             return Err(SamplerError::PreparationBudgetExhausted);
         }
-        sampler.witnesses = Some(outcome.witnesses);
+        // Canonical order (audit note: US has no width scan to overshoot,
+        // but its uniform pick must be enumeration-order independent for the
+        // same reason as the hashing samplers' cell picks).
+        let mut witnesses = outcome.witnesses;
+        crate::sampler::sort_witnesses_canonically(&mut witnesses, sampling_set);
+        sampler.witnesses = Some(witnesses.into());
         Ok(sampler)
     }
 

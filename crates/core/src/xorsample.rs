@@ -10,6 +10,7 @@
 //! leaves it out of Table 1 because UniWit dominates it; it is kept here for
 //! the ablation benchmarks and for completeness of the historical lineage.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -70,7 +71,8 @@ impl Default for XorSamplePrimeConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct XorSamplePrime {
-    support: Vec<Var>,
+    /// The full support `X`, shared cheaply with every parallel worker clone.
+    support: Arc<[Var]>,
     family: XorHashFamily,
     config: XorSamplePrimeConfig,
     /// The one incremental solver reused across samples (hash layers and
@@ -92,7 +94,7 @@ impl XorSamplePrime {
         let support: Vec<Var> = (0..formula.num_vars()).map(Var::new).collect();
         Ok(XorSamplePrime {
             family: XorHashFamily::new(support.clone()),
-            support,
+            support: support.into(),
             config,
             solver: Solver::from_formula(formula),
         })
@@ -104,6 +106,10 @@ impl WitnessSampler for XorSamplePrime {
         let started = Instant::now();
         let mut stats = SampleStats::default();
 
+        // Audit note (first-acceptance / empty-window): XORSample′ tries a
+        // single user-supplied width, so there is no scan to overshoot; the
+        // width itself is clamped into the representable range `1..=|X|`
+        // here, so the window can never be silently empty.
         let width = self.config.num_constraints.max(1).min(self.support.len());
         let hash = self.family.sample(width, rng);
         let clauses = hash.to_xor_clauses();
@@ -132,7 +138,11 @@ impl WitnessSampler for XorSamplePrime {
                 stats,
             };
         }
-        let witness = outcome.witnesses[rng.gen_range(0..outcome.len())].clone();
+        // Canonical order first, so the uniform pick is independent of solver
+        // heuristic state (the parallel determinism contract).
+        let mut cell = outcome.witnesses;
+        crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
+        let witness = cell[rng.gen_range(0..cell.len())].clone();
         SampleOutcome {
             witness: Some(witness),
             stats,

@@ -1,5 +1,7 @@
 //! Sampling from `H_xor(n, m, 3)` and turning draws into xor clauses.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use unigen_cnf::{Model, Var, XorClause};
@@ -14,7 +16,10 @@ use unigen_cnf::{Model, Var, XorClause};
 /// UniGen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XorHashFamily {
-    sampling_set: Vec<Var>,
+    /// Shared with every drawn [`XorHashFunction`] (and with clones of the
+    /// family handed to parallel sampler workers), so neither a draw nor a
+    /// worker clone copies the sampling set.
+    sampling_set: Arc<[Var]>,
 }
 
 impl XorHashFamily {
@@ -28,7 +33,9 @@ impl XorHashFamily {
             !sampling_set.is_empty(),
             "the hash family needs a non-empty sampling set"
         );
-        XorHashFamily { sampling_set }
+        XorHashFamily {
+            sampling_set: sampling_set.into(),
+        }
     }
 
     /// Returns the sampling set the family hashes over.
@@ -82,7 +89,7 @@ struct HashRow {
 /// `h(x_1 … x_n) = α`, i.e. one xor clause per output bit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XorHashFunction {
-    sampling_set: Vec<Var>,
+    sampling_set: Arc<[Var]>,
     rows: Vec<HashRow>,
 }
 

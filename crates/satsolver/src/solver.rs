@@ -124,6 +124,13 @@ enum ConflictSource {
 /// See the crate-level documentation for an overview and an example. The
 /// solver is deterministic for a fixed [`SolverConfig::seed`] and input
 /// formula, which keeps every experiment in this repository reproducible.
+///
+/// The solver is `Clone + Send`: every field is owned plain data (the clause
+/// arena, the xor engine, the trail, VSIDS state — no `Rc`, no interior
+/// mutability, no shared handles), so a prepared solver can be duplicated
+/// for a parallel sampler worker and moved to its thread. Keeping it that
+/// way is load-bearing for `unigen::ParallelSampler`; the
+/// `solver_is_send_sync_clone` test pins the property at compile time.
 #[derive(Debug, Clone)]
 pub struct Solver {
     num_vars: usize,
@@ -1351,6 +1358,17 @@ mod tests {
         let mut solver = Solver::from_formula(&formula);
         let result = solver.solve();
         (formula, result)
+    }
+
+    #[test]
+    fn solver_is_send_sync_clone() {
+        // The parallel batch engine clones a prepared solver per worker and
+        // moves the clone to the worker's thread. If a future change slips
+        // an `Rc`, a raw pointer, or a `RefCell` into the solver (or any of
+        // its components), this stops compiling rather than failing at a
+        // distance.
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<Solver>();
     }
 
     #[test]
