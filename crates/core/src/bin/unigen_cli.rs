@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! unigen_cli [OPTIONS] <FILE.cnf>
+//! unigen_cli batch [OPTIONS] <FILE.cnf>
 //!
 //! Options:
 //!   --samples N      number of witnesses to generate            [default: 10]
@@ -11,16 +12,30 @@
 //!   --timeout SECS   per-solver-call budget in seconds          [default: none]
 //!   --jobs N         sample on N worker threads (0 = all cores) [default: serial]
 //!   --verbose        print per-sample statistics to stderr
+//!
+//! batch-only options:
+//!   --requests R     split the samples over R service requests  [default: 1]
+//!   --queue N        bounded request-queue capacity             [default: 16]
 //! ```
 //!
-//! With `--jobs`, sample `i` draws its randomness from a dedicated stream
+//! The `batch` subcommand drives the request/response [`SamplerService`]:
+//! it builds one UniGen sampler through [`SamplerBuilder`], spawns the
+//! persistent work-stealing pool once, splits `--samples` over
+//! `--requests` typed [`SampleRequest`]s (request `r` uses master seed
+//! `seed + r`), streams each response's witnesses as its index-ordered
+//! prefix completes, and prints the per-request round-trip statistics
+//! (round-trip time, total queue wait, stolen work items).
+//!
+//! On the legacy path, `--jobs` still works but is deprecated in favour of
+//! `batch --jobs`: sample `i` draws its randomness from a dedicated stream
 //! derived from `(seed, i)`, so the emitted witness sequence is identical
 //! for every worker count (including `--jobs 1`) — unless `--timeout` is
 //! also given: a per-`BSAT` cutoff fires based on each worker solver's
 //! private accumulated state, which can make different samples fail at
-//! different worker counts (the CLI warns when the two flags are combined).
-//! Without `--jobs`, the historical serial behaviour (one RNG consumed
-//! across all samples) is preserved.
+//! different worker counts (the CLI warns when the two flags are combined;
+//! the same caveat applies to `batch --timeout`). Without `--jobs`, the
+//! historical serial behaviour (one RNG consumed across all samples) is
+//! preserved.
 //!
 //! The sampling set is taken from `c ind … 0` comment lines in the input
 //! file (the convention of the original UniGen benchmark suite); without
@@ -32,7 +47,10 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use unigen::{ParallelSampler, PreparedMode, SampleOutcome, UniGen, UniGenConfig, WitnessSampler};
+use unigen::{
+    ParallelSampler, PreparedMode, SampleOutcome, SampleRequest, SamplerBuilder, SamplerService,
+    ServiceConfig, UniGen, WitnessSampler,
+};
 use unigen_cnf::dimacs;
 use unigen_satsolver::Budget;
 
@@ -47,10 +65,17 @@ struct CliOptions {
     /// `Some(n)` = n workers (deterministic per-index streams either way).
     jobs: Option<usize>,
     verbose: bool,
+    /// `batch` subcommand: drive the request/response service.
+    batch: bool,
+    /// Number of service requests the samples are split over (batch only).
+    requests: usize,
+    /// Request-queue capacity of the service (batch only).
+    queue: usize,
 }
 
 fn usage() -> &'static str {
-    "usage: unigen_cli [--samples N] [--epsilon E] [--seed S] [--timeout SECS] [--jobs N] [--verbose] <FILE.cnf>"
+    "usage: unigen_cli [batch] [--samples N] [--epsilon E] [--seed S] [--timeout SECS] \
+     [--jobs N] [--requests R] [--queue N] [--verbose] <FILE.cnf>"
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -62,7 +87,15 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         timeout: None,
         jobs: None,
         verbose: false,
+        batch: false,
+        requests: 1,
+        queue: 16,
     };
+    let mut args = args;
+    if args.first().map(String::as_str) == Some("batch") {
+        options.batch = true;
+        args = &args[1..];
+    }
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -97,6 +130,26 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--jobs needs an unsigned integer (0 = all cores)")?,
                 );
+            }
+            "--requests" => {
+                options.requests = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &usize| r > 0)
+                    .ok_or("--requests needs a positive integer")?;
+                if !options.batch {
+                    return Err(format!("--requests is a `batch` option\n{}", usage()));
+                }
+            }
+            "--queue" => {
+                options.queue = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&q: &usize| q > 0)
+                    .ok_or("--queue needs a positive integer")?;
+                if !options.batch {
+                    return Err(format!("--queue is a `batch` option\n{}", usage()));
+                }
             }
             "--verbose" => options.verbose = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -134,13 +187,20 @@ fn run(options: &CliOptions) -> Result<(), String> {
     if let Some(timeout) = options.timeout {
         budget = budget.with_time_limit(timeout);
     }
-    let config = UniGenConfig::default()
-        .with_epsilon(options.epsilon)
-        .with_seed(options.seed)
-        .with_bsat_budget(budget);
-
-    let mut sampler =
-        UniGen::new(&formula, config).map_err(|e| format!("preparation failed: {e}"))?;
+    // The unified builder entry point (one surface for every family; this
+    // front end always asks for UniGen).
+    let built = SamplerBuilder::unigen(&formula)
+        .epsilon(options.epsilon)
+        .seed(options.seed)
+        .bsat_budget(budget)
+        .build()
+        // BuildError's Display already carries the "preparation failed" /
+        // "option not supported" context.
+        .map_err(|e| e.to_string())?;
+    let mut sampler: UniGen = built
+        .as_unigen()
+        .cloned()
+        .expect("a UniGen spec builds a UniGen sampler");
     match sampler.prepared_mode() {
         PreparedMode::Enumerated { witnesses } => {
             eprintln!(
@@ -179,18 +239,28 @@ fn run(options: &CliOptions) -> Result<(), String> {
         };
         if options.verbose {
             eprintln!(
-                "c sample {i}: bsat_calls={} avg_xor_len={:.1} time={:?}",
+                "c sample {i}: bsat_calls={} avg_xor_len={:.1} time={:?} steals={} queue_wait={:?}",
                 outcome.stats.bsat_calls,
                 outcome.stats.average_xor_length(),
-                outcome.stats.wall_time
+                outcome.stats.wall_time,
+                outcome.stats.steals,
+                outcome.stats.queue_wait
             );
         }
         success
     };
 
+    if options.batch {
+        return run_batch(options, sampler, &emit);
+    }
+
     let mut produced = 0usize;
     match options.jobs {
         Some(jobs) => {
+            eprintln!(
+                "c note: the `--jobs` flag path is deprecated; prefer the service-backed \
+                 `unigen_cli batch --jobs N` subcommand"
+            );
             // The deterministic batch path: per-index RNG streams fanned out
             // over a worker pool (0 = one worker per core). The witness
             // sequence is identical for every worker count.
@@ -262,6 +332,90 @@ fn run(options: &CliOptions) -> Result<(), String> {
             stats.gauss_row_ops
         );
     }
+    Ok(())
+}
+
+/// The `batch` subcommand: drive the persistent request/response service and
+/// report the round-trip statistics of every request.
+fn run_batch(
+    options: &CliOptions,
+    sampler: UniGen,
+    emit: &dyn Fn(usize, &SampleOutcome) -> bool,
+) -> Result<(), String> {
+    if options.timeout.is_some() {
+        eprintln!(
+            "c warning: --timeout makes BSAT cutoffs depend on per-worker solver state, \
+             so the witness sequence may differ between --jobs values"
+        );
+    }
+    let mut config = ServiceConfig::default().with_queue_capacity(options.queue);
+    if let Some(jobs) = options.jobs {
+        if jobs > 0 {
+            config = config.with_workers(jobs);
+        }
+    }
+    let service = SamplerService::new(sampler, config);
+    eprintln!(
+        "c service: {} worker thread(s), request queue capacity {}",
+        service.workers(),
+        service.queue_capacity()
+    );
+
+    // Split the samples over the requests (first `remainder` requests get
+    // one extra); request r draws from master seed `seed + r`, so distinct
+    // requests use provably disjoint RNG stream sets.
+    let base = options.samples / options.requests;
+    let remainder = options.samples % options.requests;
+    let requests: Vec<SampleRequest> = (0..options.requests)
+        .map(|r| {
+            let count = base + usize::from(r < remainder);
+            SampleRequest::new(count, options.seed.wrapping_add(r as u64))
+        })
+        .filter(|request| request.count > 0)
+        .collect();
+
+    // Submit everything up front (backpressure permitting), then stream each
+    // response's index-ordered prefix as it completes.
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|&request| service.submit(request))
+        .collect();
+
+    let mut produced = 0usize;
+    let mut emitted = 0usize;
+    let mut totals = unigen::SampleStats::default();
+    for (r, mut handle) in handles.into_iter().enumerate() {
+        let request = handle.request();
+        for outcome in handle.by_ref() {
+            produced += usize::from(emit(emitted, &outcome));
+            emitted += 1;
+        }
+        let response = handle.wait();
+        totals.accumulate(&response.aggregate_stats);
+        eprintln!(
+            "c request {r}: seed={} witnesses={}/{} round_trip={:?} queue_wait_total={:?} steals={}",
+            request.master_seed,
+            response.successes(),
+            request.count,
+            response.round_trip,
+            response.aggregate_stats.queue_wait,
+            response.aggregate_stats.steals
+        );
+    }
+
+    eprintln!(
+        "c produced {produced}/{} witnesses (observed success probability {:.2})",
+        options.samples,
+        produced as f64 / options.samples.max(1) as f64
+    );
+    eprintln!(
+        "c service totals: bsat_calls={} steals={} queue_wait_total={:?} worker_items={:?} worker_steals={:?}",
+        totals.bsat_calls,
+        service.steals(),
+        totals.queue_wait,
+        service.worker_items(),
+        service.worker_steals()
+    );
     Ok(())
 }
 
@@ -337,6 +491,35 @@ mod tests {
     }
 
     #[test]
+    fn batch_subcommand_parses_its_options() {
+        let options = parse_args(&args(&[
+            "batch",
+            "--samples",
+            "40",
+            "--requests",
+            "4",
+            "--queue",
+            "2",
+            "--jobs",
+            "3",
+            "a.cnf",
+        ]))
+        .unwrap();
+        assert!(options.batch);
+        assert_eq!(options.samples, 40);
+        assert_eq!(options.requests, 4);
+        assert_eq!(options.queue, 2);
+        assert_eq!(options.jobs, Some(3));
+        // Batch-only options are rejected on the legacy path, and zero
+        // requests/queue are rejected outright.
+        assert!(!parse_args(&args(&["a.cnf"])).unwrap().batch);
+        assert!(parse_args(&args(&["--requests", "4", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["--queue", "2", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["batch", "--requests", "0", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["batch", "--queue", "0", "a.cnf"])).is_err());
+    }
+
+    #[test]
     fn rejects_missing_file_and_unknown_options() {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["--bogus", "x.cnf"])).is_err());
@@ -357,11 +540,23 @@ mod tests {
             timeout: None,
             jobs: None,
             verbose: true,
+            batch: false,
+            requests: 1,
+            queue: 16,
         };
         run(&options).unwrap();
-        // The parallel path on the same file, exercising the pool end to end.
+        // The deprecated parallel flag path on the same file.
         let options = CliOptions {
             jobs: Some(2),
+            ..options
+        };
+        run(&options).unwrap();
+        // The service-backed batch subcommand path, multiple requests.
+        let options = CliOptions {
+            batch: true,
+            samples: 5,
+            requests: 2,
+            queue: 1,
             ..options
         };
         run(&options).unwrap();

@@ -1,4 +1,11 @@
 //! Sampler configuration.
+//!
+//! Since the service-API redesign the preferred construction surface is
+//! [`crate::SamplerBuilder`], which wraps this config (and the other
+//! families') behind one typed entry point —
+//! `SamplerBuilder::unigen(&f).epsilon(6.0).build()?`. The config structs
+//! remain public as the value types a [`crate::SamplerSpec`] carries and
+//! for callers that prefer the original constructors.
 
 use unigen_counting::ApproxMcConfig;
 use unigen_satsolver::Budget;

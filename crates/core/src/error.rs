@@ -74,6 +74,97 @@ impl SamplerError {
     }
 }
 
+/// Errors reported by [`crate::SamplerBuilder::build`] — the *prepare-time*
+/// half of the error taxonomy.
+///
+/// Build errors are typed separately from request-time conditions (see
+/// [`TrySubmitError`]): a build error means the sampler could never have
+/// produced a witness and the caller's spec or formula must change, whereas a
+/// request-time error is transient and the same request can simply be
+/// retried. (An unsuccessful *sample* — the paper's `⊥` — is neither: it is
+/// an ordinary outcome, reported through
+/// [`crate::SampleOutcome::witness`] being `None`.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// An option was set that the selected sampler family does not have (for
+    /// example `epsilon` on a UniWit spec, or `sampling_set` on UniWit,
+    /// which by definition hashes over the full support).
+    UnsupportedOption {
+        /// The builder method that was misapplied.
+        option: &'static str,
+        /// The sampler family the spec selects.
+        sampler: &'static str,
+    },
+    /// The preparation phase itself failed (the one-off work the sampler's
+    /// constructor performs: κ/pivot, the `BSAT` probe, approximate
+    /// counting).
+    Prepare(SamplerError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnsupportedOption { option, sampler } => {
+                write!(
+                    f,
+                    "option `{option}` is not supported by the {sampler} sampler"
+                )
+            }
+            BuildError::Prepare(err) => write!(f, "preparation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Prepare(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SamplerError> for BuildError {
+    fn from(err: SamplerError) -> Self {
+        BuildError::Prepare(err)
+    }
+}
+
+/// Rejection returned by [`crate::SamplerService::try_submit`] — the
+/// *request-time* half of the error taxonomy.
+///
+/// Request-time rejections are transient: the returned request is handed
+/// back to the caller untouched, and re-submitting it later (or blocking in
+/// [`crate::SamplerService::submit`]) is always legal. Thanks to the
+/// per-`(master_seed, index)` determinism contract a retried request
+/// reproduces exactly the witnesses the rejected one would have produced, so
+/// an RPC front end gets idempotent retries for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrySubmitError {
+    /// The service's bounded request queue is at capacity; the rejected
+    /// request is returned so the caller can retry it verbatim.
+    QueueFull {
+        /// The request that was not admitted.
+        request: crate::service::SampleRequest,
+    },
+}
+
+impl fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySubmitError::QueueFull { request } => write!(
+                f,
+                "the service request queue is full (rejected request: {} samples, master seed {})",
+                request.count, request.master_seed
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,11 +22,32 @@
 //! * [`stats`] — count-of-count histograms and distance measures for the
 //!   uniformity comparison.
 //!
-//! For high-volume generation, [`ParallelSampler`] fans a batch of samples
-//! out over a worker pool with a bit-identical-at-any-thread-count
+//! For high-volume generation the crate exposes a **service API**: any
+//! family is constructed through one [`SamplerBuilder`] entry point, and a
+//! [`SamplerService`] answers typed [`SampleRequest`]s over a persistent
+//! work-stealing worker pool with a bit-identical-at-any-worker-count
 //! determinism contract — the paper's "embarrassingly parallel" observation
-//! made concrete. See [`WitnessSampler::sample_batch`] for the serial
-//! reference semantics.
+//! made concrete and shaped for an RPC boundary. See
+//! [`WitnessSampler::sample_batch`] for the serial reference semantics and
+//! the [`service`] module docs for the contract.
+//! [`ParallelSampler`] remains as a thin compatibility wrapper over a
+//! single-request service.
+//!
+//! ```
+//! use unigen::{SamplerBuilder, SampleRequest, ServiceConfig};
+//! use unigen_cnf::{CnfFormula, Lit};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut f = CnfFormula::new(3);
+//! f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2), Lit::from_dimacs(3)])?;
+//! let service = SamplerBuilder::unigen(&f)
+//!     .epsilon(6.0)
+//!     .into_service(ServiceConfig::default().with_workers(2))?;
+//! let response = service.submit(SampleRequest::new(8, 0xdac2014)).wait();
+//! assert_eq!(response.outcomes.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! # Quick start
 //!
@@ -58,11 +79,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod error;
 mod kappa_pivot;
 mod parallel;
 mod sampler;
+pub mod service;
 mod unigen;
 mod uniwit;
 mod us;
@@ -70,11 +93,13 @@ mod xorsample;
 
 pub mod stats;
 
+pub use builder::{AnySampler, SamplerBuilder, SamplerSpec};
 pub use config::UniGenConfig;
-pub use error::SamplerError;
+pub use error::{BuildError, SamplerError, TrySubmitError};
 pub use kappa_pivot::{compute_kappa_pivot, KappaPivot};
 pub use parallel::ParallelSampler;
 pub use sampler::{SampleOutcome, SampleStats, WitnessSampler};
+pub use service::{ResponseHandle, SampleRequest, SampleResponse, SamplerService, ServiceConfig};
 pub use unigen::{PreparedMode, UniGen};
 pub use uniwit::{UniWit, UniWitConfig};
 pub use us::UniformSampler;

@@ -4,16 +4,25 @@
 //!
 //! # Design
 //!
-//! A [`ParallelSampler`] wraps one fully *prepared* sampler (the expensive
-//! one-off phase — κ/pivot, the `BSAT(F, hiThresh)` probe, the ApproxMC count
-//! — has already run) and fans a batch of `n` samples out over a pool of
-//! worker threads. Each worker clones the prepared prototype exactly once:
-//! the clone is cheap because the heavyweight immutable state (sampling set,
-//! hash family, enumerated witness lists) is shared through [`Arc`]s inside
-//! the samplers, while the per-worker [`unigen_satsolver::Solver`] — the one
-//! genuinely mutable component — is duplicated so workers never contend on a
-//! lock. From then on each worker runs the ordinary incremental per-sample
-//! loop on its own persistent solver.
+//! [`ParallelSampler`] is the crate's original one-shot batch engine, kept
+//! as a **thin compatibility wrapper** over the service API: since the
+//! request/response redesign, [`ParallelSampler::sample_batch`] spins up a
+//! single-request [`crate::SamplerService`] (persistent work-stealing pool,
+//! one clone of the prepared prototype per worker) and waits for the
+//! response. Code that issues more than one batch, wants streaming, or
+//! needs backpressure should construct the service directly — the pool then
+//! persists across requests instead of being rebuilt per call. The original
+//! static contiguous partition survives as
+//! [`ParallelSampler::sample_batch_static_chunks`], the ablation reference
+//! the `bench_parallel` harness measures the deque scheduler against.
+//!
+//! Each worker clones the prepared prototype exactly once: the clone is
+//! cheap because the heavyweight immutable state (sampling set, hash
+//! family, enumerated witness lists) is shared through [`Arc`]s inside the
+//! samplers, while the per-worker [`unigen_satsolver::Solver`] — the one
+//! genuinely mutable component — is duplicated so workers never contend on
+//! a lock. From then on each worker runs the ordinary incremental
+//! per-sample loop on its own persistent solver.
 //!
 //! # Determinism contract
 //!
@@ -74,6 +83,7 @@ use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use crate::sampler::{SampleOutcome, WitnessSampler};
+use crate::service::{SampleRequest, SamplerService, ServiceConfig};
 
 /// A worker pool that runs a prepared [`WitnessSampler`] batch in parallel
 /// with a deterministic, thread-count-independent result.
@@ -90,7 +100,7 @@ pub struct ParallelSampler<S> {
     jobs: usize,
 }
 
-impl<S: WitnessSampler + Clone + Send + Sync> ParallelSampler<S> {
+impl<S: WitnessSampler + Clone + Send + Sync + 'static> ParallelSampler<S> {
     /// Wraps a prepared sampler, defaulting the worker count to the machine's
     /// available parallelism.
     pub fn new(prototype: S) -> Self {
@@ -121,14 +131,14 @@ impl<S: WitnessSampler + Clone + Send + Sync> ParallelSampler<S> {
     }
 
     /// Produces `count` witnesses, sample `i` drawing from the dedicated
-    /// stream derived from `(master_seed, i)`, fanned out over the worker
-    /// pool.
+    /// stream derived from `(master_seed, i)`, fanned out over a
+    /// single-request [`SamplerService`].
     ///
-    /// The index range is split into one contiguous chunk per worker; thanks
-    /// to the per-index RNG streams the partition does not affect the output,
-    /// and outcomes are returned in index order. The result is bit-identical
+    /// Outcomes are returned in index order and the result is bit-identical
     /// to the serial [`WitnessSampler::sample_batch`] on a clone of the
-    /// prototype, at any `jobs` value.
+    /// prototype, at any `jobs` value — the scheduler (work-stealing deques
+    /// since the service redesign, a static partition before it) never
+    /// affects the output, only the wall-clock time.
     pub fn sample_batch(&self, count: usize, master_seed: u64) -> Vec<SampleOutcome> {
         if count == 0 {
             return Vec::new();
@@ -136,6 +146,39 @@ impl<S: WitnessSampler + Clone + Send + Sync> ParallelSampler<S> {
         let jobs = self.jobs.min(count);
         if jobs == 1 {
             // No pool: run the serial reference implementation on one clone.
+            return self
+                .prototype
+                .as_ref()
+                .clone()
+                .sample_batch(count, master_seed);
+        }
+        let service = SamplerService::new(
+            self.prototype.as_ref().clone(),
+            ServiceConfig::default()
+                .with_workers(jobs)
+                .with_queue_capacity(1),
+        );
+        service
+            .submit(SampleRequest::new(count, master_seed))
+            .wait()
+            .outcomes
+    }
+
+    /// The pre-service scheduler: splits the index range into one contiguous
+    /// chunk per worker with **no work stealing**, on a per-call thread
+    /// scope.
+    ///
+    /// Kept as the ablation reference for the `bench_parallel` harness —
+    /// static chunking serialises a batch behind its most retry-heavy chunk,
+    /// which is precisely what the deque scheduler absorbs. The output is
+    /// bit-identical to [`ParallelSampler::sample_batch`] (both honour the
+    /// per-index stream contract); only the scheduling differs.
+    pub fn sample_batch_static_chunks(&self, count: usize, master_seed: u64) -> Vec<SampleOutcome> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let jobs = self.jobs.min(count);
+        if jobs == 1 {
             return self
                 .prototype
                 .as_ref()
@@ -257,6 +300,19 @@ mod tests {
             witnesses_of(&pool.sample_batch(8, 99)),
             witnesses_of(&serial)
         );
+    }
+
+    #[test]
+    fn static_chunking_matches_the_service_scheduler() {
+        let f = formula_with_count(9, 2);
+        let prepared = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let pool = ParallelSampler::new(prepared).with_jobs(3);
+        assert_eq!(
+            witnesses_of(&pool.sample_batch(10, 0xfeed)),
+            witnesses_of(&pool.sample_batch_static_chunks(10, 0xfeed)),
+            "the two schedulers must produce the same witness sequence"
+        );
+        assert!(pool.sample_batch_static_chunks(0, 1).is_empty());
     }
 
     #[test]

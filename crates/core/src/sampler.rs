@@ -32,6 +32,17 @@ pub struct SampleStats {
     /// `|S| + 3`). Without the clamp the width loop would silently run zero
     /// iterations and report `⊥` with no solver work at all.
     pub width_window_clamped: usize,
+    /// Number of times this sample's work item was *stolen* by an idle worker
+    /// from another worker's deque (0 or 1 per sample; summing over a batch
+    /// via [`SampleStats::accumulate`] counts the batch's total steals). Only
+    /// the [`crate::SamplerService`] scheduler sets this; serial sampling
+    /// leaves it 0.
+    pub steals: usize,
+    /// Time this sample's work item spent queued in the service scheduler
+    /// between request submission and execution start. Only the
+    /// [`crate::SamplerService`] scheduler sets this; serial sampling leaves
+    /// it zero.
+    pub queue_wait: Duration,
 }
 
 impl SampleStats {
@@ -55,6 +66,8 @@ impl SampleStats {
         self.solver_propagations += other.solver_propagations;
         self.solver_conflicts += other.solver_conflicts;
         self.width_window_clamped += other.width_window_clamped;
+        self.steals += other.steals;
+        self.queue_wait += other.queue_wait;
     }
 }
 
@@ -190,6 +203,8 @@ mod tests {
             solver_propagations: 100,
             solver_conflicts: 1,
             width_window_clamped: 1,
+            steals: 1,
+            queue_wait: Duration::from_millis(2),
         };
         let b = SampleStats {
             bsat_calls: 3,
@@ -199,6 +214,8 @@ mod tests {
             solver_propagations: 11,
             solver_conflicts: 2,
             width_window_clamped: 0,
+            steals: 1,
+            queue_wait: Duration::from_millis(3),
         };
         a.accumulate(&b);
         assert_eq!(a.bsat_calls, 4);
@@ -208,6 +225,8 @@ mod tests {
         assert_eq!(a.solver_propagations, 111);
         assert_eq!(a.solver_conflicts, 3);
         assert_eq!(a.width_window_clamped, 1);
+        assert_eq!(a.steals, 2);
+        assert_eq!(a.queue_wait, Duration::from_millis(5));
     }
 
     #[test]

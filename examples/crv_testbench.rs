@@ -17,10 +17,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use unigen::{UniGen, UniGenConfig, WitnessSampler};
+use unigen::{SampleRequest, SamplerBuilder, ServiceConfig};
 use unigen_circuit::{tseitin, CircuitBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,19 +58,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---------------------------------------------------------------
-    // 3. Constrained-random stimulus generation with UniGen.
+    // 3. Constrained-random stimulus generation: UniGen through the
+    //    service API. The builder prepares the sampler once; the service
+    //    answers one typed request for the whole regression run, and the
+    //    response carries the aggregate cost statistics pre-folded (no
+    //    hand-rolled accumulation loop in the testbench).
     // ---------------------------------------------------------------
-    let mut sampler = UniGen::new(&formula, UniGenConfig::default())?;
-    let mut rng = StdRng::seed_from_u64(7);
+    let service = SamplerBuilder::unigen(&formula)
+        .seed(7)
+        .into_service(ServiceConfig::default().with_workers(2))?;
     let num_tests = 200;
+    let response = service.submit(SampleRequest::new(num_tests, 7)).wait();
+    let generated = response.successes();
     let mut bucket_hits: HashMap<(u64, u64), u32> = HashMap::new();
-    let mut generated = 0usize;
 
-    for _ in 0..num_tests {
-        let Some(witness) = sampler.sample(&mut rng).witness else {
+    for outcome in &response.outcomes {
+        let Some(witness) = &outcome.witness else {
             continue;
         };
-        generated += 1;
         let stimulus = witness.project(&sampling_set);
         let a: u64 = (0..5).fold(0, |acc, i| acc | (u64::from(stimulus.values()[i]) << i));
         let b: u64 = (0..5).fold(0, |acc, i| acc | (u64::from(stimulus.values()[5 + i]) << i));
@@ -94,7 +96,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         *bucket_hits.entry((a / 8, b / 8)).or_insert(0) += 1;
     }
 
-    println!("generated {generated} legal stimuli out of {num_tests} requests");
+    println!("generated {generated} legal stimuli out of {num_tests} requested");
+    println!(
+        "generation cost: {} BSAT calls, avg xor length {:.1}, round trip {:?}",
+        response.aggregate_stats.bsat_calls,
+        response.aggregate_stats.average_xor_length(),
+        response.round_trip
+    );
     println!("coverage of (a/8, b/8) buckets (each bucket is an 8×8 sub-square):");
     let mut buckets: Vec<_> = bucket_hits.iter().collect();
     buckets.sort();

@@ -1,4 +1,5 @@
-//! Quickstart: sample almost-uniform witnesses of a CNF constraint.
+//! Quickstart: sample almost-uniform witnesses of a CNF constraint through
+//! the service API.
 //!
 //! Run with:
 //!
@@ -8,13 +9,14 @@
 //!
 //! The example builds a small constraint the way a constrained-random
 //! verification front end would — a circuit whose inputs are the stimulus
-//! bits — and then asks UniGen for a handful of witnesses, printing each one
-//! together with the work it cost.
+//! bits — then constructs UniGen through the unified [`SamplerBuilder`]
+//! entry point, submits one typed [`SampleRequest`] to a [`SamplerService`],
+//! streams the witnesses as their index-ordered prefix completes, and
+//! finishes with the response's aggregate statistics (no hand-rolled
+//! accumulation loop: [`unigen::SampleResponse::aggregate_stats`] already
+//! folds every outcome with `SampleStats::accumulate`).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use unigen::{PreparedMode, UniGen, UniGenConfig, WitnessSampler};
+use unigen::{PreparedMode, SampleRequest, SamplerBuilder, ServiceConfig};
 use unigen_circuit::{tseitin, CircuitBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,9 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         formula.sampling_set_or_all().len()
     );
 
-    // Prepare UniGen once (tolerance ε = 6, the paper's setting) …
-    let mut sampler = UniGen::new(&formula, UniGenConfig::default())?;
-    match sampler.prepared_mode() {
+    // Prepare UniGen once through the unified builder (tolerance ε = 6, the
+    // paper's setting) …
+    let sampler = SamplerBuilder::unigen(&formula)
+        .epsilon(6.0)
+        .seed(42)
+        .build()?;
+    match sampler.as_unigen().expect("a UniGen spec").prepared_mode() {
         PreparedMode::Enumerated { witnesses } => {
             println!(
                 "preparation: formula is small, {} witnesses enumerated",
@@ -58,11 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // … then draw witnesses cheaply.
-    let mut rng = StdRng::seed_from_u64(42);
+    // … spawn the persistent service (workers clone the prepared sampler
+    // once, here) and stream one request's witnesses as they complete.
+    let service = unigen::SamplerService::new(sampler, ServiceConfig::default().with_workers(2));
     let sampling_set = formula.sampling_set_or_all();
-    for i in 0..5 {
-        let outcome = sampler.sample(&mut rng);
+    let mut handle = service.submit(SampleRequest::new(5, 42));
+    for (i, outcome) in handle.by_ref().enumerate() {
         match outcome.witness {
             Some(witness) => {
                 let stimulus = witness.project(&sampling_set);
@@ -82,5 +89,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("witness {i}: ⊥ (the generator is allowed to fail occasionally)"),
         }
     }
+
+    // The full response is still available after streaming, with the
+    // aggregate statistics pre-folded.
+    let response = handle.wait();
+    println!(
+        "request round trip: {:?} for {} witnesses ({} BSAT calls, {} stolen work items, total queue wait {:?})",
+        response.round_trip,
+        response.successes(),
+        response.aggregate_stats.bsat_calls,
+        response.aggregate_stats.steals,
+        response.aggregate_stats.queue_wait
+    );
     Ok(())
 }

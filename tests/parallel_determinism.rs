@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use unigen::{
-    ParallelSampler, PreparedMode, SampleOutcome, UniGen, UniGenConfig, UniWit, UniWitConfig,
-    WitnessSampler,
+    ParallelSampler, PreparedMode, SampleOutcome, SampleRequest, SampleStats, SamplerService,
+    ServiceConfig, UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler,
 };
 use unigen_cnf::{CnfFormula, Var, XorClause};
 
@@ -85,6 +85,87 @@ proptest! {
                 witness_sequence(&serial)
             );
         }
+    }
+
+    /// The service path honours the same contract under *concurrent
+    /// interleaved* requests: two requests with distinct master seeds and
+    /// different counts, submitted before either is collected, each
+    /// reproduce their own `sample_batch` reference bit for bit — at 1, 2
+    /// and 8 workers, through the work-stealing deque scheduler, on one
+    /// persistent pool per worker count. The response's aggregate statistics
+    /// must equal folding the outcomes with `SampleStats::accumulate`.
+    #[test]
+    fn service_requests_reproduce_sample_batch(
+        bits in 3usize..8,
+        extra in 0usize..4,
+        count in 1usize..10,
+        master_seed in 0u64..1_000_000,
+        seed_gap in 1u64..1_000,
+    ) {
+        let f = formula_with_count(bits, extra);
+        let prepared = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let seed_b = master_seed.wrapping_add(seed_gap);
+        let serial_a = prepared.clone().sample_batch(count, master_seed);
+        let serial_b = prepared.clone().sample_batch(count + 2, seed_b);
+        for workers in [1usize, 2, 8] {
+            let service = SamplerService::new(
+                prepared.clone(),
+                ServiceConfig::default().with_workers(workers).with_queue_capacity(4),
+            );
+            // Interleave: both requests live in the pool at once.
+            let handle_a = service.submit(SampleRequest::new(count, master_seed));
+            let handle_b = service.submit(SampleRequest::new(count + 2, seed_b));
+            let response_b = handle_b.wait();
+            let response_a = handle_a.wait();
+            prop_assert_eq!(
+                witness_sequence(&response_a.outcomes),
+                witness_sequence(&serial_a),
+                "request A diverged at {} workers",
+                workers
+            );
+            prop_assert_eq!(
+                witness_sequence(&response_b.outcomes),
+                witness_sequence(&serial_b),
+                "request B diverged at {} workers",
+                workers
+            );
+            let mut folded = SampleStats::default();
+            for outcome in &response_a.outcomes {
+                folded.accumulate(&outcome.stats);
+            }
+            prop_assert_eq!(response_a.aggregate_stats, folded);
+        }
+    }
+
+    /// Streaming changes *when* outcomes are seen, never *what* they are: a
+    /// consumer that takes the first k outcomes off the iterator has
+    /// consumed exactly a prefix of the deterministic reference sequence.
+    #[test]
+    fn streamed_prefixes_are_prefixes_of_the_reference(
+        bits in 3usize..7,
+        count in 2usize..9,
+        master_seed in 0u64..1_000_000,
+    ) {
+        let f = formula_with_count(bits, 1);
+        let prepared = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let serial = prepared.clone().sample_batch(count, master_seed);
+        let service = SamplerService::new(
+            prepared,
+            ServiceConfig::default().with_workers(3),
+        );
+        let prefix_len = count / 2;
+        let mut handle = service.submit(SampleRequest::new(count, master_seed));
+        let prefix: Vec<SampleOutcome> = handle.by_ref().take(prefix_len).collect();
+        prop_assert_eq!(
+            witness_sequence(&prefix),
+            witness_sequence(&serial[..prefix_len])
+        );
+        // Collecting the rest afterwards completes the same sequence.
+        let response = handle.wait();
+        prop_assert_eq!(
+            witness_sequence(&response.outcomes),
+            witness_sequence(&serial)
+        );
     }
 }
 
