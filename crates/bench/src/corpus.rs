@@ -1,0 +1,141 @@
+//! Benchmark rows drawn from the adversarial generator corpus
+//! (`unigen-instgen`): one representative instance per family, at fixed
+//! seeds, sized for each suite's workload. The golden-corpus pinning test
+//! in `unigen-instgen` guarantees these rows are bit-identical across PRs
+//! and hosts.
+
+use unigen_circuit::benchmarks::{Benchmark, Family};
+use unigen_cnf::Var;
+use unigen_instgen::{InstanceGenerator, ScaleFreeConfig, SgenConfig, TriangleFreeConfig};
+
+fn row(generator: &dyn InstanceGenerator, family: Family, seed: u64) -> Benchmark {
+    Benchmark {
+        name: format!("{}-s{seed}", generator.name()),
+        formula: generator.generate(seed),
+        family,
+    }
+}
+
+/// Corpus rows for the incremental-vs-scratch BSAT comparison: sized so a
+/// hash cell costs a measurable fraction of a millisecond, and including
+/// the hard-unsat lane (every cell is a refutation — the regime where a
+/// persistent solver's retained knowledge matters most).
+pub fn incremental_corpus_rows() -> Vec<Benchmark> {
+    // Satisfiable below-threshold scale-free instance, projected onto its
+    // 20 heaviest (power-law head) variables: the sampling set keeps the
+    // operating-width scan bounded while every cell enumerates through the
+    // full 120-variable formula.
+    let mut scale_free = row(
+        &ScaleFreeConfig {
+            num_vars: 120,
+            num_clauses: 300,
+            clause_len: 3,
+            exponent_quarters: 2,
+        },
+        Family::ScaleFree,
+        1,
+    );
+    scale_free
+        .formula
+        .set_sampling_set((0..20).map(Var::new))
+        .expect("sampling set within range");
+    scale_free.name.push_str("-p20");
+    vec![
+        scale_free,
+        row(
+            &TriangleFreeConfig {
+                csp_vars: 16,
+                domain: 3,
+                edges: 20,
+                forbidden_per_edge: 3,
+            },
+            Family::TriangleFree,
+            3,
+        ),
+        row(
+            &SgenConfig {
+                blocks: 8,
+                unsat: true,
+            },
+            Family::SgenBlock,
+            3,
+        ),
+    ]
+}
+
+/// Corpus rows for the thread-scaling throughput benchmark: satisfiable by
+/// construction or by pinned seed (UniGen preparation must succeed) and
+/// with witness counts that keep UniGen in hashed mode, so every sample
+/// exercises a real hash-and-enumerate pipeline on the workers.
+pub fn parallel_corpus_rows() -> Vec<Benchmark> {
+    vec![
+        row(
+            &ScaleFreeConfig {
+                num_vars: 16,
+                num_clauses: 40,
+                clause_len: 3,
+                exponent_quarters: 3,
+            },
+            Family::ScaleFree,
+            2,
+        ),
+        row(
+            &TriangleFreeConfig {
+                csp_vars: 7,
+                domain: 3,
+                edges: 7,
+                forbidden_per_edge: 3,
+            },
+            Family::TriangleFree,
+            0,
+        ),
+        row(
+            &SgenConfig {
+                blocks: 3,
+                unsat: false,
+            },
+            Family::SgenBlock,
+            1,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unigen::{PreparedMode, UniGen, UniGenConfig};
+
+    #[test]
+    fn parallel_rows_prepare_in_hashed_mode() {
+        for bench in parallel_corpus_rows() {
+            let prepared = UniGen::new(&bench.formula, UniGenConfig::default())
+                .unwrap_or_else(|e| panic!("{}: UniGen preparation failed: {e:?}", bench.name));
+            assert!(
+                matches!(prepared.prepared_mode(), PreparedMode::Hashed { .. }),
+                "{}: expected hashed mode, got {:?}",
+                bench.name,
+                prepared.prepared_mode()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_rows_cover_all_three_families() {
+        let rows = incremental_corpus_rows();
+        assert_eq!(rows.len(), 3);
+        let families: Vec<_> = rows.iter().map(|b| b.family).collect();
+        assert!(families.contains(&Family::ScaleFree));
+        assert!(families.contains(&Family::TriangleFree));
+        assert!(families.contains(&Family::SgenBlock));
+        // The sgen lane must really be the hard-unsat variant.
+        let sgen = rows
+            .iter()
+            .find(|b| b.family == Family::SgenBlock)
+            .expect("sgen row");
+        let mut solver = unigen_satsolver::Solver::from_formula(&sgen.formula);
+        assert!(
+            matches!(solver.solve(), unigen_satsolver::SolveResult::Unsat),
+            "the incremental sgen row must be unsatisfiable"
+        );
+    }
+}

@@ -433,6 +433,9 @@ pub fn incremental_bench_suite() -> Vec<Benchmark> {
         benchmarks::sorter("sort4x4-like", 4, 4, 6, 0x5047),
         benchmarks::login_like("login3x6-like", 3, 6, 0x1061),
     ]
+    .into_iter()
+    .chain(crate::corpus::incremental_corpus_rows())
+    .collect()
 }
 
 /// Finds the instance's *operating width*: the smallest hash width whose

@@ -18,5 +18,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod harness;
 pub mod parallel;

@@ -341,6 +341,9 @@ pub fn parallel_bench_suite() -> Vec<Benchmark> {
         benchmarks::squaring("squaring10-like", 10, 2, 0x0a10),
         benchmarks::login_like("login3x6-like", 3, 6, 0x1061),
     ]
+    .into_iter()
+    .chain(crate::corpus::parallel_corpus_rows())
+    .collect()
 }
 
 fn json_number(value: f64) -> String {

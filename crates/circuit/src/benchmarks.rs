@@ -57,6 +57,15 @@ pub enum Family {
     LoginLike,
     /// Deep sequential chains with tiny supports (`LLReverse`, `TreeMax`).
     LongChain,
+    /// Scale-free random k-SAT with power-law variable occurrence
+    /// (`unigen-instgen`, after Ansótegui et al.).
+    ScaleFree,
+    /// Triangle-free binary CSPs direct-encoded to CNF (`unigen-instgen`,
+    /// after Escamocher et al.).
+    TriangleFree,
+    /// Sgen-style small hard blocks (`unigen-instgen`, after Spence's
+    /// `sgen`).
+    SgenBlock,
 }
 
 impl std::fmt::Display for Family {
@@ -69,6 +78,9 @@ impl std::fmt::Display for Family {
             Family::Sorter => "sorter",
             Family::LoginLike => "login-like",
             Family::LongChain => "long-chain",
+            Family::ScaleFree => "scale-free",
+            Family::TriangleFree => "triangle-free",
+            Family::SgenBlock => "sgen-block",
         };
         write!(f, "{name}")
     }

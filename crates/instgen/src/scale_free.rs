@@ -1,0 +1,224 @@
+//! Scale-free random k-SAT: clause variables are drawn from a power-law
+//! distribution instead of uniformly, following Ansótegui, Bonet & Levy
+//! (*Scale-Free Random SAT Instances*). Variable `i` (1-based) is selected
+//! with probability proportional to `i^(-β)`, so a few "hub" variables occur
+//! in many clauses — the occurrence profile of industrial instances — which
+//! stresses clause-database and XOR-propagation heuristics very differently
+//! from uniform random SAT.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unigen_cnf::{CnfFormula, Var};
+
+use crate::InstanceGenerator;
+
+/// Configuration for the scale-free random k-SAT family.
+///
+/// The power-law exponent β is expressed in **quarter units**
+/// ([`exponent_quarters`](Self::exponent_quarters) = 3 means β = 0.75) so
+/// the selection weights can be computed in pure integer arithmetic: `powf`
+/// is not bit-identical across platforms, and generator output must be.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScaleFreeConfig {
+    /// Number of variables `n`.
+    pub num_vars: usize,
+    /// Number of clauses `m` (the density knob: `m / n`).
+    pub num_clauses: usize,
+    /// Literals per clause `k` (distinct variables, random polarities).
+    pub clause_len: usize,
+    /// Power-law exponent β in quarters: β = `exponent_quarters` / 4.
+    /// 0 degenerates to uniform random k-SAT; Ansótegui et al. report the
+    /// industrial-like regime around β ≈ 0.75–1 (3–4 quarters). At most 16
+    /// (β = 4).
+    pub exponent_quarters: u32,
+}
+
+impl ScaleFreeConfig {
+    /// The power-law exponent β as a float, for display only.
+    pub fn exponent(&self) -> f64 {
+        f64::from(self.exponent_quarters) * 0.25
+    }
+
+    /// Per-variable selection weights `⌊2^32 · i^(-β)⌉`-ish, computed in
+    /// fixed point. Monotone non-increasing in `i`, and ≥ 1 so every
+    /// variable stays reachable.
+    fn weights(&self) -> Vec<u64> {
+        (1..=self.num_vars as u64)
+            .map(|i| (1u128 << 48) / u128::from(pow_quarters_q16(i, self.exponent_quarters)))
+            .map(|w| (w as u64).max(1))
+            .collect()
+    }
+}
+
+/// `⌊i^(q/4) · 2^16⌋` (approximately), via an integer fourth root in Q16
+/// fixed point followed by `q` fixed-point multiplications. Integer-only,
+/// hence deterministic across hosts.
+fn pow_quarters_q16(i: u64, quarters: u32) -> u64 {
+    assert!(quarters <= 16, "exponent_quarters is capped at 16 (β = 4)");
+    // root ≈ i^(1/4) · 2^16: the fourth root of i · 2^64.
+    let root = isqrt(isqrt((u128::from(i)) << 64));
+    let mut acc: u128 = 1 << 16;
+    for _ in 0..quarters {
+        acc = (acc * root) >> 16;
+    }
+    acc.max(1) as u64
+}
+
+/// Integer square root by Newton's method (u128; `isqrt` in std needs a
+/// newer toolchain than this workspace's MSRV).
+fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = 1u128 << ((128 - n.leading_zeros()).div_ceil(2));
+    loop {
+        let y = (x + n / x) >> 1;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+impl InstanceGenerator for ScaleFreeConfig {
+    fn name(&self) -> String {
+        format!(
+            "scale-free-n{}-m{}-k{}-b{:.2}",
+            self.num_vars,
+            self.num_clauses,
+            self.clause_len,
+            self.exponent()
+        )
+    }
+
+    fn generate(&self, seed: u64) -> CnfFormula {
+        assert!(self.clause_len >= 1, "clauses need at least one literal");
+        assert!(
+            self.num_vars >= self.clause_len,
+            "clause_len distinct variables must exist"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = self.weights();
+        // Cumulative weights for binary-searched weighted sampling.
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0u64;
+        for w in &weights {
+            total += w;
+            cumulative.push(total);
+        }
+
+        let mut formula = CnfFormula::new(self.num_vars);
+        let mut clause_vars = Vec::with_capacity(self.clause_len);
+        for _ in 0..self.num_clauses {
+            clause_vars.clear();
+            // Rejection-sample distinct variables; with a bounded number of
+            // attempts so a pathologically skewed weight vector cannot hang
+            // the generator (the deterministic fallback below fills from the
+            // lowest-index unused variables).
+            let mut attempts = 0usize;
+            while clause_vars.len() < self.clause_len && attempts < 64 * self.clause_len {
+                attempts += 1;
+                let ticket = rng.gen_range(0..total);
+                let index = cumulative.partition_point(|&c| c <= ticket);
+                if !clause_vars.contains(&index) {
+                    clause_vars.push(index);
+                }
+            }
+            for index in 0..self.num_vars {
+                if clause_vars.len() == self.clause_len {
+                    break;
+                }
+                if !clause_vars.contains(&index) {
+                    clause_vars.push(index);
+                }
+            }
+            let lits: Vec<_> = clause_vars
+                .iter()
+                .map(|&index| Var::new(index).lit(rng.gen::<bool>()))
+                .collect();
+            formula
+                .add_clause(lits)
+                .expect("generated literals are in range");
+        }
+        formula
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ScaleFreeConfig {
+        ScaleFreeConfig {
+            num_vars: 20,
+            num_clauses: 60,
+            clause_len: 3,
+            exponent_quarters: 3,
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let c = config();
+        assert_eq!(c.dimacs(7), c.dimacs(7));
+        assert_ne!(c.dimacs(7), c.dimacs(8));
+    }
+
+    #[test]
+    fn clauses_have_distinct_vars_and_requested_shape() {
+        let c = config();
+        let f = c.generate(3);
+        assert_eq!(f.num_vars(), 20);
+        assert_eq!(f.clauses().len(), 60);
+        for clause in f.clauses() {
+            assert_eq!(clause.lits().len(), 3);
+            let mut vars: Vec<_> = clause.lits().iter().map(|l| l.var()).collect();
+            vars.dedup();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "clause vars must be distinct");
+        }
+    }
+
+    #[test]
+    fn weights_follow_a_power_law() {
+        let c = config();
+        let w = c.weights();
+        // Monotone non-increasing, strictly decreasing at the head.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!(w[0] > w[9]);
+        // β = 0.75: w[0]/w[15] should be ≈ 16^0.75 = 8 (fixed-point slack).
+        let ratio = w[0] as f64 / w[15] as f64;
+        assert!((7.0..9.0).contains(&ratio), "ratio {ratio}");
+        // β = 0 degenerates to uniform weights.
+        let uniform = ScaleFreeConfig {
+            exponent_quarters: 0,
+            ..c
+        }
+        .weights();
+        assert!(uniform.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn hub_variables_occur_more_often() {
+        let c = ScaleFreeConfig {
+            num_vars: 40,
+            num_clauses: 400,
+            clause_len: 3,
+            exponent_quarters: 6,
+        };
+        let f = c.generate(11);
+        let mut occurrences = vec![0usize; 40];
+        for clause in f.clauses() {
+            for lit in clause.lits() {
+                occurrences[lit.var().index()] += 1;
+            }
+        }
+        let head: usize = occurrences[..8].iter().sum();
+        let tail: usize = occurrences[32..].iter().sum();
+        assert!(
+            head > 3 * tail,
+            "power-law head {head} should dominate tail {tail}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Sgen-style small hard blocks, after Spence's `sgen` generator (the
+//! SAT-competition family that produces the smallest known formulas that
+//! are disproportionately expensive to refute). Over `4n + 1` literals with
+//! random fixed polarities, a pass partitions the first `4n` into blocks of
+//! four and adds every 3-subset of each block as a clause — forcing at
+//! least two literals per block true — plus tie-in clauses through the
+//! leftover literal. The unsat variant adds a second, **inverted** pass
+//! over a freshly shuffled partition, demanding at least two literals per
+//! block *false*; the two counting constraints over `4n + 1` literals
+//! cannot both hold, but proving it requires genuine counting, which
+//! resolution does slowly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unigen_cnf::{CnfFormula, Lit, Var};
+
+use crate::{shuffle, InstanceGenerator};
+
+/// Configuration for the sgen-style block family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SgenConfig {
+    /// Number of 4-literal blocks per pass; the formula has `4·blocks + 1`
+    /// variables. Refutation cost of the unsat variant grows steeply with
+    /// this knob — single digits are already non-trivial.
+    pub blocks: usize,
+    /// `true` for the two-pass hard-unsat variant; `false` for the
+    /// single-pass satisfiable variant (same clause shapes, a model is
+    /// guaranteed by construction).
+    pub unsat: bool,
+}
+
+impl SgenConfig {
+    /// Adds one pass over a fresh shuffle of `lits`: all 3-subsets of each
+    /// block of four, plus all pairs from the first block joined with the
+    /// leftover literal. `invert` negates every emitted literal, flipping
+    /// "at least two true per block" into "at least two false".
+    fn add_pass(&self, formula: &mut CnfFormula, lits: &mut [Lit], invert: bool, rng: &mut StdRng) {
+        shuffle(lits, rng);
+        let sign = |l: Lit| if invert { !l } else { l };
+        let body = 4 * self.blocks;
+        for block in lits[..body].chunks_exact(4) {
+            for a in 0..4 {
+                for b in 0..a {
+                    for c in 0..b {
+                        formula
+                            .add_clause([sign(block[a]), sign(block[b]), sign(block[c])])
+                            .expect("block literals are in range");
+                    }
+                }
+            }
+        }
+        let leftover = lits[body];
+        for b in 0..4 {
+            for c in 0..b {
+                formula
+                    .add_clause([sign(leftover), sign(lits[b]), sign(lits[c])])
+                    .expect("tie-in literals are in range");
+            }
+        }
+    }
+}
+
+impl InstanceGenerator for SgenConfig {
+    fn name(&self) -> String {
+        format!(
+            "sgen-{}-b{}",
+            if self.unsat { "unsat" } else { "sat" },
+            self.blocks
+        )
+    }
+
+    fn generate(&self, seed: u64) -> CnfFormula {
+        assert!(self.blocks >= 1, "need at least one block");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_vars = 4 * self.blocks + 1;
+        let mut lits: Vec<Lit> = (0..num_vars)
+            .map(|i| Var::new(i).lit(rng.gen::<bool>()))
+            .collect();
+        let mut formula = CnfFormula::new(num_vars);
+        self.add_pass(&mut formula, &mut lits, false, &mut rng);
+        if self.unsat {
+            self.add_pass(&mut formula, &mut lits, true, &mut rng);
+        }
+        formula
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for unsat in [false, true] {
+            let c = SgenConfig { blocks: 2, unsat };
+            assert_eq!(c.dimacs(4), c.dimacs(4));
+            assert_ne!(c.dimacs(4), c.dimacs(5));
+        }
+    }
+
+    #[test]
+    fn sat_variant_is_satisfiable_by_construction() {
+        for blocks in 1..=4 {
+            let c = SgenConfig {
+                blocks,
+                unsat: false,
+            };
+            for seed in 0..4 {
+                let f = c.generate(seed);
+                assert!(
+                    !f.enumerate_models_brute_force().is_empty(),
+                    "sgen-sat b{blocks} seed {seed} has no model"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_variant_has_no_models() {
+        for blocks in 1..=2 {
+            let c = SgenConfig {
+                blocks,
+                unsat: true,
+            };
+            for seed in 0..4 {
+                let f = c.generate(seed);
+                assert!(
+                    f.enumerate_models_brute_force().is_empty(),
+                    "sgen-unsat b{blocks} seed {seed} is satisfiable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clause_counts_match_the_construction() {
+        let c = SgenConfig {
+            blocks: 3,
+            unsat: true,
+        };
+        let f = c.generate(0);
+        // Per pass: 4 choose 3 = 4 clauses per block plus 4 choose 2 = 6
+        // tie-in clauses.
+        assert_eq!(f.clauses().len(), 2 * (4 * 3 + 6));
+        assert_eq!(f.num_vars(), 13);
+    }
+}

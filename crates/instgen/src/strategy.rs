@@ -1,0 +1,141 @@
+//! The generator families as `proptest` strategies, in the shape varisat
+//! uses for its formula strategies: structural knobs are drawn from inner
+//! strategies, then `prop_perturb` turns them plus a fresh seed from the
+//! test RNG into a concrete [`CnfFormula`]. Every strategy also works as an
+//! input to further combinators (`prop_map`, `prop_flat_map`) from any test
+//! crate in the workspace.
+//!
+//! Each strategy yields `(config, seed, formula)` via [`Instance`] so a
+//! failing property test can print exactly how to regenerate its input:
+//! `config.generate(seed)` reproduces the formula bit for bit.
+
+use proptest::Strategy;
+use rand::Rng;
+use unigen_cnf::CnfFormula;
+
+use crate::{InstanceGenerator, ScaleFreeConfig, SgenConfig, TriangleFreeConfig};
+
+/// A generated instance together with its provenance: re-running
+/// `config.generate(seed)` reproduces `formula` exactly.
+#[derive(Clone, Debug)]
+pub struct Instance<C> {
+    /// The generator configuration the instance was drawn from.
+    pub config: C,
+    /// The seed passed to [`InstanceGenerator::generate`].
+    pub seed: u64,
+    /// The generated formula.
+    pub formula: CnfFormula,
+}
+
+fn instance<C: InstanceGenerator>(config: C, rng: &mut proptest::TestRng) -> Instance<C> {
+    let seed = rng.gen::<u64>();
+    let formula = config.generate(seed);
+    Instance {
+        config,
+        seed,
+        formula,
+    }
+}
+
+/// Scale-free 3-SAT instances: variable count from `vars`, clause count
+/// `⌈density · vars⌉` with `density` drawn from `densities`, and a power-law
+/// exponent (in quarters, β = q/4) from `exponent_quarters`.
+pub fn scale_free(
+    vars: impl Strategy<Value = usize>,
+    densities: impl Strategy<Value = f64>,
+    exponent_quarters: impl Strategy<Value = u32>,
+) -> impl Strategy<Value = Instance<ScaleFreeConfig>> {
+    (vars, densities, exponent_quarters).prop_perturb(|(n, density, quarters), rng| {
+        let n = n.max(3);
+        let config = ScaleFreeConfig {
+            num_vars: n,
+            num_clauses: ((density * n as f64).ceil() as usize).max(1),
+            clause_len: 3,
+            exponent_quarters: quarters.min(16),
+        };
+        instance(config, rng)
+    })
+}
+
+/// Triangle-free CSP instances at domain 3 with the paper's hard density of
+/// 3 forbidden pairs per edge; CSP variable count from `csp_vars`, target
+/// edge count from `edges`.
+pub fn triangle_free(
+    csp_vars: impl Strategy<Value = usize>,
+    edges: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Instance<TriangleFreeConfig>> {
+    (csp_vars, edges).prop_perturb(|(v, e), rng| {
+        let config = TriangleFreeConfig {
+            csp_vars: v.max(2),
+            domain: 3,
+            edges: e.max(1),
+            forbidden_per_edge: 3,
+        };
+        instance(config, rng)
+    })
+}
+
+/// Satisfiable sgen-style instances with a block count drawn from `blocks`.
+pub fn sgen_sat(
+    blocks: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Instance<SgenConfig>> {
+    sgen(blocks, false)
+}
+
+/// Hard-unsat sgen-style instances with a block count drawn from `blocks`.
+pub fn sgen_unsat(
+    blocks: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Instance<SgenConfig>> {
+    sgen(blocks, true)
+}
+
+fn sgen(
+    blocks: impl Strategy<Value = usize>,
+    unsat: bool,
+) -> impl Strategy<Value = Instance<SgenConfig>> {
+    blocks.prop_perturb(move |b, rng| {
+        let config = SgenConfig {
+            blocks: b.max(1),
+            unsat,
+        };
+        instance(config, rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every strategy's provenance is honest: `config.generate(seed)`
+        /// reproduces the formula the strategy handed out.
+        #[test]
+        fn strategies_report_reproducible_provenance(
+            sf in scale_free(4usize..12, 1.5f64..4.0, 0u32..8),
+            tf in triangle_free(3usize..7, 2usize..8),
+            ss in sgen_sat(1usize..3),
+            su in sgen_unsat(1usize..3),
+        ) {
+            prop_assert_eq!(
+                unigen_cnf::dimacs::to_dimacs_string(&sf.formula),
+                sf.config.dimacs(sf.seed)
+            );
+            prop_assert_eq!(
+                unigen_cnf::dimacs::to_dimacs_string(&tf.formula),
+                tf.config.dimacs(tf.seed)
+            );
+            prop_assert_eq!(
+                unigen_cnf::dimacs::to_dimacs_string(&ss.formula),
+                ss.config.dimacs(ss.seed)
+            );
+            prop_assert_eq!(
+                unigen_cnf::dimacs::to_dimacs_string(&su.formula),
+                su.config.dimacs(su.seed)
+            );
+            prop_assert_eq!(su.formula.num_vars(), 4 * su.config.blocks + 1);
+        }
+    }
+}

@@ -5,9 +5,9 @@
 //! the subset of the `proptest 1.x` API that the workspace's integration
 //! tests use:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
-//!   [`Strategy::prop_flat_map`], implemented for integer ranges, tuples,
-//!   and [`Just`],
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_flat_map`] and [`Strategy::prop_perturb`],
+//!   implemented for integer and `f64` ranges, tuples, and [`Just`],
 //! * [`collection::vec`] and [`collection::hash_set`],
 //! * [`bool::ANY`] for uniformly random booleans,
 //! * the [`proptest!`] macro with `#![proptest_config(…)]`,
@@ -98,6 +98,21 @@ pub trait Strategy {
             flat_map,
         }
     }
+
+    /// Derives a strategy that post-processes every generated value *with
+    /// access to the test RNG*, mirroring `proptest`'s `prop_perturb`. This
+    /// is the combinator generator strategies use to turn structural
+    /// parameters plus fresh entropy (a seed, a shuffle) into a final value.
+    fn prop_perturb<O, F>(self, perturb: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, &mut TestRng) -> O,
+    {
+        Perturb {
+            inner: self,
+            perturb,
+        }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -145,6 +160,25 @@ where
     }
 }
 
+/// Strategy returned by [`Strategy::prop_perturb`].
+pub struct Perturb<S, F> {
+    inner: S,
+    perturb: F,
+}
+
+impl<S, F, O> Strategy for Perturb<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value, &mut TestRng) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        (self.perturb)(value, rng)
+    }
+}
+
 /// A strategy that always yields a clone of the same value.
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);
@@ -170,6 +204,21 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// `f64` ranges (half-open, like real proptest's `core::ops::Range<f64>`
+// strategy restricted to finite bounds) back continuous generator knobs such
+// as clause densities and power-law exponents.
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start.is_finite() && self.end.is_finite() && self.start < self.end,
+            "f64 range strategy requires finite start < end"
+        );
+        rng.gen_range(self.clone())
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($($S:ident . $idx:tt),+) => {
@@ -430,5 +479,51 @@ mod tests {
         fn macro_supports_default_config(x in 0u64..10) {
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn f64_ranges_generate_in_bounds() {
+        let mut rng = crate::test_rng();
+        let strategy = 1.5f64..4.25;
+        for _ in 0..500 {
+            let v = strategy.generate(&mut rng);
+            assert!((1.5..4.25).contains(&v), "{v} escaped the range");
+        }
+    }
+
+    #[test]
+    fn prop_perturb_sees_the_value_and_the_rng() {
+        let mut rng = crate::test_rng();
+        let strategy = (10usize..20).prop_perturb(|n, rng| {
+            use rand::Rng;
+            (n, rng.gen_range(0..n))
+        });
+        let mut saw_distinct_perturbations = false;
+        let mut last = None;
+        for _ in 0..100 {
+            let (n, r) = strategy.generate(&mut rng);
+            assert!((10..20).contains(&n));
+            assert!(r < n);
+            if let Some(prev) = last {
+                saw_distinct_perturbations |= prev != r;
+            }
+            last = Some(r);
+        }
+        assert!(saw_distinct_perturbations, "perturbation RNG never varied");
+    }
+
+    #[test]
+    fn prop_perturb_is_deterministic_under_a_fixed_seed() {
+        use rand::SeedableRng;
+        let strategy = (0usize..1000).prop_perturb(|n, rng| {
+            use rand::Rng;
+            n.wrapping_mul(rng.gen_range(1usize..100))
+        });
+        let run = |seed: u64| -> Vec<usize> {
+            let mut rng = crate::TestRng::seed_from_u64(seed);
+            (0..50).map(|_| strategy.generate(&mut rng)).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 }
