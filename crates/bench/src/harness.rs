@@ -619,7 +619,8 @@ pub fn measure_incremental_comparison(
                     exhausted = true;
                     break;
                 }
-                unigen_satsolver::SolveResult::Unknown => break,
+                unigen_satsolver::SolveResult::Unknown
+                | unigen_satsolver::SolveResult::Interrupted(_) => break,
             }
         }
         scratch_witnesses += cell_witnesses.len();

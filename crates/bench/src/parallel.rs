@@ -536,24 +536,16 @@ mod tests {
     fn fingerprint_is_order_sensitive_and_projects() {
         use unigen_cnf::Model;
         let sampling = [Var::new(0), Var::new(1)];
-        let a = SampleOutcome {
-            witness: Some(Model::new(vec![true, false, false])),
-            stats: Default::default(),
-        };
-        let b = SampleOutcome {
-            witness: Some(Model::new(vec![false, true, false])),
-            stats: Default::default(),
-        };
+        let a = SampleOutcome::of_witness(Model::new(vec![true, false, false]), Default::default());
+        let b = SampleOutcome::of_witness(Model::new(vec![false, true, false]), Default::default());
         assert_ne!(
             fingerprint_batch(&[a.clone(), b.clone()], &sampling),
             fingerprint_batch(&[b.clone(), a.clone()], &sampling)
         );
         // A differing *non-sampling* variable must not change the
         // fingerprint: the contract covers the projection only.
-        let a_other_completion = SampleOutcome {
-            witness: Some(Model::new(vec![true, false, true])),
-            stats: Default::default(),
-        };
+        let a_other_completion =
+            SampleOutcome::of_witness(Model::new(vec![true, false, true]), Default::default());
         assert_eq!(
             fingerprint_batch(std::slice::from_ref(&a), &sampling),
             fingerprint_batch(&[a_other_completion], &sampling)

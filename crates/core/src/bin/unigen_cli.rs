@@ -24,7 +24,13 @@
 //! `--requests` typed [`SampleRequest`]s (request `r` uses master seed
 //! `seed + r`), streams each response's witnesses as its index-ordered
 //! prefix completes, and prints the per-request round-trip statistics
-//! (round-trip time, total queue wait, stolen work items).
+//! (round-trip time, total queue wait, stolen work items, submission
+//! retries, and the robustness counters — interrupted cells, fault-recovery
+//! retries, degradations, injected faults). A `QueueFull` rejection from
+//! the bounded request queue is absorbed by a bounded deterministic
+//! backoff (exponential base plus seeded SplitMix64 jitter) before falling
+//! back to the blocking submit path. The run ends with a
+//! [`unigen::ServiceHealth`] summary.
 //!
 //! On the legacy path, `--jobs` still works but is deprecated in favour of
 //! `batch --jobs`: sample `i` draws its randomness from a dedicated stream
@@ -48,8 +54,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unigen::{
-    ParallelSampler, PreparedMode, SampleOutcome, SampleRequest, SamplerBuilder, SamplerService,
-    ServiceConfig, UniGen, WitnessSampler,
+    OutcomeKind, ParallelSampler, PreparedMode, SampleOutcome, SampleRequest, SamplerBuilder,
+    SamplerService, ServiceConfig, TrySubmitError, UniGen, WitnessSampler,
 };
 use unigen_cnf::dimacs;
 use unigen_satsolver::Budget;
@@ -233,18 +239,27 @@ fn run(options: &CliOptions) -> Result<(), String> {
                 true
             }
             None => {
-                println!("c sample {i} failed");
+                // The typed failure taxonomy: a genuine ⊥ (the algorithm's
+                // own reject), a budget interruption (retryable), or an
+                // injected/unrecovered fault.
+                println!("c sample {i} failed ({})", kind_name(outcome.kind));
                 false
             }
         };
         if options.verbose {
             eprintln!(
-                "c sample {i}: bsat_calls={} avg_xor_len={:.1} time={:?} steals={} queue_wait={:?}",
+                "c sample {i}: kind={} bsat_calls={} avg_xor_len={:.1} time={:?} steals={} \
+                 queue_wait={:?} interrupted_cells={} retries={} degradations={} faults={}",
+                kind_name(outcome.kind),
                 outcome.stats.bsat_calls,
                 outcome.stats.average_xor_length(),
                 outcome.stats.wall_time,
                 outcome.stats.steals,
-                outcome.stats.queue_wait
+                outcome.stats.queue_wait,
+                outcome.stats.interrupted_cells,
+                outcome.stats.retries,
+                outcome.stats.degradations,
+                outcome.stats.faults_injected
             );
         }
         success
@@ -335,6 +350,36 @@ fn run(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// Stable lowercase label for an [`OutcomeKind`] in CLI output.
+fn kind_name(kind: OutcomeKind) -> &'static str {
+    match kind {
+        OutcomeKind::Witness => "witness",
+        OutcomeKind::Bottom => "bottom",
+        OutcomeKind::Interrupted => "interrupted",
+        OutcomeKind::Faulted => "faulted",
+    }
+}
+
+/// One SplitMix64 mixing step — the same generator family the samplers use
+/// for their per-index streams, reused here to derive deterministic
+/// backoff jitter from the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Bounded deterministic backoff for a `QueueFull` rejection: exponential
+/// base doubling from 250µs (capped at attempt 6) plus a seeded SplitMix64
+/// jitter of up to 1ms, so concurrent submitters with different seeds
+/// desynchronise instead of retrying in lockstep.
+fn backoff_delay(seed: u64, request_index: usize, attempt: usize) -> Duration {
+    let base = 250u64 << attempt.min(6) as u32;
+    let jitter = splitmix64(seed ^ ((request_index as u64) << 32) ^ attempt as u64) % 1000;
+    Duration::from_micros(base + jitter)
+}
+
 /// The `batch` subcommand: drive the persistent request/response service and
 /// report the round-trip statistics of every request.
 fn run_batch(
@@ -374,17 +419,35 @@ fn run_batch(
         .filter(|request| request.count > 0)
         .collect();
 
-    // Submit everything up front (backpressure permitting), then stream each
-    // response's index-ordered prefix as it completes.
-    let handles: Vec<_> = requests
-        .iter()
-        .map(|&request| service.submit(request))
-        .collect();
+    // Submit everything up front, absorbing `QueueFull` rejections with a
+    // bounded deterministic backoff (seeded jitter, exponential base): the
+    // determinism contract makes the retry idempotent, and after the retry
+    // budget is spent the submission falls back to the blocking path, so no
+    // request is ever dropped.
+    const SUBMIT_RETRY_BUDGET: usize = 10;
+    let mut handles = Vec::with_capacity(requests.len());
+    for (r, &request) in requests.iter().enumerate() {
+        let mut submit_retries = 0usize;
+        let handle = loop {
+            match service.try_submit(request) {
+                Ok(handle) => break handle,
+                Err(TrySubmitError::QueueFull { request })
+                    if submit_retries < SUBMIT_RETRY_BUDGET =>
+                {
+                    std::thread::sleep(backoff_delay(options.seed, r, submit_retries));
+                    submit_retries += 1;
+                    debug_assert_eq!(request.count, base + usize::from(r < remainder));
+                }
+                Err(_) => break service.submit(request),
+            }
+        };
+        handles.push((handle, submit_retries));
+    }
 
     let mut produced = 0usize;
     let mut emitted = 0usize;
     let mut totals = unigen::SampleStats::default();
-    for (r, mut handle) in handles.into_iter().enumerate() {
+    for (r, (mut handle, submit_retries)) in handles.into_iter().enumerate() {
         let request = handle.request();
         for outcome in handle.by_ref() {
             produced += usize::from(emit(emitted, &outcome));
@@ -393,13 +456,19 @@ fn run_batch(
         let response = handle.wait();
         totals.accumulate(&response.aggregate_stats);
         eprintln!(
-            "c request {r}: seed={} witnesses={}/{} round_trip={:?} queue_wait_total={:?} steals={}",
+            "c request {r}: seed={} witnesses={}/{} round_trip={:?} queue_wait_total={:?} \
+             steals={} submit_retries={submit_retries} interrupted_cells={} retries={} \
+             degradations={} faults={}",
             request.master_seed,
             response.successes(),
             request.count,
             response.round_trip,
             response.aggregate_stats.queue_wait,
-            response.aggregate_stats.steals
+            response.aggregate_stats.steals,
+            response.aggregate_stats.interrupted_cells,
+            response.aggregate_stats.retries,
+            response.aggregate_stats.degradations,
+            response.aggregate_stats.faults_injected
         );
     }
 
@@ -415,6 +484,16 @@ fn run_batch(
         totals.queue_wait,
         service.worker_items(),
         service.worker_steals()
+    );
+    let health = service.health();
+    eprintln!(
+        "c service health: workers {}/{} alive, panics={} respawns={} item_retries={} faults_injected={}",
+        health.alive_workers,
+        health.configured_workers,
+        health.worker_panics,
+        health.respawns,
+        health.item_retries,
+        health.faults_injected
     );
     Ok(())
 }

@@ -29,12 +29,15 @@
 //! are rejected rather than silently ignored, so a spec always means what it
 //! says.
 
+use std::sync::Arc;
+
 use unigen_cnf::{CnfFormula, Var};
 use unigen_counting::ApproxMcConfig;
 use unigen_satsolver::Budget;
 
 use crate::config::UniGenConfig;
 use crate::error::BuildError;
+use crate::fault::FaultPlan;
 use crate::sampler::{SampleOutcome, WitnessSampler};
 use crate::service::{SamplerService, ServiceConfig};
 use crate::unigen::UniGen;
@@ -98,6 +101,7 @@ pub struct SamplerBuilder<'f> {
     formula: &'f CnfFormula,
     spec: SamplerSpec,
     sampling_set: Option<Vec<Var>>,
+    fault_plan: Option<Arc<FaultPlan>>,
     misapplied: Option<&'static str>,
 }
 
@@ -132,6 +136,7 @@ impl<'f> SamplerBuilder<'f> {
             formula,
             spec,
             sampling_set: None,
+            fault_plan: None,
             misapplied: None,
         }
     }
@@ -283,6 +288,23 @@ impl<'f> SamplerBuilder<'f> {
         }
     }
 
+    /// Installs a chaos-testing [`FaultPlan`]: the plan's solver-level fault
+    /// hook is wired into the prepared sampler, and
+    /// [`SamplerBuilder::into_service`] threads the same plan into the
+    /// service so its worker-panic primitive and health counters line up
+    /// with the solver-level injections. **UniGen only** (the other
+    /// families' recovery ladder lives in UniGen; see the crate's
+    /// robustness docs).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        match &self.spec {
+            SamplerSpec::UniGen(_) => {
+                self.fault_plan = Some(plan);
+                self
+            }
+            _ => self.misapply("fault_plan"),
+        }
+    }
+
     /// Runs the selected family's preparation phase and returns the prepared
     /// sampler.
     ///
@@ -300,12 +322,18 @@ impl<'f> SamplerBuilder<'f> {
             });
         }
         Ok(match self.spec {
-            SamplerSpec::UniGen(config) => AnySampler::UniGen(match self.sampling_set {
-                Some(sampling_set) => {
-                    UniGen::with_sampling_set(self.formula, &sampling_set, config)?
+            SamplerSpec::UniGen(config) => {
+                let mut sampler = match self.sampling_set {
+                    Some(sampling_set) => {
+                        UniGen::with_sampling_set(self.formula, &sampling_set, config)?
+                    }
+                    None => UniGen::new(self.formula, config)?,
+                };
+                if let Some(plan) = self.fault_plan {
+                    sampler.install_fault_plan(plan);
                 }
-                None => UniGen::new(self.formula, config)?,
-            }),
+                AnySampler::UniGen(sampler)
+            }
             SamplerSpec::UniWit(config) => AnySampler::UniWit(UniWit::new(self.formula, config)?),
             SamplerSpec::XorSamplePrime(config) => {
                 AnySampler::XorSamplePrime(XorSamplePrime::new(self.formula, config)?)
@@ -321,8 +349,19 @@ impl<'f> SamplerBuilder<'f> {
 
     /// Builds the sampler and wraps it in a running [`SamplerService`] — the
     /// one-call path from a formula to a request/response sampling service.
+    /// A [`SamplerBuilder::fault_plan`] is threaded into the service too, so
+    /// solver-level and worker-level chaos share one schedule and one set of
+    /// health counters.
+    ///
+    /// # Errors
+    ///
+    /// The [`SamplerBuilder::build`] errors, plus
+    /// [`BuildError::Service`] if `config` is invalid (for example
+    /// [`ServiceConfig::workers`] of zero).
     pub fn into_service(self, config: ServiceConfig) -> Result<SamplerService, BuildError> {
-        Ok(SamplerService::new(self.build()?, config))
+        let plan = self.fault_plan.clone();
+        let sampler = self.build()?;
+        Ok(SamplerService::try_with_fault_plan(sampler, config, plan)?)
     }
 }
 
@@ -532,6 +571,51 @@ mod tests {
         });
         let sampler = SamplerBuilder::from_spec(&f, spec.clone()).build().unwrap();
         assert_eq!(sampler.name(), spec.name());
+    }
+
+    #[test]
+    fn fault_plan_is_unigen_only_and_zero_workers_is_a_typed_service_error() {
+        use crate::error::ServiceConfigError;
+        let f = or3();
+        let err = SamplerBuilder::uniwit(&f)
+            .fault_plan(Arc::new(FaultPlan::seeded(1)))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnsupportedOption {
+                option: "fault_plan",
+                sampler: "UniWit"
+            }
+        );
+        let err = SamplerBuilder::unigen(&f)
+            .into_service(ServiceConfig::default().with_workers(0))
+            .unwrap_err();
+        assert_eq!(err, BuildError::Service(ServiceConfigError::ZeroWorkers));
+    }
+
+    #[test]
+    fn into_service_threads_the_fault_plan_through() {
+        use crate::service::SampleRequest;
+        // Wide enough (~2^10 · 0.75 witnesses) that UniGen prepares in
+        // hashed mode and actually issues BSAT calls the plan can fail —
+        // the tiny `or3` formula would be enumerated outright.
+        let mut f = CnfFormula::new(10);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        let plan = Arc::new(FaultPlan::seeded(7).fail_nth_bsat(1));
+        let service = SamplerBuilder::unigen(&f)
+            .fault_plan(Arc::clone(&plan))
+            .into_service(ServiceConfig::default().with_workers(1))
+            .unwrap();
+        let response = service.submit(SampleRequest::new(4, 3)).wait();
+        assert_eq!(response.outcomes.len(), 4);
+        // The solver-level fault fired and was absorbed by the recovery
+        // ladder; the service health surfaces it because both layers share
+        // the one plan.
+        assert_eq!(plan.faults_injected(), 1);
+        assert_eq!(service.health().faults_injected, 1);
+        assert!(response.aggregate_stats.retries >= 1);
     }
 
     #[test]

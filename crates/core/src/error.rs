@@ -100,6 +100,9 @@ pub enum BuildError {
     /// constructor performs: κ/pivot, the `BSAT` probe, approximate
     /// counting).
     Prepare(SamplerError),
+    /// [`crate::SamplerBuilder::into_service`] was asked to start a
+    /// service with an invalid configuration.
+    Service(ServiceConfigError),
 }
 
 impl fmt::Display for BuildError {
@@ -112,6 +115,7 @@ impl fmt::Display for BuildError {
                 )
             }
             BuildError::Prepare(err) => write!(f, "preparation failed: {err}"),
+            BuildError::Service(err) => write!(f, "service configuration rejected: {err}"),
         }
     }
 }
@@ -120,6 +124,7 @@ impl std::error::Error for BuildError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BuildError::Prepare(err) => Some(err),
+            BuildError::Service(err) => Some(err),
             _ => None,
         }
     }
@@ -130,6 +135,34 @@ impl From<SamplerError> for BuildError {
         BuildError::Prepare(err)
     }
 }
+
+impl From<ServiceConfigError> for BuildError {
+    fn from(err: ServiceConfigError) -> Self {
+        BuildError::Service(err)
+    }
+}
+
+/// Rejection returned by [`crate::SamplerService::try_new`] when a
+/// [`crate::service::ServiceConfig`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceConfigError {
+    /// The configuration asked for a pool of zero workers; a service with
+    /// no workers could never answer a request.
+    ZeroWorkers,
+}
+
+impl fmt::Display for ServiceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceConfigError::ZeroWorkers => {
+                write!(f, "a sampler service requires at least one worker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceConfigError {}
 
 /// Rejection returned by [`crate::SamplerService::try_submit`] — the
 /// *request-time* half of the error taxonomy.

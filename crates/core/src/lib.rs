@@ -82,6 +82,7 @@
 mod builder;
 mod config;
 mod error;
+mod fault;
 mod kappa_pivot;
 mod parallel;
 mod sampler;
@@ -95,11 +96,14 @@ pub mod stats;
 
 pub use builder::{AnySampler, SamplerBuilder, SamplerSpec};
 pub use config::UniGenConfig;
-pub use error::{BuildError, SamplerError, TrySubmitError};
+pub use error::{BuildError, SamplerError, ServiceConfigError, TrySubmitError};
+pub use fault::FaultPlan;
 pub use kappa_pivot::{compute_kappa_pivot, KappaPivot};
 pub use parallel::ParallelSampler;
-pub use sampler::{SampleOutcome, SampleStats, WitnessSampler};
-pub use service::{ResponseHandle, SampleRequest, SampleResponse, SamplerService, ServiceConfig};
+pub use sampler::{OutcomeKind, SampleOutcome, SampleStats, WitnessSampler};
+pub use service::{
+    ResponseHandle, SampleRequest, SampleResponse, SamplerService, ServiceConfig, ServiceHealth,
+};
 pub use unigen::{PreparedMode, UniGen};
 pub use uniwit::{UniWit, UniWitConfig};
 pub use us::UniformSampler;

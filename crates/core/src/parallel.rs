@@ -52,7 +52,13 @@
 //! per-`BSAT` budgets must never fire (the default unlimited
 //! [`unigen_satsolver::Budget`] trivially satisfies this): a wall-clock or
 //! conflict cutoff triggers depending on accumulated per-worker solver
-//! state, which is exactly the state workers do not share.
+//! state, which is exactly the state workers do not share. A budget that
+//! does fire no longer *silently* diverges, though — the affected samples
+//! complete as typed [`crate::OutcomeKind::Interrupted`] outcomes, so the
+//! guarantee narrows to the successfully completed indices instead of
+//! voiding wholesale (and deterministically injected faults absorbed by the
+//! recovery ladder keep the sequence bit-identical; see
+//! [`crate::FaultPlan`]).
 //!
 //! # Example
 //!

@@ -43,6 +43,22 @@ pub struct SampleStats {
     /// [`crate::SamplerService`] scheduler sets this; serial sampling leaves
     /// it zero.
     pub queue_wait: Duration,
+    /// Number of cell enumerations that were *interrupted* (budget fired or
+    /// fault injected) while producing this sample. Distinct from a genuine
+    /// `⊥`: an interrupted cell says nothing about the cell's content,
+    /// which is why the samplers no longer conflate the two.
+    pub interrupted_cells: usize,
+    /// Number of times an interrupted or faulted call was retried while
+    /// producing this sample (cell-level retries in the samplers plus
+    /// item-level retries in the service).
+    pub retries: usize,
+    /// Number of times the degradation ladder stepped down while producing
+    /// this sample (Gauss-poisoned cell retried Gauss-off, or the
+    /// incremental solver rebuilt from its pristine snapshot).
+    pub degradations: usize,
+    /// Number of injected faults observed while producing this sample.
+    /// Zero unless a [`crate::FaultPlan`] (or custom hook) is installed.
+    pub faults_injected: usize,
 }
 
 impl SampleStats {
@@ -68,6 +84,10 @@ impl SampleStats {
         self.width_window_clamped += other.width_window_clamped;
         self.steals += other.steals;
         self.queue_wait += other.queue_wait;
+        self.interrupted_cells += other.interrupted_cells;
+        self.retries += other.retries;
+        self.degradations += other.degradations;
+        self.faults_injected += other.faults_injected;
     }
 }
 
@@ -114,19 +134,102 @@ pub(crate) fn sort_witnesses_canonically(witnesses: &mut [Model], sampling_set: 
     });
 }
 
+/// What kind of result one sampling attempt produced.
+///
+/// Before this type existed a budget-interrupted cell and a genuine `⊥`
+/// were both reported as "no witness"; the paper's `⊥` is a *definite*
+/// answer (the pivot/threshold test failed), while an interruption says
+/// nothing about the cell at all. Keeping the two (plus outright faults)
+/// apart is what lets the service retry the right outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OutcomeKind {
+    /// A witness was produced.
+    Witness,
+    /// The paper's `⊥`: the attempt completed and definitively failed
+    /// (empty cell, pivot exceeded, threshold missed).
+    #[default]
+    Bottom,
+    /// The attempt was interrupted by a fired budget before completing;
+    /// retrying with a larger budget may succeed.
+    Interrupted,
+    /// The attempt was lost to a fault (injected or a worker panic) that
+    /// the recovery ladder could not absorb.
+    Faulted,
+}
+
+impl std::fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OutcomeKind::Witness => "witness",
+            OutcomeKind::Bottom => "bottom",
+            OutcomeKind::Interrupted => "interrupted",
+            OutcomeKind::Faulted => "faulted",
+        })
+    }
+}
+
 /// The result of one sampling attempt.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleOutcome {
-    /// The generated witness, or `None` for the paper's `⊥` outcome.
+    /// The generated witness, or `None` for every non-witness kind.
     pub witness: Option<Model>,
     /// What the attempt cost.
     pub stats: SampleStats,
+    /// What kind of result this is; `Witness` if and only if `witness` is
+    /// `Some` (use the constructors to keep the invariant).
+    pub kind: OutcomeKind,
 }
 
 impl SampleOutcome {
+    /// A successful outcome carrying `model`.
+    pub fn of_witness(model: Model, stats: SampleStats) -> Self {
+        SampleOutcome {
+            witness: Some(model),
+            stats,
+            kind: OutcomeKind::Witness,
+        }
+    }
+
+    /// The paper's `⊥`: a definite failure.
+    pub fn bottom(stats: SampleStats) -> Self {
+        SampleOutcome {
+            witness: None,
+            stats,
+            kind: OutcomeKind::Bottom,
+        }
+    }
+
+    /// A budget-interrupted attempt (retryable).
+    pub fn interrupted(stats: SampleStats) -> Self {
+        SampleOutcome {
+            witness: None,
+            stats,
+            kind: OutcomeKind::Interrupted,
+        }
+    }
+
+    /// An attempt lost to an unabsorbed fault.
+    pub fn faulted(stats: SampleStats) -> Self {
+        SampleOutcome {
+            witness: None,
+            stats,
+            kind: OutcomeKind::Faulted,
+        }
+    }
+
     /// Returns `true` if a witness was produced.
     pub fn is_success(&self) -> bool {
         self.witness.is_some()
+    }
+}
+
+/// Builds the witness-less outcome matching a failure `kind` (anything
+/// other than `Interrupted`/`Faulted` is reported as the paper's `⊥`).
+pub(crate) fn failed_outcome(kind: OutcomeKind, stats: SampleStats) -> SampleOutcome {
+    match kind {
+        OutcomeKind::Interrupted => SampleOutcome::interrupted(stats),
+        OutcomeKind::Faulted => SampleOutcome::faulted(stats),
+        _ => SampleOutcome::bottom(stats),
     }
 }
 
@@ -205,6 +308,10 @@ mod tests {
             width_window_clamped: 1,
             steals: 1,
             queue_wait: Duration::from_millis(2),
+            interrupted_cells: 1,
+            retries: 2,
+            degradations: 0,
+            faults_injected: 1,
         };
         let b = SampleStats {
             bsat_calls: 3,
@@ -216,6 +323,10 @@ mod tests {
             width_window_clamped: 0,
             steals: 1,
             queue_wait: Duration::from_millis(3),
+            interrupted_cells: 2,
+            retries: 1,
+            degradations: 1,
+            faults_injected: 2,
         };
         a.accumulate(&b);
         assert_eq!(a.bsat_calls, 4);
@@ -227,6 +338,10 @@ mod tests {
         assert_eq!(a.width_window_clamped, 1);
         assert_eq!(a.steals, 2);
         assert_eq!(a.queue_wait, Duration::from_millis(5));
+        assert_eq!(a.interrupted_cells, 3);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.degradations, 1);
+        assert_eq!(a.faults_injected, 3);
     }
 
     #[test]
@@ -259,10 +374,7 @@ mod tests {
         impl WitnessSampler for StreamRecorder {
             fn sample(&mut self, rng: &mut dyn RngCore) -> SampleOutcome {
                 self.first_draws.push(rng.next_u32());
-                SampleOutcome {
-                    witness: None,
-                    stats: SampleStats::default(),
-                }
+                SampleOutcome::bottom(SampleStats::default())
             }
             fn name(&self) -> &'static str {
                 "StreamRecorder"
@@ -298,15 +410,19 @@ mod tests {
 
     #[test]
     fn outcome_success_reflects_witness_presence() {
-        let success = SampleOutcome {
-            witness: Some(Model::new(vec![true])),
-            stats: SampleStats::default(),
-        };
-        let failure = SampleOutcome {
-            witness: None,
-            stats: SampleStats::default(),
-        };
+        let success = SampleOutcome::of_witness(Model::new(vec![true]), SampleStats::default());
+        let failure = SampleOutcome::bottom(SampleStats::default());
         assert!(success.is_success());
+        assert_eq!(success.kind, OutcomeKind::Witness);
         assert!(!failure.is_success());
+        assert_eq!(failure.kind, OutcomeKind::Bottom);
+        assert_eq!(
+            SampleOutcome::interrupted(SampleStats::default()).kind,
+            OutcomeKind::Interrupted
+        );
+        assert_eq!(
+            SampleOutcome::faulted(SampleStats::default()).kind,
+            OutcomeKind::Faulted
+        );
     }
 }

@@ -47,13 +47,29 @@
 //! the prototype, per request, at any worker count.
 //!
 //! The scope notes of [`crate::ParallelSampler`] carry over verbatim (the
-//! guarantee covers the projection onto the sampling set, and per-`BSAT`
-//! budgets must never fire), with one addition: a [`SampleRequest::budget`]
-//! deadline, once expired, makes workers complete the request's
-//! not-yet-started samples as `⊥` when they reach them — which samples
-//! those are depends on wall-clock timing, so a fired request budget voids
-//! the contract for that request exactly as a fired `BSAT` budget would.
-//! Requests whose budget never fires are unaffected.
+//! guarantee covers the projection onto the sampling set), with one
+//! addition: a [`SampleRequest::budget`] deadline, once expired, makes
+//! workers complete the request's not-yet-started samples as typed
+//! [`OutcomeKind::Interrupted`] outcomes when they reach them. *Which*
+//! samples get cut depends on wall-clock timing, but every outcome that
+//! does complete as a witness is still the deterministic witness for its
+//! index — interruption narrows the guarantee to the completed samples
+//! instead of voiding it. Requests whose budget never fires are unaffected.
+//!
+//! # Robustness
+//!
+//! A worker whose sampler panics does not take the pool down: the panic is
+//! caught, the worker **respawns** its sampler from the retained prototype
+//! (bounded by [`ServiceConfig::max_respawns`] per worker) and retries the
+//! same item on the same per-index RNG stream — so an absorbed panic leaves
+//! the response bit-identical to an undisturbed run. A worker that exhausts
+//! its respawn budget completes its item as [`OutcomeKind::Faulted`] and
+//! leaves the pool cleanly; if the *last* worker leaves, queued and future
+//! items complete as `Faulted` immediately, so no handle, submitter, or
+//! [`SamplerService::shutdown`] call ever hangs on a dead pool. The
+//! [`ServiceHealth`] snapshot ([`SamplerService::health`]) reports alive
+//! workers, respawns, panics, retries, and queue depth; chaos schedules are
+//! injected with [`crate::FaultPlan::panic_worker_at`].
 //!
 //! # Example
 //!
@@ -89,19 +105,29 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::error::TrySubmitError;
-use crate::sampler::{stream_for_index, SampleOutcome, SampleStats, WitnessSampler};
+use crate::error::{ServiceConfigError, TrySubmitError};
+use crate::fault::FaultPlan;
+use crate::sampler::{
+    failed_outcome, stream_for_index, OutcomeKind, SampleOutcome, SampleStats, WitnessSampler,
+};
 
 /// Shape of a [`SamplerService`]'s worker pool and request queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Number of worker threads (clamped to at least 1). Defaults to the
-    /// machine's available parallelism.
+    /// Number of worker threads. Must be at least 1:
+    /// [`SamplerService::try_new`] rejects zero with
+    /// [`ServiceConfigError::ZeroWorkers`] ([`SamplerService::new`] clamps
+    /// for back-compatibility). Defaults to the machine's available
+    /// parallelism.
     pub workers: usize,
     /// Maximum number of admitted-but-not-yet-completed requests (clamped to
     /// at least 1). [`SamplerService::submit`] blocks while the queue is at
     /// capacity; [`SamplerService::try_submit`] returns the request back.
     pub queue_capacity: usize,
+    /// How many times each worker may replace a panicked sampler with a
+    /// fresh clone of the prototype before giving up and leaving the pool
+    /// (see the module docs' *Robustness* section).
+    pub max_respawns: usize,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +137,7 @@ impl Default for ServiceConfig {
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             queue_capacity: 16,
+            max_respawns: 2,
         }
     }
 }
@@ -126,6 +153,21 @@ impl ServiceConfig {
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
         self
+    }
+
+    /// Returns a copy with an explicit per-worker respawn budget.
+    pub fn with_max_respawns(mut self, max_respawns: usize) -> Self {
+        self.max_respawns = max_respawns;
+        self
+    }
+
+    /// Checks the configuration, returning the typed error
+    /// [`SamplerService::try_new`] propagates.
+    pub fn validate(&self) -> Result<(), ServiceConfigError> {
+        if self.workers == 0 {
+            return Err(ServiceConfigError::ZeroWorkers);
+        }
+        Ok(())
     }
 }
 
@@ -144,14 +186,21 @@ pub struct SampleRequest {
     pub master_seed: u64,
     /// Optional soft wall-clock budget for the whole request, measured from
     /// submission. Expiry is observed **lazily, at item start**: when a
-    /// worker picks up a work item past the deadline it completes it as `⊥`
-    /// without touching the solver; items already running are finished
-    /// normally. The budget therefore bounds the *solver work* spent on an
-    /// expired request, not the response latency — a request stuck behind
-    /// long-running items still waits for a worker to reach (and then
-    /// instantly `⊥`-complete) its items. A fired budget voids the
-    /// determinism contract for this request (which samples get cut depends
-    /// on timing) — `None`, the default, never fires.
+    /// worker picks up a work item past the deadline it completes it as a
+    /// typed [`OutcomeKind::Interrupted`] outcome without touching the
+    /// solver; items already running are finished normally. The budget
+    /// therefore bounds the *solver work* spent on an expired request, not
+    /// the response latency — a request stuck behind long-running items
+    /// still waits for a worker to reach (and then instantly
+    /// interrupt-complete) its items.
+    ///
+    /// Interruption is distinguishable, and therefore recoverable: *which*
+    /// indices get cut depends on wall-clock timing, but an `Interrupted`
+    /// outcome says nothing about its witness (unlike the definite
+    /// [`OutcomeKind::Bottom`]), and every index that did complete holds
+    /// exactly the witness the fault-free run would hold. Re-submitting the
+    /// same request with a roomier budget fills in the cut indices with
+    /// those same deterministic witnesses. `None`, the default, never fires.
     pub budget: Option<Duration>,
 }
 
@@ -227,10 +276,10 @@ struct Sched {
     deques: Vec<VecDeque<Item>>,
     in_flight: usize,
     shutdown: bool,
-    /// Workers still running their loop. A worker whose sampler panics
-    /// leaves the pool (the panic is re-raised when the service joins it);
-    /// when the *last* one leaves, the queued items are completed as `⊥` so
-    /// no handle or submitter ever blocks on a dead pool.
+    /// Workers still running their loop. A worker that exhausts its respawn
+    /// budget leaves the pool cleanly; when the *last* one leaves, the
+    /// queued items are completed as `Faulted` so no handle or submitter
+    /// ever blocks on a dead pool.
     alive: usize,
 }
 
@@ -242,12 +291,60 @@ struct Shared {
     /// Submitters wait here for queue capacity; completing workers notify.
     admission: Condvar,
     queue_capacity: usize,
+    /// Per-worker respawn budget (see [`ServiceConfig::max_respawns`]).
+    max_respawns: usize,
+    /// The installed chaos schedule, if any: consulted per item for the
+    /// worker-panic primitive and surfaced through [`ServiceHealth`].
+    fault_plan: Option<Arc<FaultPlan>>,
     /// Lifetime count of stolen items, service-wide.
     steals: AtomicU64,
+    /// Lifetime count of caught worker panics, service-wide.
+    worker_panics: AtomicU64,
+    /// Lifetime count of sampler respawns from the prototype, service-wide.
+    respawns: AtomicU64,
+    /// Lifetime count of item retries (each respawn retries its item once).
+    item_retries: AtomicU64,
     /// Items executed per worker (index = worker id), lifetime.
     worker_items: Vec<AtomicU64>,
     /// Stolen items executed per worker (index = worker id), lifetime.
     worker_steals: Vec<AtomicU64>,
+}
+
+/// A point-in-time health snapshot of a [`SamplerService`], taken with
+/// [`SamplerService::health`].
+///
+/// The lifetime counters are monotone; the pool and queue fields describe
+/// the instant of the snapshot. A healthy undisturbed service reports
+/// `alive_workers == configured_workers` and zeros everywhere else once the
+/// queue drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceHealth {
+    /// Worker threads the service was configured with.
+    pub configured_workers: usize,
+    /// Workers currently alive (configured minus those that exhausted their
+    /// respawn budget and left the pool).
+    pub alive_workers: usize,
+    /// Lifetime count of caught worker panics.
+    pub worker_panics: u64,
+    /// Lifetime count of sampler respawns from the retained prototype.
+    pub respawns: u64,
+    /// Lifetime count of item-level retries (one per respawn).
+    pub item_retries: u64,
+    /// Faults injected so far by the installed [`FaultPlan`] (0 when none
+    /// is installed).
+    pub faults_injected: u64,
+    /// Admitted-but-not-yet-completed requests at snapshot time.
+    pub pending_requests: usize,
+    /// Work items sitting in the per-worker deques at snapshot time.
+    pub queued_items: usize,
+}
+
+impl ServiceHealth {
+    /// `true` when every configured worker is still alive.
+    pub fn at_full_strength(&self) -> bool {
+        self.alive_workers == self.configured_workers
+    }
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -279,16 +376,49 @@ impl std::fmt::Debug for SamplerService {
 }
 
 impl SamplerService {
-    /// Spawns a service over `prototype`.
-    ///
-    /// Each of the `config.workers` threads clones the prepared prototype
-    /// exactly once, here — the one-off cost the persistent pool design
-    /// amortises over every subsequent request.
+    /// Spawns a service over `prototype`, clamping a zero worker count to 1
+    /// for back-compatibility — prefer [`SamplerService::try_new`], which
+    /// rejects it with a typed error instead.
     pub fn new<S>(prototype: S, config: ServiceConfig) -> Self
     where
-        S: WitnessSampler + Clone + Send + 'static,
+        S: WitnessSampler + Clone + Send + Sync + 'static,
     {
-        let workers = config.workers.max(1);
+        let config = config.with_workers(config.workers.max(1));
+        Self::try_with_fault_plan(prototype, config, None)
+            .expect("a clamped service configuration is always valid")
+    }
+
+    /// Spawns a service over `prototype`, rejecting an invalid
+    /// [`ServiceConfig`] with a typed [`ServiceConfigError`].
+    ///
+    /// Each of the `config.workers` threads clones the prepared prototype
+    /// exactly once at spawn — the one-off cost the persistent pool design
+    /// amortises over every subsequent request. The prototype itself is
+    /// retained (behind an [`Arc`]) so a worker whose sampler panics can
+    /// respawn a fresh clone (see the module docs' *Robustness* section).
+    pub fn try_new<S>(prototype: S, config: ServiceConfig) -> Result<Self, ServiceConfigError>
+    where
+        S: WitnessSampler + Clone + Send + Sync + 'static,
+    {
+        Self::try_with_fault_plan(prototype, config, None)
+    }
+
+    /// [`SamplerService::try_new`] with a chaos-testing [`FaultPlan`]
+    /// installed: the plan's worker-panic primitive is consulted before
+    /// every item, and its counters feed [`SamplerService::health`]. The
+    /// plan does **not** reach into the samplers here — install it on the
+    /// prototype (e.g. [`crate::SamplerBuilder::fault_plan`]) before
+    /// constructing the service to fault the solver layer too.
+    pub fn try_with_fault_plan<S>(
+        prototype: S,
+        config: ServiceConfig,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, ServiceConfigError>
+    where
+        S: WitnessSampler + Clone + Send + Sync + 'static,
+    {
+        config.validate()?;
+        let workers = config.workers;
         let shared = Arc::new(Shared {
             sched: Mutex::new(Sched {
                 deques: (0..workers).map(|_| VecDeque::new()).collect(),
@@ -299,24 +429,30 @@ impl SamplerService {
             work_available: Condvar::new(),
             admission: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
+            max_respawns: config.max_respawns,
+            fault_plan,
             steals: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            item_retries: AtomicU64::new(0),
             worker_items: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             worker_steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
+        // One retained prototype for the whole pool: each worker clones its
+        // private sampler (own incremental solver) from it at spawn, and
+        // again after a caught panic (bounded by `max_respawns`).
+        let prototype = Arc::new(prototype);
         let handles = (0..workers)
             .map(|me| {
-                // Clone on the constructing thread so the worker closure only
-                // needs `S: Send`; the clone is this worker's private sampler
-                // (own incremental solver) for the service's whole lifetime.
-                let sampler = prototype.clone();
+                let prototype = Arc::clone(&prototype);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || run_worker(sampler, shared, me))
+                std::thread::spawn(move || run_worker(prototype, shared, me))
             })
             .collect();
-        SamplerService {
+        Ok(SamplerService {
             shared,
             workers: handles,
-        }
+        })
     }
 
     /// Submits a request, blocking while the bounded request queue is at
@@ -351,10 +487,10 @@ impl SamplerService {
     /// and wakes the pool.
     fn admit(&self, mut sched: MutexGuard<'_, Sched>, request: SampleRequest) -> ResponseHandle {
         let now = Instant::now();
-        // A dead pool (every worker's sampler panicked) runs nothing: the
-        // request completes immediately as all-`⊥` instead of queueing
-        // forever. The caller observes the panic itself when the service is
-        // dropped (the join re-raises it).
+        // A dead pool (every worker exhausted its respawn budget) runs
+        // nothing: the request completes immediately as all-`Faulted`
+        // instead of queueing forever. [`SamplerService::health`] shows how
+        // the pool got here.
         let dead_pool = sched.alive == 0;
         let complete_now = request.count == 0 || dead_pool;
         let state = Arc::new(RequestState {
@@ -363,13 +499,7 @@ impl SamplerService {
             deadline: request.budget.map(|b| now + b),
             board: Mutex::new(Board {
                 slots: if dead_pool {
-                    vec![
-                        Some(SampleOutcome {
-                            witness: None,
-                            stats: SampleStats::default(),
-                        });
-                        request.count
-                    ]
+                    vec![Some(SampleOutcome::faulted(SampleStats::default())); request.count]
                 } else {
                     vec![None; request.count]
                 },
@@ -439,6 +569,27 @@ impl SamplerService {
             .collect()
     }
 
+    /// Takes a point-in-time [`ServiceHealth`] snapshot: pool strength,
+    /// respawn/panic/retry counters, injected-fault count, and queue depth.
+    pub fn health(&self) -> ServiceHealth {
+        let sched = lock(&self.shared.sched);
+        ServiceHealth {
+            configured_workers: self.workers.len(),
+            alive_workers: sched.alive,
+            worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            item_retries: self.shared.item_retries.load(Ordering::Relaxed),
+            faults_injected: self
+                .shared
+                .fault_plan
+                .as_ref()
+                .map(|plan| plan.faults_injected())
+                .unwrap_or(0),
+            pending_requests: sched.in_flight,
+            queued_items: sched.deques.iter().map(VecDeque::len).sum(),
+        }
+    }
+
     /// Completes every admitted request, then stops and joins the workers.
     /// Equivalent to dropping the service, but explicit at call sites that
     /// want the drain to be visible.
@@ -461,7 +612,18 @@ impl Drop for SamplerService {
 /// from the back of the longest other deque; failing that, sleep until work
 /// arrives (or exit once shutdown is flagged and every deque is dry — so a
 /// dropped service always drains the requests it admitted).
-fn run_worker<S: WitnessSampler>(mut sampler: S, shared: Arc<Shared>, me: usize) {
+///
+/// A caught sampler panic respawns this worker's sampler from the retained
+/// prototype and retries the item on its re-derived RNG stream — up to
+/// `max_respawns` times over the worker's lifetime, after which the item
+/// completes as `Faulted` and the worker leaves the pool for good (see
+/// [`leave_pool`]).
+fn run_worker<S>(prototype: Arc<S>, shared: Arc<Shared>, me: usize)
+where
+    S: WitnessSampler + Clone,
+{
+    let mut sampler = (*prototype).clone();
+    let mut respawns_left = shared.max_respawns;
     loop {
         let mut sched = lock(&shared.sched);
         let (item, stolen) = loop {
@@ -491,89 +653,136 @@ fn run_worker<S: WitnessSampler>(mut sampler: S, shared: Arc<Shared>, me: usize)
             shared.steals.fetch_add(1, Ordering::Relaxed);
             shared.worker_steals[me].fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(panic) = execute(&mut sampler, &shared, item, stolen) {
-            abandon_worker(&shared, panic);
+
+        let mut retries = 0usize;
+        let mut pending = Some(item);
+        while let Some(item) = pending.take() {
+            match execute(&mut sampler, &shared, item, stolen, me, retries) {
+                None => {}
+                Some(item) => {
+                    shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    if respawns_left == 0 {
+                        // Respawn budget exhausted: complete the item as
+                        // Faulted and leave the pool cleanly, so drop/join
+                        // (and hence shutdown) never hangs or re-panics.
+                        let queue_wait = Instant::now().duration_since(item.request.submitted_at);
+                        post_outcome(
+                            &shared,
+                            &item,
+                            failed_outcome(
+                                OutcomeKind::Faulted,
+                                SampleStats {
+                                    queue_wait,
+                                    steals: usize::from(stolen),
+                                    retries,
+                                    ..SampleStats::default()
+                                },
+                            ),
+                        );
+                        leave_pool(&shared);
+                        return;
+                    }
+                    respawns_left -= 1;
+                    shared.respawns.fetch_add(1, Ordering::Relaxed);
+                    shared.item_retries.fetch_add(1, Ordering::Relaxed);
+                    sampler = (*prototype).clone();
+                    retries += 1;
+                    pending = Some(item);
+                }
+            }
         }
     }
 }
 
 /// Runs one work item on this worker's sampler and posts the outcome to the
-/// request's board. A panicking sampler is caught, its item completed as
-/// `⊥`, and the payload returned so the worker can leave the pool without
-/// stranding any client (see [`abandon_worker`]).
+/// request's board. A panicking sampler is caught and the item handed back
+/// (not posted) so [`run_worker`] can respawn the sampler and retry it —
+/// the retry re-derives the same per-index RNG stream, so an absorbed panic
+/// leaves the outcome bit-identical to an undisturbed run.
 fn execute<S: WitnessSampler>(
     sampler: &mut S,
     shared: &Shared,
     item: Item,
     stolen: bool,
-) -> Option<Box<dyn std::any::Any + Send>> {
+    me: usize,
+    retries: usize,
+) -> Option<Item> {
     let state = &item.request;
     let started = Instant::now();
     let queue_wait = started.duration_since(state.submitted_at);
-    let bottom = |queue_wait| SampleOutcome {
-        witness: None,
-        stats: SampleStats {
-            queue_wait,
-            steals: usize::from(stolen),
-            ..SampleStats::default()
-        },
-    };
-    let mut panic = None;
     let outcome = if state.deadline.is_some_and(|deadline| started >= deadline) {
         // The request budget expired while this item was queued: complete it
-        // as ⊥ without touching the solver (see `SampleRequest::budget` for
-        // the determinism scoping).
-        bottom(queue_wait)
+        // as a typed interruption without touching the solver (see
+        // `SampleRequest::budget` for the recoverability semantics).
+        SampleOutcome::interrupted(SampleStats {
+            queue_wait,
+            steals: usize::from(stolen),
+            retries,
+            ..SampleStats::default()
+        })
     } else {
-        // The sampler is this worker's private state and is abandoned with
-        // the worker if it panics, so unwind-safety is moot.
-        let mut rng = stream_for_index(state.request.master_seed, item.index);
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sampler.sample(&mut rng))) {
+        // The sampler is this worker's private state and is replaced from
+        // the prototype if it panics, so unwind-safety is moot.
+        let plan = shared.fault_plan.as_deref();
+        let master_seed = state.request.master_seed;
+        let index = item.index;
+        let run = std::panic::AssertUnwindSafe(|| {
+            if plan.is_some_and(|plan| plan.should_panic_worker(me, index)) {
+                panic!("injected worker panic (worker {me}, item {index})");
+            }
+            let mut rng = stream_for_index(master_seed, index);
+            sampler.sample(&mut rng)
+        });
+        match std::panic::catch_unwind(run) {
             Ok(mut outcome) => {
                 outcome.stats.queue_wait = queue_wait;
                 outcome.stats.steals = usize::from(stolen);
+                outcome.stats.retries += retries;
                 outcome
             }
-            Err(payload) => {
-                panic = Some(payload);
-                bottom(queue_wait)
-            }
+            Err(_payload) => return Some(item),
         }
     };
     post_outcome(shared, &item, outcome);
-    panic
+    None
 }
 
 /// Posts one outcome to its request's board and, on the last one, releases
 /// the request's queue slot.
 fn post_outcome(shared: &Shared, item: &Item, outcome: SampleOutcome) {
     let state = &item.request;
-    let complete = {
-        let mut board = lock(&state.board);
-        debug_assert!(board.slots[item.index].is_none(), "index scheduled twice");
-        board.slots[item.index] = Some(outcome);
-        board.completed += 1;
-        let complete = board.completed == state.request.count;
-        if complete {
-            board.finished_at = Some(Instant::now());
-        }
-        state.ready.notify_all();
-        complete
-    };
+    let mut board = lock(&state.board);
+    debug_assert!(board.slots[item.index].is_none(), "index scheduled twice");
+    board.slots[item.index] = Some(outcome);
+    board.completed += 1;
+    let complete = board.completed == state.request.count;
     if complete {
+        board.finished_at = Some(Instant::now());
+        // Release the queue slot while the board lock is still held: a
+        // client that returns from `wait` may immediately retry a rejected
+        // request (the documented backpressure idiom), so the slot must be
+        // observably free by the time the finished board is visible. The
+        // board → sched nesting here is the only place the two locks nest,
+        // so the ordering is globally consistent.
         let mut sched = lock(&shared.sched);
         sched.in_flight -= 1;
         drop(sched);
+    }
+    state.ready.notify_all();
+    drop(board);
+    if complete {
         shared.admission.notify_all();
     }
 }
 
-/// A worker whose sampler panicked leaves the pool: its current item has
-/// already been completed as `⊥`; if it was the *last* alive worker, every
-/// queued item is completed as `⊥` too (no one is left to run them), so
-/// handles and submitters never hang on a dead pool. The payload is then
-/// re-raised, which surfaces when the service joins the worker at drop.
-fn abandon_worker(shared: &Shared, panic: Box<dyn std::any::Any + Send>) -> ! {
+/// A worker whose respawn budget is exhausted leaves the pool: its current
+/// item has already been completed as `Faulted`; if it was the *last* alive
+/// worker, every queued item is completed as `Faulted` too (no one is left
+/// to run them), so handles and submitters never hang on a dead pool. The
+/// worker thread then returns normally — teardown joins it without
+/// re-raising anything, so `shutdown` after total pool death cannot hang or
+/// panic.
+fn leave_pool(shared: &Shared) {
     let orphans: Vec<Item> = {
         let mut sched = lock(&shared.sched);
         sched.alive -= 1;
@@ -588,16 +797,12 @@ fn abandon_worker(shared: &Shared, panic: Box<dyn std::any::Any + Send>) -> ! {
         post_outcome(
             shared,
             &item,
-            SampleOutcome {
-                witness: None,
-                stats: SampleStats {
-                    queue_wait,
-                    ..SampleStats::default()
-                },
-            },
+            SampleOutcome::faulted(SampleStats {
+                queue_wait,
+                ..SampleStats::default()
+            }),
         );
     }
-    std::panic::resume_unwind(panic);
 }
 
 /// A streaming handle to one in-flight request.
@@ -812,18 +1017,22 @@ mod tests {
     }
 
     #[test]
-    fn expired_request_budget_yields_bottom_outcomes() {
+    fn expired_request_budget_yields_typed_interrupted_outcomes() {
         let f = formula_with_count(9, 1);
         let service = SamplerService::new(
             UniGen::new(&f, UniGenConfig::default()).unwrap(),
             ServiceConfig::default().with_workers(2),
         );
-        // A zero budget is already expired when the first item starts.
+        // A zero budget is already expired when the first item starts: every
+        // outcome is a typed interruption, distinguishable from a genuine ⊥.
         let response = service
             .submit(SampleRequest::new(5, 3).with_budget(Duration::ZERO))
             .wait();
         assert_eq!(response.outcomes.len(), 5);
-        assert!(response.outcomes.iter().all(|o| !o.is_success()));
+        assert!(response
+            .outcomes
+            .iter()
+            .all(|o| !o.is_success() && o.kind == OutcomeKind::Interrupted));
         assert_eq!(response.aggregate_stats.bsat_calls, 0);
     }
 
@@ -872,10 +1081,7 @@ mod tests {
                     std::hint::spin_loop();
                 }
             }
-            SampleOutcome {
-                witness: None,
-                stats: SampleStats::default(),
-            }
+            SampleOutcome::bottom(SampleStats::default())
         }
 
         fn name(&self) -> &'static str {
@@ -956,10 +1162,7 @@ mod tests {
                 while !*open {
                     open = condvar.wait(open).unwrap();
                 }
-                SampleOutcome {
-                    witness: None,
-                    stats: SampleStats::default(),
-                }
+                SampleOutcome::bottom(SampleStats::default())
             }
             fn name(&self) -> &'static str {
                 "Gated"
@@ -999,7 +1202,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_sampler_never_strands_clients() {
+    fn panicking_sampler_never_strands_clients_and_shutdown_does_not_hang() {
         #[derive(Clone)]
         struct Panicky;
         impl WitnessSampler for Panicky {
@@ -1015,26 +1218,88 @@ mod tests {
             Panicky,
             ServiceConfig::default()
                 .with_workers(1)
-                .with_queue_capacity(1),
+                .with_queue_capacity(1)
+                .with_max_respawns(1),
         );
-        // The single worker panics on item 0, ⊥-completes it, and — being
-        // the last alive worker — drains items 1 and 2 as ⊥ too. wait()
-        // must return, not hang.
+        // The single worker panics on item 0, respawns once, panics again,
+        // completes the item as Faulted, and — being the last alive worker —
+        // drains items 1 and 2 as Faulted too. wait() must return, not hang.
         let response = service.submit(SampleRequest::new(3, 1)).wait();
         assert_eq!(response.outcomes.len(), 3);
-        assert!(response.outcomes.iter().all(|o| !o.is_success()));
+        assert!(response
+            .outcomes
+            .iter()
+            .all(|o| !o.is_success() && o.kind == OutcomeKind::Faulted));
         // The queue slot was released and the dead pool answers later
-        // requests immediately with all-⊥ responses.
+        // requests immediately with all-Faulted responses.
         assert_eq!(service.pending_requests(), 0);
         let response = service.submit(SampleRequest::new(2, 9)).wait();
         assert_eq!(response.outcomes.len(), 2);
-        assert!(response.outcomes.iter().all(|o| !o.is_success()));
-        // The original panic is not swallowed: it re-raises when the
-        // service joins the dead worker.
+        assert!(response
+            .outcomes
+            .iter()
+            .all(|o| !o.is_success() && o.kind == OutcomeKind::Faulted));
+        // The health snapshot records the carnage.
+        let health = service.health();
+        assert_eq!(health.alive_workers, 0);
+        assert!(!health.at_full_strength());
+        assert_eq!(health.worker_panics, 2);
+        assert_eq!(health.respawns, 1);
+        // Satellite regression: shutting down a service whose entire pool
+        // died must return cleanly — no hang, no re-raised panic at join.
         let teardown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             service.shutdown();
         }));
-        assert!(teardown.is_err(), "the worker panic must surface at join");
+        assert!(
+            teardown.is_ok(),
+            "shutdown after total pool death must not panic or hang"
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_with_a_typed_error() {
+        let f = formula_with_count(3, 0);
+        let sampler = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let err =
+            SamplerService::try_new(sampler.clone(), ServiceConfig::default().with_workers(0))
+                .expect_err("zero workers must be rejected");
+        assert_eq!(err, ServiceConfigError::ZeroWorkers);
+        // The legacy constructor keeps its documented clamp-to-one.
+        let service = SamplerService::new(sampler, ServiceConfig::default().with_workers(0));
+        assert_eq!(service.health().configured_workers, 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_respawns_and_reproduces_the_batch() {
+        use crate::WitnessSampler;
+        let f = formula_with_count(10, 3);
+        let prepared = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let serial = prepared.clone().sample_batch(8, 0xfee1);
+        // Worker 0 is scheduled to panic exactly once, on item 3. A single
+        // worker keeps the schedule deterministic: with more workers the
+        // item could be stolen and executed elsewhere, and the panic would
+        // never fire.
+        let plan = Arc::new(FaultPlan::seeded(0x9).panic_worker_at(0, 3));
+        let service = SamplerService::try_with_fault_plan(
+            prepared,
+            ServiceConfig::default().with_workers(1),
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+        let response = service.submit(SampleRequest::new(8, 0xfee1)).wait();
+        // The respawned sampler re-derived item 3's stream, so the batch is
+        // bit-identical to the undisturbed serial reference.
+        assert_eq!(witnesses_of(&response.outcomes), witnesses_of(&serial));
+        let health = service.health();
+        assert_eq!(health.worker_panics, 1);
+        assert_eq!(health.respawns, 1);
+        assert_eq!(health.item_retries, 1);
+        assert_eq!(health.faults_injected, 1);
+        assert_eq!(health.alive_workers, 1);
+        assert!(health.at_full_strength());
+        assert_eq!(plan.faults_injected(), 1);
+        // The retried item carries its retry count in the per-sample stats.
+        assert_eq!(response.aggregate_stats.retries, 1);
     }
 
     #[test]

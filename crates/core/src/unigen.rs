@@ -5,15 +5,18 @@ use std::time::Instant;
 
 use rand::{Rng, RngCore};
 
-use unigen_cnf::{CnfFormula, Model, Var};
+use unigen_cnf::{CnfFormula, Model, Var, XorClause};
 use unigen_counting::ApproxMc;
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{enumerate_cell, Solver, SolverStats};
+use unigen_satsolver::{
+    enumerate_cell, EnumerationOutcome, FaultHook, GaussMode, InterruptReason, Solver, SolverStats,
+};
 
 use crate::config::UniGenConfig;
 use crate::error::SamplerError;
+use crate::fault::FaultPlan;
 use crate::kappa_pivot::{compute_kappa_pivot, KappaPivot};
-use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
+use crate::sampler::{failed_outcome, OutcomeKind, SampleOutcome, SampleStats, WitnessSampler};
 
 /// What the one-off preparation phase (lines 1–11 of Algorithm 1) concluded
 /// about the formula.
@@ -61,6 +64,13 @@ pub struct UniGen {
     /// ever issues: hash layers and blocking clauses are guard-scoped per
     /// cell, while base-formula learned clauses and activities persist.
     solver: Solver,
+    /// The installed chaos-testing schedule, if any; doubles as the solver's
+    /// fault hook. `None` (the default) costs one pointer test per solve.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// A pristine post-preparation snapshot of the solver, kept only while a
+    /// fault plan is installed: the last rung of the degradation ladder
+    /// rebuilds the working solver from it when retries keep faulting.
+    pristine: Option<Box<Solver>>,
 }
 
 impl UniGen {
@@ -155,7 +165,23 @@ impl UniGen {
             family,
             mode,
             solver,
+            fault_plan: None,
+            pristine: None,
         })
+    }
+
+    /// Installs a seeded chaos-testing [`FaultPlan`]: the plan becomes the
+    /// persistent solver's fault hook, and a pristine snapshot of the solver
+    /// is kept so the degradation ladder can rebuild it from scratch if an
+    /// injected fault survives a retry. Installing a plan changes *which*
+    /// `BSAT` attempts run, but whenever the ladder's retries succeed the
+    /// projected witness sequence is bit-identical to the fault-free run
+    /// (the retry reuses the already-drawn hash, consuming no randomness).
+    pub fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.solver
+            .set_fault_hook(Some(plan.clone() as Arc<dyn FaultHook>));
+        self.pristine = Some(Box::new(self.solver.clone()));
+        self.fault_plan = Some(plan);
     }
 
     /// Returns the κ/pivot pair computed from the tolerance.
@@ -211,7 +237,7 @@ impl UniGen {
             PreparedMode::Enumerated { .. } => (0..count).map(|_| self.sample(rng)).collect(),
             PreparedMode::Hashed { q, .. } => {
                 let q = *q;
-                let (witnesses, stats) = self.collect_cell(q, rng);
+                let (witnesses, stats, failure) = self.collect_cell(q, rng);
                 match witnesses {
                     Some(mut cell) if !cell.is_empty() => {
                         // Uniform draw without replacement via a partial
@@ -223,16 +249,10 @@ impl UniGen {
                         }
                         cell.into_iter()
                             .take(take)
-                            .map(|witness| SampleOutcome {
-                                witness: Some(witness),
-                                stats,
-                            })
+                            .map(|witness| SampleOutcome::of_witness(witness, stats))
                             .collect()
                     }
-                    _ => vec![SampleOutcome {
-                        witness: None,
-                        stats,
-                    }],
+                    _ => vec![failed_outcome(failure, stats)],
                 }
             }
         }
@@ -241,25 +261,96 @@ impl UniGen {
     /// The per-sample part of Algorithm 1 in the general (hashed) case:
     /// lines 12–22.
     fn sample_hashed(&mut self, q: usize, rng: &mut dyn RngCore) -> SampleOutcome {
-        let (witnesses, stats) = self.collect_cell(q, rng);
+        let (witnesses, stats, failure) = self.collect_cell(q, rng);
         match witnesses {
             Some(cell) if !cell.is_empty() => {
                 let index = rng.gen_range(0..cell.len());
-                SampleOutcome {
-                    witness: Some(cell[index].clone()),
-                    stats,
-                }
+                SampleOutcome::of_witness(cell[index].clone(), stats)
             }
-            _ => SampleOutcome {
-                witness: None,
-                stats,
-            },
+            _ => failed_outcome(failure, stats),
         }
+    }
+
+    /// Issues one `BSAT` call on the persistent solver and folds the solver
+    /// work into `stats`.
+    fn run_bsat(
+        &mut self,
+        clauses: &[XorClause],
+        bound: usize,
+        stats: &mut SampleStats,
+    ) -> EnumerationOutcome {
+        let before = *self.solver.stats();
+        let outcome = enumerate_cell(
+            &mut self.solver,
+            &self.sampling_set,
+            clauses,
+            bound,
+            &self.config.bsat_budget,
+        );
+        let after = self.solver.stats();
+        stats.solver_propagations += after.propagations - before.propagations;
+        stats.solver_conflicts += after.conflicts - before.conflicts;
+        stats.bsat_calls += 1;
+        outcome
+    }
+
+    /// One cell enumeration behind the graceful-degradation ladder.
+    ///
+    /// A *fresh* cell is announced to the fault plan (so "fail the Nth BSAT
+    /// call" counts whole cells, not underlying solves); the ladder's
+    /// retries are deliberately not announced and therefore run fault-free.
+    /// The rungs, in order:
+    ///
+    /// 1. `GaussPoisoned` — retry the same cell with Gauss elimination off,
+    ///    then restore the mode (`degradations += 1`);
+    /// 2. `FaultInjected` — retry the same cell as-is (`retries += 1`);
+    /// 3. still faulted — rebuild the solver from the pristine snapshot and
+    ///    retry once more (`degradations += 1`).
+    ///
+    /// Every rung reuses the already-drawn hash, so no randomness is
+    /// consumed: when a retry succeeds the enumerated cell — and hence the
+    /// projected witness sequence — is bit-identical to the fault-free run.
+    fn enumerate_with_ladder(
+        &mut self,
+        clauses: &[XorClause],
+        bound: usize,
+        stats: &mut SampleStats,
+    ) -> EnumerationOutcome {
+        if let Some(plan) = &self.fault_plan {
+            plan.begin_bsat();
+        }
+        let mut outcome = self.run_bsat(clauses, bound, stats);
+        if outcome.interrupted == Some(InterruptReason::GaussPoisoned) {
+            stats.faults_injected += 1;
+            stats.degradations += 1;
+            let saved = self.solver.gauss_mode();
+            self.solver.set_gauss_mode(GaussMode::Off);
+            outcome = self.run_bsat(clauses, bound, stats);
+            self.solver.set_gauss_mode(saved);
+        }
+        if outcome.interrupted == Some(InterruptReason::FaultInjected) {
+            stats.faults_injected += 1;
+            stats.retries += 1;
+            outcome = self.run_bsat(clauses, bound, stats);
+        }
+        if matches!(outcome.interrupted, Some(reason) if reason.is_fault()) {
+            if let Some(pristine) = &self.pristine {
+                stats.faults_injected += 1;
+                stats.degradations += 1;
+                self.solver = (**pristine).clone();
+                outcome = self.run_bsat(clauses, bound, stats);
+            }
+        }
+        outcome
     }
 
     /// Runs lines 12–17 of Algorithm 1: searches the candidate hash widths
     /// for a cell whose size lies in `[loThresh, hiThresh]` and returns its
-    /// witnesses (or `None` on failure), together with the work statistics.
+    /// witnesses (or `None` on failure), together with the work statistics
+    /// and — when no cell was accepted — the [`OutcomeKind`] the failure
+    /// should be reported as (`Bottom` when every width genuinely missed the
+    /// threshold window, `Interrupted`/`Faulted` when the scan gave up on an
+    /// interruption the retry bound could not absorb).
     ///
     /// Per lines 12–17, the scan stops at the *first* accepted width: once a
     /// cell lands in `[loThresh, hiThresh]` no further width is tried and no
@@ -270,7 +361,7 @@ impl UniGen {
         &mut self,
         q: usize,
         rng: &mut dyn RngCore,
-    ) -> (Option<Vec<Model>>, SampleStats) {
+    ) -> (Option<Vec<Model>>, SampleStats, OutcomeKind) {
         let started = Instant::now();
         let mut stats = SampleStats::default();
         let lo = self.kappa_pivot.lo_thresh();
@@ -288,6 +379,7 @@ impl UniGen {
             stats.width_window_clamped += 1;
         }
         let mut chosen: Option<Vec<Model>> = None;
+        let mut failure = OutcomeKind::Bottom;
         'widths: for width in start..=end {
             let mut attempts = 0usize;
             loop {
@@ -299,24 +391,21 @@ impl UniGen {
                 // One guarded cell on the persistent solver: the hash layer
                 // and the enumeration's blocking clauses are retired when
                 // the call returns, so no fresh solver is ever built here.
-                let before = *self.solver.stats();
-                let outcome = enumerate_cell(
-                    &mut self.solver,
-                    &self.sampling_set,
-                    &clauses,
-                    hi_count + 1,
-                    &self.config.bsat_budget,
-                );
-                let after = self.solver.stats();
-                stats.solver_propagations += after.propagations - before.propagations;
-                stats.solver_conflicts += after.conflicts - before.conflicts;
-                stats.bsat_calls += 1;
+                let outcome = self.enumerate_with_ladder(&clauses, hi_count + 1, &mut stats);
 
-                if outcome.budget_exhausted {
-                    // Paper: repeat lines 14–16 with fresh randomness without
-                    // advancing i (bounded here by `bsat_retries`).
+                if let Some(reason) = outcome.interrupted {
+                    // A budget fired (or a fault survived the whole ladder):
+                    // the call says nothing about the cell. Paper: repeat
+                    // lines 14–16 with fresh randomness without advancing i
+                    // (bounded here by `bsat_retries`).
+                    stats.interrupted_cells += 1;
                     attempts += 1;
                     if attempts > self.config.bsat_retries {
+                        failure = if reason.is_fault() {
+                            OutcomeKind::Faulted
+                        } else {
+                            OutcomeKind::Interrupted
+                        };
                         break 'widths;
                     }
                     continue;
@@ -340,7 +429,7 @@ impl UniGen {
             crate::sampler::sort_witnesses_canonically(cell, &self.sampling_set);
         }
         stats.wall_time = started.elapsed();
-        (chosen, stats)
+        (chosen, stats, failure)
     }
 }
 
@@ -351,13 +440,13 @@ impl WitnessSampler for UniGen {
                 let started = Instant::now();
                 let index = rng.gen_range(0..witnesses.len());
                 let witness = witnesses[index].clone();
-                SampleOutcome {
-                    witness: Some(witness),
-                    stats: SampleStats {
+                SampleOutcome::of_witness(
+                    witness,
+                    SampleStats {
                         wall_time: started.elapsed(),
                         ..SampleStats::default()
                     },
-                }
+                )
             }
             PreparedMode::Hashed { q, .. } => {
                 let q = *q;
@@ -588,7 +677,7 @@ mod tests {
         let mut rng = seeded_rng(17);
         let mut first_width_accepts = 0;
         for _ in 0..10 {
-            let (cell, stats) = sampler.collect_cell(2, &mut rng);
+            let (cell, stats, _) = sampler.collect_cell(2, &mut rng);
             if let Some(cell) = cell {
                 if cell.len() == 32 {
                     first_width_accepts += 1;
@@ -615,7 +704,7 @@ mod tests {
         let mut rng = seeded_rng(19);
         let mut checked = 0;
         for _ in 0..5 {
-            if let (Some(cell), _) = sampler.collect_cell(2, &mut rng) {
+            if let (Some(cell), _, _) = sampler.collect_cell(2, &mut rng) {
                 let indices: Vec<u64> = cell
                     .iter()
                     .map(|w| w.project(&sampling).as_index())
@@ -635,14 +724,14 @@ mod tests {
         // q far beyond |S| + 3: the window {q−3, …, q} contains no
         // representable width, so before the clamp the loop body never ran
         // and the scan reported ⊥ with zero solver work.
-        let (_, stats) = sampler.collect_cell(64, &mut rng);
+        let (_, stats, _) = sampler.collect_cell(64, &mut rng);
         assert_eq!(stats.width_window_clamped, 1);
         assert!(
             stats.bsat_calls >= 1,
             "a clamped window must still issue solver work"
         );
         // The ordinary window is untouched by the clamp accounting.
-        let (_, stats) = sampler.collect_cell(2, &mut rng);
+        let (_, stats, _) = sampler.collect_cell(2, &mut rng);
         assert_eq!(stats.width_window_clamped, 0);
     }
 
@@ -670,6 +759,74 @@ mod tests {
         let sampling: Vec<Var> = (0..4).map(Var::new).collect();
         let sampler = UniGen::with_sampling_set(&f, &sampling, UniGenConfig::default()).unwrap();
         assert_eq!(sampler.sampling_set(), sampling.as_slice());
+    }
+
+    /// Folds a batch's stats into one accumulator.
+    fn total_stats(outcomes: &[SampleOutcome]) -> SampleStats {
+        let mut acc = SampleStats::default();
+        for outcome in outcomes {
+            acc.accumulate(&outcome.stats);
+        }
+        acc
+    }
+
+    #[test]
+    fn injected_bsat_fault_is_retried_to_a_bit_identical_batch() {
+        let f = formula_with_count(10, 4);
+        let mut clean = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut chaotic = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let plan = Arc::new(FaultPlan::seeded(9).fail_nth_bsat(1));
+        chaotic.install_fault_plan(plan.clone());
+
+        let reference = clean.sample_batch(4, 0xabc);
+        let faulted = chaotic.sample_batch(4, 0xabc);
+        let witnesses =
+            |outs: &[SampleOutcome]| outs.iter().map(|o| o.witness.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            witnesses(&reference),
+            witnesses(&faulted),
+            "a retried fault must reproduce the fault-free witness sequence"
+        );
+        assert_eq!(plan.faults_injected(), 1);
+
+        let total = total_stats(&faulted);
+        assert_eq!(total.retries, 1);
+        assert_eq!(total.faults_injected, 1);
+        let clean_total = total_stats(&reference);
+        assert_eq!(clean_total.faults_injected, 0);
+        assert_eq!(clean_total.retries, 0);
+        // The faulted attempt itself costs exactly one extra BSAT call.
+        assert_eq!(total.bsat_calls, clean_total.bsat_calls + 1);
+        // Guard accounting stays balanced across the injected fault.
+        let stats = chaotic.solver_stats();
+        assert_eq!(stats.guards_created, stats.guards_retired);
+    }
+
+    #[test]
+    fn poisoned_gauss_seal_degrades_to_gauss_off_and_recovers() {
+        let f = formula_with_count(10, 4);
+        let mut clean = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut chaotic = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let plan = Arc::new(FaultPlan::seeded(4).poison_nth_gauss_seal(1));
+        chaotic.install_fault_plan(plan.clone());
+
+        let reference = clean.sample_batch(3, 77);
+        let degraded = chaotic.sample_batch(3, 77);
+        let witnesses =
+            |outs: &[SampleOutcome]| outs.iter().map(|o| o.witness.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            witnesses(&reference),
+            witnesses(&degraded),
+            "the Gauss-off retry must enumerate the same cell"
+        );
+        assert_eq!(plan.faults_injected(), 1);
+
+        let total = total_stats(&degraded);
+        assert_eq!(total.degradations, 1);
+        assert_eq!(total.faults_injected, 1);
+        assert_eq!(total_stats(&reference).degradations, 0);
+        let stats = chaotic.solver_stats();
+        assert_eq!(stats.guards_created, stats.guards_retired);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use unigen_hashing::XorHashFamily;
 use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 use crate::error::SamplerError;
-use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
+use crate::sampler::{failed_outcome, OutcomeKind, SampleOutcome, SampleStats, WitnessSampler};
 
 /// Configuration of [`UniWit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -147,23 +147,29 @@ impl WitnessSampler for UniWit {
         stats.solver_propagations += self.solver.stats().propagations - before.propagations;
         stats.solver_conflicts += self.solver.stats().conflicts - before.conflicts;
         stats.bsat_calls += 1;
-        if !base.budget_exhausted && base.len() <= pivot {
+        if base.interrupted.is_some() {
+            // An interrupted probe says nothing about the formula's size;
+            // fall through to the width search rather than misreading the
+            // partial enumeration as "small".
+            stats.interrupted_cells += 1;
+        } else if base.len() <= pivot {
             stats.wall_time = started.elapsed();
-            let witness = if base.is_empty() {
-                None
-            } else {
-                // Canonical order first: the accepted enumeration here is
-                // exhaustive, so sorting makes the uniform pick independent
-                // of solver heuristic state (the parallel determinism
-                // contract).
-                let mut cell = base.witnesses;
-                crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
-                Some(cell[rng.gen_range(0..cell.len())].clone())
-            };
-            return SampleOutcome { witness, stats };
+            if base.is_empty() {
+                // The formula is unsatisfiable: a *definite* ⊥.
+                return SampleOutcome::bottom(stats);
+            }
+            // Canonical order first: the accepted enumeration here is
+            // exhaustive, so sorting makes the uniform pick independent
+            // of solver heuristic state (the parallel determinism
+            // contract).
+            let mut cell = base.witnesses;
+            crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
+            let witness = cell[rng.gen_range(0..cell.len())].clone();
+            return SampleOutcome::of_witness(witness, stats);
         }
 
         // Sequential search over hash widths, afresh for every sample.
+        let mut failure = OutcomeKind::Bottom;
         for width in 1..=max_width {
             let hash = self.family.sample(width, rng);
             let clauses = hash.to_xor_clauses();
@@ -181,9 +187,17 @@ impl WitnessSampler for UniWit {
             stats.solver_propagations += self.solver.stats().propagations - before.propagations;
             stats.solver_conflicts += self.solver.stats().conflicts - before.conflicts;
             stats.bsat_calls += 1;
-            if outcome.budget_exhausted {
-                // A timed-out BSAT call fails this sample, as in the paper's
-                // UniWit runs that produced "—" table entries.
+            if let Some(reason) = outcome.interrupted {
+                // An interrupted BSAT call fails this sample, as in the
+                // paper's UniWit runs that produced "—" table entries — but
+                // it is reported as *interrupted* (or faulted), not as the
+                // definite ⊥ it used to be conflated with.
+                stats.interrupted_cells += 1;
+                failure = if reason.is_fault() {
+                    OutcomeKind::Faulted
+                } else {
+                    OutcomeKind::Interrupted
+                };
                 break;
             }
             let size = outcome.len();
@@ -195,10 +209,7 @@ impl WitnessSampler for UniWit {
                 let mut cell = outcome.witnesses;
                 crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
                 let witness = cell[rng.gen_range(0..size)].clone();
-                return SampleOutcome {
-                    witness: Some(witness),
-                    stats,
-                };
+                return SampleOutcome::of_witness(witness, stats);
             }
             if size == 0 {
                 // Overshot: the cell is empty, give up on this sample.
@@ -207,10 +218,7 @@ impl WitnessSampler for UniWit {
         }
 
         stats.wall_time = started.elapsed();
-        SampleOutcome {
-            witness: None,
-            stats,
-        }
+        failed_outcome(failure, stats)
     }
 
     fn name(&self) -> &'static str {
@@ -298,6 +306,25 @@ mod tests {
             UniWit::new(&f, UniWitConfig::default()),
             Err(SamplerError::EmptySamplingSet)
         ));
+    }
+
+    #[test]
+    fn budget_interruption_is_typed_not_bottom() {
+        // A step limit of zero interrupts every BSAT call immediately. The
+        // sampler must report the sample as *interrupted*, not as the
+        // definite ⊥ the pre-typed code returned for both conditions.
+        let f = formula_with_count(8, 4);
+        let config = UniWitConfig {
+            bsat_budget: Budget::new().with_step_limit(0),
+            ..UniWitConfig::default()
+        };
+        let mut sampler = UniWit::new(&f, config).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let outcome = sampler.sample(&mut rng);
+        assert_eq!(outcome.kind, OutcomeKind::Interrupted);
+        assert!(outcome.witness.is_none());
+        // Both the base probe and the first width's call were interrupted.
+        assert_eq!(outcome.stats.interrupted_cells, 2);
     }
 
     #[test]

@@ -138,13 +138,13 @@ impl WitnessSampler for UniformSampler {
             .as_ref()
             .expect("UniformSampler::with_witnesses is required for model sampling");
         let index = rng.gen_range(0..witnesses.len());
-        SampleOutcome {
-            witness: Some(witnesses[index].clone()),
-            stats: SampleStats {
+        SampleOutcome::of_witness(
+            witnesses[index].clone(),
+            SampleStats {
                 wall_time: started.elapsed(),
                 ..SampleStats::default()
             },
-        }
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -20,7 +20,7 @@ use unigen_hashing::XorHashFamily;
 use unigen_satsolver::{enumerate_cell, Budget, Solver};
 
 use crate::error::SamplerError;
-use crate::sampler::{SampleOutcome, SampleStats, WitnessSampler};
+use crate::sampler::{failed_outcome, OutcomeKind, SampleOutcome, SampleStats, WitnessSampler};
 
 /// Configuration of [`XorSamplePrime`].
 #[derive(Debug, Clone, PartialEq)]
@@ -129,24 +129,30 @@ impl WitnessSampler for XorSamplePrime {
         stats.bsat_calls += 1;
         stats.wall_time = started.elapsed();
 
-        // Fail on timeouts, empty cells and oversized cells alike: without an
+        // An interruption fails the sample but is reported as such: unlike
+        // an empty or oversized cell it says nothing about whether the
+        // chosen width was sensible.
+        if let Some(reason) = outcome.interrupted {
+            stats.interrupted_cells += 1;
+            let kind = if reason.is_fault() {
+                OutcomeKind::Faulted
+            } else {
+                OutcomeKind::Interrupted
+            };
+            return failed_outcome(kind, stats);
+        }
+        // Empty and oversized cells are definite ⊥ outcomes: without an
         // estimate of |R_F| there is no way to tell whether the chosen width
         // was sensible.
-        if outcome.budget_exhausted || outcome.is_empty() || outcome.len() > self.config.cell_cap {
-            return SampleOutcome {
-                witness: None,
-                stats,
-            };
+        if outcome.is_empty() || outcome.len() > self.config.cell_cap {
+            return SampleOutcome::bottom(stats);
         }
         // Canonical order first, so the uniform pick is independent of solver
         // heuristic state (the parallel determinism contract).
         let mut cell = outcome.witnesses;
         crate::sampler::sort_witnesses_canonically(&mut cell, &self.support);
         let witness = cell[rng.gen_range(0..cell.len())].clone();
-        SampleOutcome {
-            witness: Some(witness),
-            stats,
-        }
+        SampleOutcome::of_witness(witness, stats)
     }
 
     fn name(&self) -> &'static str {

@@ -23,7 +23,10 @@
 //! same generators as `proptest` strategies for property tests, and [`fuzz`]
 //! builds the differential harness that cross-checks the incremental solver
 //! (Gauss on/off), scratch enumeration, a brute-force oracle, and the
-//! sampler service over generated instances.
+//! sampler service over generated instances. The [`chaos`] module layers a
+//! seeded [`unigen::FaultPlan`] on top of the same corpus and checks that
+//! the recovery ladder and worker-respawn path absorb every injected fault
+//! without perturbing the witness sequence.
 
 use unigen_cnf::CnfFormula;
 
@@ -31,6 +34,7 @@ mod scale_free;
 mod sgen;
 mod triangle_free;
 
+pub mod chaos;
 pub mod fuzz;
 pub mod strategy;
 

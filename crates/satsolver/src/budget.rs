@@ -2,12 +2,20 @@
 
 use std::time::{Duration, Instant};
 
+use crate::fault::InterruptReason;
+
 /// A resource budget for a single `solve` or enumeration call.
 ///
 /// The paper's experimental setup imposes a 2 500 s timeout on every `BSAT`
 /// invocation and 20 h overall; this type is the laptop-scale equivalent.
-/// A budget can bound wall-clock time, the number of conflicts, or both;
-/// the default budget is unlimited.
+/// A budget can bound wall-clock time, the number of conflicts, the number
+/// of deterministic search *steps* (propagations + decisions — the
+/// host-independent analogue of a timeout), or any combination; the default
+/// budget is unlimited.
+///
+/// A fired budget surfaces as [`crate::SolveResult::Interrupted`] with the
+/// matching [`InterruptReason`], and the solver is left consistent at
+/// decision level zero so the call can simply be retried.
 ///
 /// # Example
 ///
@@ -17,6 +25,7 @@ use std::time::{Duration, Instant};
 ///
 /// let budget = Budget::new()
 ///     .with_conflict_limit(10_000)
+///     .with_step_limit(1_000_000)
 ///     .with_time_limit(Duration::from_millis(500));
 /// assert!(!budget.is_unlimited());
 /// ```
@@ -24,6 +33,7 @@ use std::time::{Duration, Instant};
 pub struct Budget {
     conflict_limit: Option<u64>,
     time_limit: Option<Duration>,
+    step_limit: Option<u64>,
 }
 
 impl Budget {
@@ -44,6 +54,16 @@ impl Budget {
         self
     }
 
+    /// Returns a copy of this budget with a deterministic step limit. A
+    /// step is one propagated literal or one branching decision, so the
+    /// count advances identically on every host — unlike the wall-clock
+    /// limit, a step-limited run interrupts at the same point everywhere,
+    /// which is what the chaos harness replays.
+    pub fn with_step_limit(mut self, steps: u64) -> Self {
+        self.step_limit = Some(steps);
+        self
+    }
+
     /// Returns the conflict limit, if any.
     pub fn conflict_limit(&self) -> Option<u64> {
         self.conflict_limit
@@ -54,9 +74,14 @@ impl Budget {
         self.time_limit
     }
 
-    /// Returns `true` if neither a conflict nor a time limit is set.
+    /// Returns the step limit, if any.
+    pub fn step_limit(&self) -> Option<u64> {
+        self.step_limit
+    }
+
+    /// Returns `true` if no conflict, time or step limit is set.
     pub fn is_unlimited(&self) -> bool {
-        self.conflict_limit.is_none() && self.time_limit.is_none()
+        self.conflict_limit.is_none() && self.time_limit.is_none() && self.step_limit.is_none()
     }
 
     /// Starts metering this budget.
@@ -65,6 +90,7 @@ impl Budget {
             budget: *self,
             started: Instant::now(),
             conflicts_at_start: 0,
+            steps_at_start: 0,
         }
     }
 }
@@ -75,6 +101,7 @@ pub(crate) struct BudgetMeter {
     budget: Budget,
     started: Instant,
     conflicts_at_start: u64,
+    steps_at_start: u64,
 }
 
 impl BudgetMeter {
@@ -82,20 +109,35 @@ impl BudgetMeter {
         self.conflicts_at_start = conflicts;
     }
 
-    /// Returns `true` if the budget is exhausted given the solver's total
-    /// conflict count.
-    pub(crate) fn exhausted(&self, total_conflicts: u64) -> bool {
+    pub(crate) fn set_step_baseline(&mut self, steps: u64) {
+        self.steps_at_start = steps;
+    }
+
+    /// Returns the typed reason the budget is exhausted, given the solver's
+    /// total conflict and step counts, or `None` while headroom remains.
+    /// Deterministic limits (conflicts, steps) are checked before the
+    /// wall clock so replayed runs interrupt for the same reason.
+    pub(crate) fn exhausted(
+        &self,
+        total_conflicts: u64,
+        total_steps: u64,
+    ) -> Option<InterruptReason> {
         if let Some(limit) = self.budget.conflict_limit {
             if total_conflicts.saturating_sub(self.conflicts_at_start) >= limit {
-                return true;
+                return Some(InterruptReason::ConflictLimit);
+            }
+        }
+        if let Some(limit) = self.budget.step_limit {
+            if total_steps.saturating_sub(self.steps_at_start) >= limit {
+                return Some(InterruptReason::StepLimit);
             }
         }
         if let Some(limit) = self.budget.time_limit {
             if self.started.elapsed() >= limit {
-                return true;
+                return Some(InterruptReason::TimeLimit);
             }
         }
-        false
+        None
     }
 }
 
@@ -107,6 +149,7 @@ mod tests {
     fn default_budget_is_unlimited() {
         assert!(Budget::new().is_unlimited());
         assert!(!Budget::new().with_conflict_limit(1).is_unlimited());
+        assert!(!Budget::new().with_step_limit(1).is_unlimited());
     }
 
     #[test]
@@ -114,9 +157,38 @@ mod tests {
         let budget = Budget::new().with_conflict_limit(10);
         let mut meter = budget.start();
         meter.set_conflict_baseline(100);
-        assert!(!meter.exhausted(105));
-        assert!(meter.exhausted(110));
-        assert!(meter.exhausted(200));
+        assert_eq!(meter.exhausted(105, 0), None);
+        assert_eq!(
+            meter.exhausted(110, 0),
+            Some(InterruptReason::ConflictLimit)
+        );
+        assert_eq!(
+            meter.exhausted(200, 0),
+            Some(InterruptReason::ConflictLimit)
+        );
+    }
+
+    #[test]
+    fn step_limit_is_relative_to_baseline() {
+        let budget = Budget::new().with_step_limit(50);
+        let mut meter = budget.start();
+        meter.set_step_baseline(1000);
+        assert_eq!(meter.exhausted(0, 1049), None);
+        assert_eq!(meter.exhausted(0, 1050), Some(InterruptReason::StepLimit));
+    }
+
+    #[test]
+    fn deterministic_limits_win_over_the_clock() {
+        // Conflict and step limits are reported before the (already
+        // expired) time limit, so a replay on a slower host interrupts for
+        // the same reason.
+        let budget = Budget::new()
+            .with_step_limit(1)
+            .with_time_limit(Duration::from_millis(0));
+        let meter = budget.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(meter.exhausted(0, 1), Some(InterruptReason::StepLimit));
+        assert_eq!(meter.exhausted(0, 0), Some(InterruptReason::TimeLimit));
     }
 
     #[test]
@@ -124,12 +196,12 @@ mod tests {
         let budget = Budget::new().with_time_limit(Duration::from_millis(0));
         let meter = budget.start();
         std::thread::sleep(Duration::from_millis(2));
-        assert!(meter.exhausted(0));
+        assert_eq!(meter.exhausted(0, 0), Some(InterruptReason::TimeLimit));
     }
 
     #[test]
     fn unlimited_budget_never_exhausts() {
         let meter = Budget::new().start();
-        assert!(!meter.exhausted(u64::MAX));
+        assert_eq!(meter.exhausted(u64::MAX, u64::MAX), None);
     }
 }

@@ -1,5 +1,9 @@
 //! Solver configuration.
 
+use std::sync::Arc;
+
+use crate::fault::FaultHook;
+
 /// How the solver propagates *guarded* xor layers (hash cells).
 ///
 /// Unguarded xor constraints always use the watched-variable engine; this
@@ -37,7 +41,7 @@ pub enum GaussMode {
 /// };
 /// assert_eq!(config.restart_interval, 64);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Base number of conflicts between Luby restarts.
     pub restart_interval: u64,
@@ -65,6 +69,33 @@ pub struct SolverConfig {
     /// Minimum number of rows a guarded layer needs before
     /// [`GaussMode::Auto`] compiles it into a matrix.
     pub gauss_auto_threshold: usize,
+    /// Injectable fault oracle consulted at solve/search/seal boundaries
+    /// (see [`FaultHook`]); `None` — the default — costs one pointer test
+    /// per search-loop iteration and injects nothing.
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
+}
+
+// `Arc<dyn FaultHook>` has no structural equality; two configs are equal
+// when they share the same hook instance (or both have none) — identity is
+// the right notion for an injected oracle with internal counters.
+impl PartialEq for SolverConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let hooks_equal = match (&self.fault_hook, &other.fault_hook) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        hooks_equal
+            && self.restart_interval == other.restart_interval
+            && self.var_decay == other.var_decay
+            && self.clause_decay == other.clause_decay
+            && self.learned_clause_limit == other.learned_clause_limit
+            && self.learned_clause_growth == other.learned_clause_growth
+            && self.default_polarity == other.default_polarity
+            && self.seed == other.seed
+            && self.gauss == other.gauss
+            && self.gauss_auto_threshold == other.gauss_auto_threshold
+    }
 }
 
 impl Default for SolverConfig {
@@ -79,6 +110,7 @@ impl Default for SolverConfig {
             seed: 0x5eed_cafe,
             gauss: GaussMode::Auto,
             gauss_auto_threshold: 2,
+            fault_hook: None,
         }
     }
 }
@@ -96,5 +128,33 @@ mod tests {
         assert!(c.learned_clause_growth > 1.0);
         assert_eq!(c.gauss, GaussMode::Auto);
         assert!(c.gauss_auto_threshold >= 1);
+        assert!(c.fault_hook.is_none());
+    }
+
+    #[test]
+    fn fault_hooks_compare_by_identity() {
+        use crate::fault::FaultSite;
+
+        #[derive(Debug)]
+        struct Never;
+        impl FaultHook for Never {
+            fn trip(&self, _site: FaultSite) -> bool {
+                false
+            }
+        }
+
+        let hook: Arc<dyn FaultHook> = Arc::new(Never);
+        let a = SolverConfig {
+            fault_hook: Some(Arc::clone(&hook)),
+            ..SolverConfig::default()
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c = SolverConfig {
+            fault_hook: Some(Arc::new(Never)),
+            ..SolverConfig::default()
+        };
+        assert_ne!(a, c);
+        assert_ne!(a, SolverConfig::default());
     }
 }

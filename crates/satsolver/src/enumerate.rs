@@ -23,6 +23,7 @@
 use unigen_cnf::{Model, Var, XorClause};
 
 use crate::budget::Budget;
+use crate::fault::InterruptReason;
 use crate::solver::{Guard, SolveResult, Solver};
 
 /// Outcome of a bounded enumeration call.
@@ -33,10 +34,16 @@ pub struct EnumerationOutcome {
     /// `true` if enumeration stopped because the bound was reached (there may
     /// be more witnesses).
     pub bound_reached: bool,
-    /// `true` if the per-call budget ran out before the enumeration finished;
-    /// the witnesses found so far are still returned, mirroring how the
-    /// paper's experiments treat `BSAT` timeouts.
+    /// `true` if a solver call was interrupted (budget or injected fault)
+    /// before the enumeration finished; the witnesses found so far are
+    /// still returned, mirroring how the paper's experiments treat `BSAT`
+    /// timeouts. The typed reason is in
+    /// [`EnumerationOutcome::interrupted`].
     pub budget_exhausted: bool,
+    /// Why the enumeration was interrupted, if it was; `None` when the
+    /// call ran to completion (bound reached or cell drained). The solver
+    /// was left consistent, so the same call may simply be retried.
+    pub interrupted: Option<InterruptReason>,
 }
 
 impl EnumerationOutcome {
@@ -51,10 +58,10 @@ impl EnumerationOutcome {
     }
 
     /// Returns `true` if the enumeration is exact, i.e. it neither hit the
-    /// bound nor ran out of budget, so `witnesses` is the complete list of
+    /// bound nor was interrupted, so `witnesses` is the complete list of
     /// solutions (projected on the sampling set).
     pub fn is_exhaustive(&self) -> bool {
-        !self.bound_reached && !self.budget_exhausted
+        !self.bound_reached && self.interrupted.is_none()
     }
 }
 
@@ -143,14 +150,15 @@ impl<'s> Enumerator<'s> {
     }
 
     /// Produces the next witness (distinct on the sampling set from all
-    /// previously produced ones), or `None` if none remains or the budget ran
-    /// out.
+    /// previously produced ones), or `None` if none remains or the call was
+    /// interrupted.
     ///
-    /// The second component of the pair is `true` when the budget was
-    /// exhausted (so `None` does not mean "no more witnesses").
-    pub fn next_witness(&mut self, budget: &Budget) -> (Option<Model>, bool) {
+    /// The second component of the pair is the typed interruption reason
+    /// when the underlying solve was interrupted (so `None` does not mean
+    /// "no more witnesses"); the call may be retried.
+    pub fn next_witness(&mut self, budget: &Budget) -> (Option<Model>, Option<InterruptReason>) {
         if self.exhausted {
-            return (None, false);
+            return (None, None);
         }
         let assumptions: Vec<_> = self.guard.iter().map(|g| g.assumption()).collect();
         match self
@@ -168,16 +176,23 @@ impl<'s> Enumerator<'s> {
                 // the descent below it for the next witness.
                 self.solver.block_and_continue(blocking);
                 self.warm = true;
-                (Some(model), false)
+                (Some(model), None)
             }
             SolveResult::Unsat => {
                 self.exhausted = true;
                 self.warm = false;
-                (None, false)
+                (None, None)
+            }
+            SolveResult::Interrupted(reason) => {
+                // The solver unwound to level zero; a retry re-descends
+                // cold but the already-installed blocking clauses keep the
+                // witness sequence aligned with an uninterrupted run.
+                self.warm = false;
+                (None, Some(reason))
             }
             SolveResult::Unknown => {
                 self.warm = false;
-                (None, true)
+                (None, Some(InterruptReason::FaultInjected))
             }
         }
     }
@@ -186,22 +201,23 @@ impl<'s> Enumerator<'s> {
     /// underlying solver call.
     pub fn run(&mut self, bound: usize, budget: &Budget) -> EnumerationOutcome {
         let mut witnesses = Vec::new();
-        let mut budget_exhausted = false;
+        let mut interrupted = None;
         while witnesses.len() < bound {
             match self.next_witness(budget) {
                 (Some(model), _) => witnesses.push(model),
-                (None, true) => {
-                    budget_exhausted = true;
+                (None, Some(reason)) => {
+                    interrupted = Some(reason);
                     break;
                 }
-                (None, false) => break,
+                (None, None) => break,
             }
         }
         let bound_reached = witnesses.len() >= bound && !self.exhausted;
         EnumerationOutcome {
             witnesses,
             bound_reached,
-            budget_exhausted,
+            budget_exhausted: interrupted.is_some(),
+            interrupted,
         }
     }
 }
@@ -440,6 +456,66 @@ mod tests {
         }
         assert_eq!(sets[0], sets[1]);
         assert_eq!(sets[1], sets[2]);
+    }
+
+    #[test]
+    fn interrupted_enumeration_resumes_to_the_same_witness_set() {
+        // The fault-tolerance contract: a step-limited enumeration that is
+        // interrupted mid-cell can simply keep retrying (with an escalating
+        // limit, so it terminates) and ends up with exactly the witness set
+        // of an uninterrupted run — the blocking clauses installed before
+        // each interruption survive, so nothing is re-enumerated.
+        let mut f = CnfFormula::new(4);
+        f.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+            .unwrap();
+        f.add_xor_clause(XorClause::from_dimacs([3, 4], true))
+            .unwrap();
+        let sampling = all_vars(4);
+
+        let mut reference_solver = Solver::from_formula(&f);
+        let reference = enumerate_cell(
+            &mut reference_solver,
+            &sampling,
+            &[XorClause::from_dimacs([1, 4], false)],
+            100,
+            &Budget::new(),
+        );
+        assert!(reference.is_exhaustive());
+
+        let mut solver = Solver::from_formula(&f);
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 4], false), guard);
+        let mut witnesses = Vec::new();
+        let mut interruptions = 0;
+        {
+            let mut enumerator = Enumerator::under_guard(&mut solver, sampling.clone(), guard);
+            let mut steps = 1u64;
+            loop {
+                match enumerator.next_witness(&Budget::new().with_step_limit(steps)) {
+                    (Some(model), _) => witnesses.push(model),
+                    (None, Some(reason)) => {
+                        assert_eq!(reason, InterruptReason::StepLimit);
+                        interruptions += 1;
+                        steps *= 2;
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        solver.retire_guard(guard);
+        assert!(interruptions > 0, "the schedule never interrupted");
+
+        let got: HashSet<_> = witnesses.iter().map(|w| w.project(&sampling)).collect();
+        let want: HashSet<_> = reference
+            .witnesses
+            .iter()
+            .map(|w| w.project(&sampling))
+            .collect();
+        assert_eq!(got, want);
+        // Guard accounting balanced, no residue left behind.
+        assert_eq!(solver.stats().guards_created, solver.stats().guards_retired);
+        let base = enumerate_cell(&mut solver, &sampling, &[], 100, &Budget::new());
+        assert_eq!(base.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Deterministic fault injection for the solver.
+//!
+//! The paper's experimental discipline is built on budgets (a 2 500 s
+//! timeout on every `BSAT` invocation, 20 h overall), and production
+//! sampling workloads are dominated by retried / re-budgeted `BSAT` calls.
+//! Exercising those paths requires *making* calls fail on demand: a
+//! [`FaultHook`] is an injectable oracle the solver consults at its
+//! solve/propagation boundaries, and a tripped hook turns the call into a
+//! typed [`crate::SolveResult::Interrupted`] outcome — exactly the shape a
+//! genuine budget exhaustion takes, so the recovery ladder above the solver
+//! is tested against the same state machine it runs in production.
+//!
+//! The default is no hook at all ([`crate::SolverConfig::fault_hook`] is
+//! `None`), which costs a single pointer test per search-loop iteration —
+//! the bench gates in CI pin that the hot path does not regress.
+
+use std::fmt;
+
+/// Why a solve call stopped without reaching a definite answer.
+///
+/// Carried by [`crate::SolveResult::Interrupted`] and
+/// [`crate::EnumerationOutcome::interrupted`]. The first three reasons are
+/// produced by [`crate::Budget`] limits, the last two by an injected
+/// [`FaultHook`]. In every case the solver is left at decision level zero
+/// with its trail, guards and learned clauses consistent, so the caller may
+/// simply retry the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The budget's conflict limit fired.
+    ConflictLimit,
+    /// The budget's wall-clock limit fired. (The only host-dependent
+    /// reason; prefer [`crate::Budget::with_step_limit`] for reproducible
+    /// interruption schedules.)
+    TimeLimit,
+    /// The budget's deterministic step limit (propagations + decisions)
+    /// fired.
+    StepLimit,
+    /// An injected fault tripped at a solve or search boundary.
+    FaultInjected,
+    /// An injected fault poisoned a Gauss–Jordan seal: the pending guarded
+    /// xor layers were *not* compiled (they stay pending), so the caller
+    /// can retry — typically with Gauss elimination disabled.
+    GaussPoisoned,
+}
+
+impl InterruptReason {
+    /// Returns `true` if the reason is a genuine budget limit (as opposed
+    /// to an injected fault).
+    pub fn is_budget(&self) -> bool {
+        matches!(
+            self,
+            InterruptReason::ConflictLimit
+                | InterruptReason::TimeLimit
+                | InterruptReason::StepLimit
+        )
+    }
+
+    /// Returns `true` if the reason is an injected fault.
+    pub fn is_fault(&self) -> bool {
+        !self.is_budget()
+    }
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InterruptReason::ConflictLimit => "conflict-limit",
+            InterruptReason::TimeLimit => "time-limit",
+            InterruptReason::StepLimit => "step-limit",
+            InterruptReason::FaultInjected => "fault-injected",
+            InterruptReason::GaussPoisoned => "gauss-poisoned",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where in the solver a [`FaultHook`] is consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Entry of a solve/enumeration call, before any search work. A trip
+    /// here models "fail the Nth `BSAT` call".
+    SolveStart,
+    /// Once per search-loop iteration, at the same cadence as the budget
+    /// check. A trip here models a budget exhausted mid-search.
+    SearchStep,
+    /// Immediately before pending guarded xor layers are compiled into
+    /// Gauss–Jordan matrices. A trip here poisons the seal: the layers
+    /// stay pending and the call returns
+    /// [`InterruptReason::GaussPoisoned`].
+    GaussSeal,
+}
+
+/// An injectable fault oracle, consulted by the solver at the boundaries
+/// described by [`FaultSite`].
+///
+/// Implementations must be deterministic functions of their own state (use
+/// a seeded counter scheme, not wall-clock or OS randomness) so that a
+/// fault schedule replays identically — the chaos harness relies on it.
+/// The hook is shared between clones of a solver via `Arc`, so the
+/// call-counting state is global to the sampler it is installed on.
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Returns `true` to inject a fault at `site`. The solver translates a
+    /// trip into [`InterruptReason::GaussPoisoned`] at
+    /// [`FaultSite::GaussSeal`] and [`InterruptReason::FaultInjected`]
+    /// everywhere else.
+    fn trip(&self, site: FaultSite) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_and_fault_reasons_partition() {
+        for reason in [
+            InterruptReason::ConflictLimit,
+            InterruptReason::TimeLimit,
+            InterruptReason::StepLimit,
+            InterruptReason::FaultInjected,
+            InterruptReason::GaussPoisoned,
+        ] {
+            assert_ne!(reason.is_budget(), reason.is_fault());
+            assert!(!reason.to_string().is_empty());
+        }
+    }
+}

@@ -98,6 +98,7 @@ mod budget;
 mod clause_db;
 mod config;
 mod decide;
+mod fault;
 mod gauss;
 mod restart;
 mod solver;
@@ -110,5 +111,6 @@ pub mod support;
 pub use budget::Budget;
 pub use config::{GaussMode, SolverConfig};
 pub use enumerate::{bounded_solutions, enumerate_cell, EnumerationOutcome, Enumerator};
+pub use fault::{FaultHook, FaultSite, InterruptReason};
 pub use solver::{Guard, SolveResult, Solver};
 pub use stats::SolverStats;

@@ -9,10 +9,13 @@ use rand::{Rng, SeedableRng};
 
 use unigen_cnf::{Clause, CnfFormula, Lit, Model, Var, XorClause};
 
+use std::sync::Arc;
+
 use crate::budget::Budget;
 use crate::clause_db::{ClauseDb, ClauseRef, Watcher};
 use crate::config::{GaussMode, SolverConfig};
 use crate::decide::Vsids;
+use crate::fault::{FaultHook, FaultSite, InterruptReason};
 use crate::gauss::{BuildOutcome, GaussEngine, GaussResult};
 use crate::restart::LubyRestarts;
 use crate::stats::SolverStats;
@@ -33,9 +36,19 @@ pub enum SolveResult {
     Sat(Model),
     /// The formula (together with all clauses added so far) is unsatisfiable.
     Unsat,
-    /// The per-call [`Budget`] was exhausted before a definite answer was
-    /// reached; corresponds to a `BSAT` timeout in the paper's experiments.
+    /// No definite answer, for an untyped reason. Budget exhaustion and
+    /// injected faults return [`SolveResult::Interrupted`] instead; this
+    /// variant is kept distinct so callers can tell a typed, retryable
+    /// interruption from a genuine "don't know".
     Unknown,
+    /// The call was interrupted — by a fired [`Budget`] limit or an
+    /// injected [`FaultHook`] — before a definite answer was reached;
+    /// corresponds to a `BSAT` timeout in the paper's experiments.
+    ///
+    /// The solver is left at decision level zero with its trail, guards
+    /// and learned-clause state consistent, so the caller may simply
+    /// retry the call (the `interruption_leaves_*` tests pin this).
+    Interrupted(InterruptReason),
 }
 
 impl SolveResult {
@@ -55,6 +68,19 @@ impl SolveResult {
     /// Returns `true` if the result is `Unsat`.
     pub fn is_unsat(&self) -> bool {
         matches!(self, SolveResult::Unsat)
+    }
+
+    /// Returns the interruption reason, if the call was interrupted.
+    pub fn interrupt_reason(&self) -> Option<InterruptReason> {
+        match self {
+            SolveResult::Interrupted(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the call was interrupted (budget or fault).
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, SolveResult::Interrupted(_))
     }
 }
 
@@ -266,6 +292,26 @@ impl Solver {
     /// Returns the accumulated search statistics.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Installs (or, with `None`, removes) the injectable fault oracle.
+    /// The hook is shared by reference, so one oracle can count calls
+    /// across every clone of a prepared solver.
+    pub fn set_fault_hook(&mut self, hook: Option<Arc<dyn FaultHook>>) {
+        self.config.fault_hook = hook;
+    }
+
+    /// Returns the current Gauss–Jordan policy for guarded xor layers.
+    pub fn gauss_mode(&self) -> GaussMode {
+        self.config.gauss
+    }
+
+    /// Changes the Gauss–Jordan policy for layers added (or sealed) from
+    /// now on; already-built matrices are unaffected. The samplers'
+    /// degradation ladder uses this to retry a cell with
+    /// [`GaussMode::Off`] after a poisoned seal.
+    pub fn set_gauss_mode(&mut self, mode: GaussMode) {
+        self.config.gauss = mode;
     }
 
     /// Returns `false` if a top-level conflict has already been derived (any
@@ -546,14 +592,23 @@ impl Solver {
     /// consequence (a jointly unsatisfiable layer reduces to the unit
     /// clause `g`; rows violated by level-zero units imply `g`) is asserted
     /// here, before search begins.
-    fn seal_gauss_layers(&mut self) {
+    ///
+    /// Returns `true` if an injected fault poisoned the seal: no pending
+    /// layer was consumed (they all stay pending), so a retry — typically
+    /// after switching to [`GaussMode::Off`] — sees the same layers.
+    fn seal_gauss_layers(&mut self) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.gauss.has_pending() {
-            return;
+            return false;
+        }
+        if let Some(hook) = &self.config.fault_hook {
+            if hook.trip(FaultSite::GaussSeal) {
+                return true;
+            }
         }
         for (key, rows) in self.gauss.take_pending() {
             if !self.ok {
-                return;
+                return false;
             }
             let guard_lit = Var::new(key as usize).positive();
             // The Auto threshold judges the guard's whole layer — matrix
@@ -575,7 +630,7 @@ impl Solver {
             if !use_matrix {
                 for xor in &rows {
                     if !self.ok {
-                        return;
+                        return false;
                     }
                     self.install_watched_xor(xor, Some(guard_lit));
                 }
@@ -626,6 +681,7 @@ impl Solver {
             }
         }
         self.stats.gauss_row_ops = self.gauss.row_ops;
+        false
     }
 
     /// Enqueues the implications a gauss scan produced (storing their
@@ -794,8 +850,10 @@ impl Solver {
         self.solve_with_budget(&Budget::new())
     }
 
-    /// Solves the current formula, giving up (with [`SolveResult::Unknown`])
-    /// when the budget is exhausted.
+    /// Solves the current formula, giving up (with
+    /// [`SolveResult::Interrupted`] carrying the typed reason) when the
+    /// budget is exhausted. The solver stays consistent and the call can
+    /// be retried.
     pub fn solve_with_budget(&mut self, budget: &Budget) -> SolveResult {
         self.solve_under_assumptions_with_budget(&[], budget)
     }
@@ -858,8 +916,16 @@ impl Solver {
                 "assumption over an unknown variable"
             );
         }
+        if let Some(hook) = &self.config.fault_hook {
+            if hook.trip(FaultSite::SolveStart) {
+                self.backtrack_to(0);
+                return SolveResult::Interrupted(InterruptReason::FaultInjected);
+            }
+        }
         if self.decision_level() == 0 {
-            self.seal_gauss_layers();
+            if self.seal_gauss_layers() {
+                return SolveResult::Interrupted(InterruptReason::GaussPoisoned);
+            }
             if !self.ok {
                 return SolveResult::Unsat;
             }
@@ -872,13 +938,23 @@ impl Solver {
 
         let mut meter = budget.start();
         meter.set_conflict_baseline(self.stats.conflicts);
+        meter.set_step_baseline(self.stats.propagations + self.stats.decisions);
         let mut restart_limit = self.restarts.next_limit();
         let mut conflicts_this_period: u64 = 0;
 
         loop {
-            if meter.exhausted(self.stats.conflicts) {
+            if let Some(reason) = meter.exhausted(
+                self.stats.conflicts,
+                self.stats.propagations + self.stats.decisions,
+            ) {
                 self.backtrack_to(0);
-                return SolveResult::Unknown;
+                return SolveResult::Interrupted(reason);
+            }
+            if let Some(hook) = &self.config.fault_hook {
+                if hook.trip(FaultSite::SearchStep) {
+                    self.backtrack_to(0);
+                    return SolveResult::Interrupted(InterruptReason::FaultInjected);
+                }
             }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -1461,14 +1537,14 @@ mod tests {
                     solver.add_clause(Clause::new(blocking));
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("unexpected unknown"),
+                other => panic!("unexpected {other:?}"),
             }
         }
         assert_eq!(found.len(), 3);
     }
 
     #[test]
-    fn budget_exhaustion_returns_unknown() {
+    fn budget_exhaustion_returns_typed_interruption() {
         // A formula hard enough to need more than zero conflicts.
         let mut f = CnfFormula::new(20);
         // Random-ish xor system plus clauses: just ensure >0 conflicts needed.
@@ -1486,15 +1562,138 @@ mod tests {
         let mut solver = Solver::from_formula(&f);
         let budget = Budget::new().with_conflict_limit(0);
         let result = solver.solve_with_budget(&budget);
-        // With a zero-conflict budget the solver must either finish purely by
-        // propagation or give up; both are acceptable, but it must not panic
-        // and must stay reusable.
+        // A zero-conflict budget fires on the first loop check, with the
+        // typed reason; the solver must stay consistent and retryable.
+        assert_eq!(
+            result.interrupt_reason(),
+            Some(InterruptReason::ConflictLimit)
+        );
+        assert!(solver.is_consistent());
         let follow_up = solver.solve();
         assert!(matches!(
             follow_up,
             SolveResult::Sat(_) | SolveResult::Unsat
         ));
-        let _ = result;
+    }
+
+    #[test]
+    fn step_limit_interrupts_at_the_same_point_everywhere() {
+        let f = dimacs::parse("p cnf 6 4\n1 2 3 0\n-1 4 0\n-2 5 0\nx 4 5 6 0\n").unwrap();
+        let budget = Budget::new().with_step_limit(1);
+        let run = |seed: u64| {
+            let config = SolverConfig {
+                seed,
+                ..SolverConfig::default()
+            };
+            let mut solver = Solver::from_formula_with_config(&f, config);
+            let result = solver.solve_with_budget(&budget);
+            let steps = solver.stats().propagations + solver.stats().decisions;
+            (result, steps, solver)
+        };
+        let (r1, s1, mut solver) = run(7);
+        let (r2, s2, _) = run(7);
+        assert_eq!(r1.interrupt_reason(), Some(InterruptReason::StepLimit));
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2, "step metering must be host-independent");
+        // The interrupted solver retries to completion.
+        let model = solver.solve().model().cloned().expect("satisfiable");
+        assert!(f.evaluate(&model));
+    }
+
+    /// A hook that trips a fixed number of times at one site, then goes
+    /// quiet — the smallest deterministic fault schedule.
+    #[derive(Debug)]
+    struct TripTimes {
+        site: FaultSite,
+        remaining: std::sync::atomic::AtomicU64,
+    }
+
+    impl TripTimes {
+        fn new(site: FaultSite, times: u64) -> Arc<Self> {
+            Arc::new(TripTimes {
+                site,
+                remaining: std::sync::atomic::AtomicU64::new(times),
+            })
+        }
+    }
+
+    impl FaultHook for TripTimes {
+        fn trip(&self, site: FaultSite) -> bool {
+            use std::sync::atomic::Ordering;
+            if site != self.site {
+                return false;
+            }
+            self.remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        }
+    }
+
+    #[test]
+    fn injected_solve_start_fault_is_retryable() {
+        let f = dimacs::parse("p cnf 3 2\n1 2 0\n-1 3 0\n").unwrap();
+        let mut baseline = Solver::from_formula(&f);
+        let expected = baseline.solve().model().cloned().expect("satisfiable");
+
+        let mut solver = Solver::from_formula(&f);
+        solver.set_fault_hook(Some(TripTimes::new(FaultSite::SolveStart, 1)));
+        assert_eq!(
+            solver.solve().interrupt_reason(),
+            Some(InterruptReason::FaultInjected)
+        );
+        assert!(solver.is_consistent());
+        // The retry is bit-identical to the fault-free run.
+        let model = solver.solve().model().cloned().expect("satisfiable");
+        assert_eq!(model, expected);
+    }
+
+    #[test]
+    fn poisoned_gauss_seal_keeps_the_layer_pending() {
+        let f = dimacs::parse("p cnf 4 1\n1 2 3 4 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        solver.set_fault_hook(Some(TripTimes::new(FaultSite::GaussSeal, 1)));
+        let guard = solver.new_guard();
+        solver.add_xor_under(XorClause::from_dimacs([1, 2], true), guard);
+        solver.add_xor_under(XorClause::from_dimacs([2, 3], true), guard);
+        let poisoned = solver.solve_under_assumptions(&[guard.assumption()]);
+        assert_eq!(
+            poisoned.interrupt_reason(),
+            Some(InterruptReason::GaussPoisoned)
+        );
+        // Nothing was consumed: the retry seals and solves the same layer.
+        let retried = solver.solve_under_assumptions(&[guard.assumption()]);
+        let model = retried.model().expect("cell is satisfiable");
+        assert!(model.value(Var::from_dimacs(1)) != model.value(Var::from_dimacs(2)));
+        assert!(model.value(Var::from_dimacs(2)) != model.value(Var::from_dimacs(3)));
+        solver.retire_guard(guard);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.stats().guards_created, solver.stats().guards_retired);
+    }
+
+    #[test]
+    fn interrupted_enumeration_keeps_guard_accounting_balanced() {
+        // Hammer one persistent solver with injected faults across several
+        // guarded cells; every interruption is retried, and at the end the
+        // guard books must balance and the solver must still solve.
+        let f = dimacs::parse("p cnf 4 2\n1 2 0\n3 4 0\n").unwrap();
+        let mut solver = Solver::from_formula(&f);
+        let hook = TripTimes::new(FaultSite::SearchStep, 3);
+        solver.set_fault_hook(Some(hook));
+        for parity in [false, true] {
+            let guard = solver.new_guard();
+            solver.add_xor_under(XorClause::from_dimacs([1, 3], parity), guard);
+            let mut result = solver.solve_under_assumptions(&[guard.assumption()]);
+            let mut retries = 0;
+            while result.is_interrupted() {
+                retries += 1;
+                assert!(retries <= 4, "fault schedule must drain");
+                result = solver.solve_under_assumptions(&[guard.assumption()]);
+            }
+            assert!(result.is_sat() || result.is_unsat());
+            solver.retire_guard(guard);
+        }
+        assert_eq!(solver.stats().guards_created, solver.stats().guards_retired);
+        assert!(solver.solve().is_sat());
     }
 
     #[test]
@@ -1593,7 +1792,7 @@ mod tests {
                     cell.push(model);
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("unexpected unknown"),
+                other => panic!("unexpected {other:?}"),
             }
         }
         // x1⊕x2=1, x2⊕x3=0 has exactly 2 solutions over 3 variables.
@@ -1615,7 +1814,7 @@ mod tests {
                     second_cell += 1;
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("unexpected unknown"),
+                other => panic!("unexpected {other:?}"),
             }
         }
         // x1 = 1 leaves 4 of the 8 assignments.
@@ -1697,7 +1896,7 @@ mod tests {
                     cell.push(model);
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("unexpected unknown"),
+                other => panic!("unexpected {other:?}"),
             }
         }
         assert_eq!(cell.len(), 2);
@@ -1722,7 +1921,7 @@ mod tests {
                     second += 1;
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("unexpected unknown"),
+                other => panic!("unexpected {other:?}"),
             }
         }
         assert_eq!(second, 2);
@@ -1848,7 +2047,7 @@ mod tests {
                             models.insert(model.values().to_vec());
                         }
                         SolveResult::Unsat => break,
-                        SolveResult::Unknown => panic!("unexpected unknown"),
+                        other => panic!("unexpected {other:?}"),
                     }
                 }
                 solver.retire_guard(guard);

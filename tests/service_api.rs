@@ -127,10 +127,7 @@ fn bounded_queue_backpressure_round_trip() {
             while !*open {
                 open = condvar.wait(open).unwrap();
             }
-            SampleOutcome {
-                witness: None,
-                stats: SampleStats::default(),
-            }
+            SampleOutcome::bottom(SampleStats::default())
         }
         fn name(&self) -> &'static str {
             "Gated"

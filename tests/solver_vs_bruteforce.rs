@@ -47,7 +47,9 @@ proptest! {
                 prop_assert!(!brute.is_empty());
             }
             SolveResult::Unsat => prop_assert!(brute.is_empty()),
-            SolveResult::Unknown => prop_assert!(false, "unlimited budget must not time out"),
+            SolveResult::Unknown | SolveResult::Interrupted(_) => {
+                prop_assert!(false, "unlimited budget must not time out")
+            }
         }
     }
 
