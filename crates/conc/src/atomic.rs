@@ -1,0 +1,201 @@
+//! Atomic integers and booleans, mirroring `std::sync::atomic`.
+//!
+//! Under the model backend every access is tracked for happens-before
+//! (conservatively, as if it were acquire+release — the workspace only
+//! uses atomics for monotone stats counters and flags, never as the sole
+//! ordering between data accesses), but it is **not** a schedule point
+//! unless `crate::model::Config::atomics_are_steps` is set. That keeps
+//! the explored state space focused on the lock/condvar protocol, which
+//! is where the service's actual invariants live.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "model")]
+use crate::rt;
+
+macro_rules! atomic_int {
+    ($(#[$meta:meta])* $name:ident, $std:ident, $int:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+            #[cfg(feature = "model")]
+            id: rt::LazyId,
+            #[cfg(feature = "model")]
+            loc: &'static std::panic::Location<'static>,
+        }
+
+        impl $name {
+            /// Creates a new atomic integer.
+            #[track_caller]
+            #[inline]
+            pub fn new(value: $int) -> Self {
+                $name {
+                    inner: std::sync::atomic::$std::new(value),
+                    #[cfg(feature = "model")]
+                    id: rt::LazyId::new(),
+                    #[cfg(feature = "model")]
+                    loc: std::panic::Location::caller(),
+                }
+            }
+
+            #[cfg(feature = "model")]
+            #[inline]
+            fn track(&self) {
+                rt::op_atomic(&self.id, self.loc);
+            }
+
+            #[cfg(not(feature = "model"))]
+            #[inline]
+            fn track(&self) {}
+
+            /// Loads the value.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $int {
+                self.track();
+                self.inner.load(order)
+            }
+
+            /// Stores a value.
+            #[inline]
+            pub fn store(&self, value: $int, order: Ordering) {
+                self.track();
+                self.inner.store(value, order)
+            }
+
+            /// Adds to the value, returning the previous value.
+            #[inline]
+            pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                self.track();
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Subtracts from the value, returning the previous value.
+            #[inline]
+            pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                self.track();
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Maximum with the value, returning the previous value.
+            #[inline]
+            pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                self.track();
+                self.inner.fetch_max(value, order)
+            }
+
+            /// Swaps the value, returning the previous value.
+            #[inline]
+            pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                self.track();
+                self.inner.swap(value, order)
+            }
+
+            /// Mutable access without synchronization (never a schedule
+            /// point — `&mut` proves exclusivity).
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl Default for $name {
+            #[track_caller]
+            fn default() -> Self {
+                $name::new(0)
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// An atomic `u32` with the `std::sync::atomic::AtomicU32` API.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+atomic_int!(
+    /// An atomic `u64` with the `std::sync::atomic::AtomicU64` API.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// An atomic `usize` with the `std::sync::atomic::AtomicUsize` API.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+/// An atomic boolean with the `std::sync::atomic::AtomicBool` API.
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+    #[cfg(feature = "model")]
+    id: rt::LazyId,
+    #[cfg(feature = "model")]
+    loc: &'static std::panic::Location<'static>,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic boolean.
+    #[track_caller]
+    #[inline]
+    pub fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+            #[cfg(feature = "model")]
+            id: rt::LazyId::new(),
+            #[cfg(feature = "model")]
+            loc: std::panic::Location::caller(),
+        }
+    }
+
+    #[cfg(feature = "model")]
+    #[inline]
+    fn track(&self) {
+        rt::op_atomic(&self.id, self.loc);
+    }
+
+    #[cfg(not(feature = "model"))]
+    #[inline]
+    fn track(&self) {}
+
+    /// Loads the value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        self.track();
+        self.inner.load(order)
+    }
+
+    /// Stores a value.
+    #[inline]
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.track();
+        self.inner.store(value, order)
+    }
+
+    /// Swaps the value, returning the previous value.
+    #[inline]
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.track();
+        self.inner.swap(value, order)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl Default for AtomicBool {
+    #[track_caller]
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}

@@ -1,0 +1,77 @@
+//! [`CheckedCell`]: shared data with vector-clock race detection.
+//!
+//! Only compiled with the `model` feature. A `CheckedCell<T>` is shared
+//! mutable data that *claims* to be protected by some external protocol
+//! (a lock, a happens-before chain through spawn/join or condvar
+//! signalling). Every access under [`crate::model::check`] is a schedule
+//! point, and the checker verifies the claim: two accesses from different
+//! threads, at least one a write, with no happens-before edge between
+//! them, fail the execution with [`crate::model::FailureKind::DataRace`].
+//!
+//! The storage itself sits behind an internal real mutex so the type is
+//! safe even when the protocol is wrong — the point is to *report* the
+//! race, not to crash on it. Accesses from uncontrolled threads skip the
+//! detector.
+
+use std::panic::Location;
+
+use crate::rt;
+
+/// Shared data whose cross-thread accesses are race-checked under the
+/// model backend. See the module docs.
+pub struct CheckedCell<T> {
+    inner: std::sync::Mutex<T>,
+    id: rt::LazyId,
+    loc: &'static Location<'static>,
+}
+
+impl<T> CheckedCell<T> {
+    /// Creates a cell. `#[track_caller]` labels it in race reports.
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        CheckedCell {
+            inner: std::sync::Mutex::new(value),
+            id: rt::LazyId::new(),
+            loc: Location::caller(),
+        }
+    }
+
+    fn storage(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reads through the cell. A `CellRead` schedule point.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        rt::op_cell(&self.id, self.loc, false);
+        f(&self.storage())
+    }
+
+    /// Writes through the cell. A `CellWrite` schedule point.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        rt::op_cell(&self.id, self.loc, true);
+        f(&mut self.storage())
+    }
+
+    /// Copies the value out (a read access).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Replaces the value (a write access).
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CheckedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckedCell")
+            .field("value", &*self.storage())
+            .finish()
+    }
+}

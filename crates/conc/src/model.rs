@@ -1,0 +1,365 @@
+//! The model checker: schedule exploration over the controlled runtime.
+//!
+//! [`check`] runs a closure once per *schedule* — a sequence of
+//! thread-scheduling decisions — exploring the decision tree depth-first:
+//!
+//! * The baseline schedule never preempts: a thread runs until it blocks.
+//!   The explorer then backtracks to the deepest decision point with an
+//!   untried alternative and replays the prefix, so every new schedule
+//!   differs from all earlier ones (`Report::distinct_schedules` counts
+//!   exact decision sequences).
+//! * A **preemption bound** ([`Config::preemption_bound`]) caps how many
+//!   times a schedule may switch away from a runnable thread —
+//!   context-bounded search in the CHESS tradition: almost all real
+//!   concurrency bugs manifest within two preemptions, and the bound
+//!   keeps the tree polynomial instead of exponential in depth.
+//! * A **sleep-set reduction** (DPOR-style) prunes alternatives that
+//!   provably commute with an already-explored branch — running them
+//!   would reproduce a Mazurkiewicz-equivalent trace.
+//!
+//! A schedule fails by panicking, deadlocking, losing a wakeup, reversing
+//! the lock order, exceeding the step limit, or racing on a
+//! [`crate::cell::CheckedCell`]; the first failing schedule is returned in
+//! [`Report::failure`] with a trace of its final steps. When the whole
+//! bounded tree is explored without failure, [`Report::complete`] is set —
+//! a stronger guarantee than any schedule count.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rt::{self, dependent, Decision, Op};
+
+pub use crate::rt::FailureKind;
+
+/// Exploration parameters for [`check`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum number of schedules to explore before giving up on
+    /// completeness. Env override: `CONC_SCHEDULES`.
+    pub max_schedules: u64,
+    /// Maximum preemptive context switches per schedule (switches away
+    /// from a still-runnable thread). Env override: `CONC_PREEMPTIONS`.
+    pub preemption_bound: usize,
+    /// Seed for the scheduling choices the bound leaves open. Env
+    /// override: `CONC_SEED`.
+    pub seed: u64,
+    /// Treat atomic accesses as schedule points (defaults to off: the
+    /// workspace uses atomics only for counters nothing branches on, and
+    /// exploring them would blow up the tree).
+    pub atomics_are_steps: bool,
+    /// Per-schedule step limit — the livelock guard.
+    pub max_steps: usize,
+    /// How long the controller waits for a thread to reach a schedule
+    /// point before declaring the execution stalled.
+    pub stall_timeout: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 1200,
+            preemption_bound: 2,
+            seed: 0xDAC_2014,
+            atomics_are_steps: false,
+            max_steps: 20_000,
+            stall_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl Config {
+    /// [`Config::default`] with `CONC_SCHEDULES` / `CONC_PREEMPTIONS` /
+    /// `CONC_SEED` environment overrides applied — how CI widens the
+    /// smoke budget without touching test code.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(v) = env_parse("CONC_SCHEDULES") {
+            cfg.max_schedules = v;
+        }
+        if let Some(v) = env_parse("CONC_PREEMPTIONS") {
+            cfg.preemption_bound = v as usize;
+        }
+        if let Some(v) = env_parse("CONC_SEED") {
+            cfg.seed = v;
+        }
+        cfg
+    }
+}
+
+fn env_parse(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// A failing schedule: what went wrong, the decision sequence that
+/// produced it, and the tail of its step trace.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failure classification and message.
+    pub kind: FailureKind,
+    /// The thread chosen at each decision point — replayable by feeding
+    /// it back as a fixed schedule (stable for a fixed body and seed).
+    pub schedule: Vec<usize>,
+    /// The last executed steps, most recent last.
+    pub trace: Vec<String>,
+}
+
+/// The result of a [`check`] exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules executed (every one a distinct decision sequence).
+    pub schedules: u64,
+    /// Alias of `schedules` — the explorer is depth-first over a tree, so
+    /// it never replays a complete schedule it has already run.
+    pub distinct_schedules: u64,
+    /// The bounded schedule tree was exhausted: every schedule within the
+    /// preemption bound was explored (up to sleep-set equivalence).
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+    /// Deepest decision sequence seen.
+    pub max_depth: usize,
+    /// Class-level lock-order edges (`held → acquired`, labelled by the
+    /// locks' construction sites) observed across all schedules.
+    pub lock_order_edges: Vec<(String, String)>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model check: {} schedule(s) explored ({}), max depth {}",
+            self.schedules,
+            if self.complete {
+                "state space exhausted within bounds"
+            } else {
+                "budget exhausted"
+            },
+            self.max_depth,
+        )?;
+        if !self.lock_order_edges.is_empty() {
+            writeln!(f, "lock-order edges:")?;
+            for (from, to) in &self.lock_order_edges {
+                writeln!(f, "  {from} -> {to}")?;
+            }
+        }
+        match &self.failure {
+            None => write!(f, "no failure found"),
+            Some(fail) => {
+                writeln!(f, "FAILED: {}", fail.kind)?;
+                writeln!(f, "schedule: {:?}", fail.schedule)?;
+                writeln!(f, "trace (last {} steps):", fail.trace.len())?;
+                for line in &fail.trace {
+                    writeln!(f, "  {line}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One node of the DFS: a decision point, which alternatives it had, and
+/// which are pruned (already explored, or sleeping).
+struct Frame {
+    enabled: Vec<usize>,
+    ops: Vec<Op>,
+    prev: Option<usize>,
+    last_chosen: usize,
+    /// Explored-or-sleeping thread ids: never (re)scheduled from here.
+    sleep: BTreeSet<usize>,
+    /// Preemptions consumed along the path *into* this node.
+    preemptions: usize,
+}
+
+impl Frame {
+    fn op_of(&self, tid: usize) -> Op {
+        let pos = self
+            .enabled
+            .iter()
+            .position(|&t| t == tid)
+            .unwrap_or_else(|| unreachable!("thread {tid} not in enabled set"));
+        self.ops[pos]
+    }
+}
+
+fn is_preemption(prev: Option<usize>, enabled: &[usize], chosen: usize) -> bool {
+    prev.is_some_and(|p| p != chosen && enabled.contains(&p))
+}
+
+/// Deterministic per-node rotation so alternative order varies with the
+/// seed instead of always favouring low thread ids.
+fn rotation(seed: u64, depth: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let mut x = seed ^ (depth as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    (x % len as u64) as usize
+}
+
+/// Explores the schedules of `body` and reports the first failure, if
+/// any. The closure runs once per schedule; see the crate docs for what
+/// it may and may not share across runs.
+pub fn check<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let rt_cfg = rt::RtConfig {
+        atomics_are_steps: cfg.atomics_are_steps,
+        max_steps: cfg.max_steps,
+        stall_timeout: cfg.stall_timeout,
+    };
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules: u64 = 0;
+    let mut max_depth = 0usize;
+    let mut complete = false;
+    let mut lock_edges: BTreeSet<(String, String)> = BTreeSet::new();
+
+    loop {
+        let out = rt::run_schedule(&rt_cfg, prefix.clone(), cfg.seed, &body);
+        schedules += 1;
+        max_depth = max_depth.max(out.decisions.len());
+        lock_edges.extend(out.lock_class_edges);
+        if let Some(kind) = out.failure {
+            return Report {
+                schedules,
+                distinct_schedules: schedules,
+                complete: false,
+                failure: Some(Failure {
+                    kind,
+                    schedule: out.decisions.iter().map(|d| d.chosen).collect(),
+                    trace: out.trace,
+                }),
+                max_depth,
+                lock_order_edges: lock_edges.into_iter().collect(),
+            };
+        }
+
+        sync_frames(&mut frames, &out.decisions);
+
+        if schedules >= cfg.max_schedules {
+            break;
+        }
+
+        // Backtrack: deepest node with an untried, non-sleeping,
+        // bound-respecting alternative.
+        let mut next: Option<(usize, usize)> = None;
+        while let Some(depth) = frames.len().checked_sub(1) {
+            let frame = &mut frames[depth];
+            frame.sleep.insert(frame.last_chosen);
+            let rot = rotation(cfg.seed, depth, frame.enabled.len());
+            let candidate = (0..frame.enabled.len())
+                .map(|i| frame.enabled[(i + rot) % frame.enabled.len()])
+                .find(|&t| {
+                    !frame.sleep.contains(&t)
+                        && (!is_preemption(frame.prev, &frame.enabled, t)
+                            || frame.preemptions < cfg.preemption_bound)
+                });
+            match candidate {
+                Some(t) => {
+                    next = Some((depth, t));
+                    break;
+                }
+                None => {
+                    frames.pop();
+                }
+            }
+        }
+        match next {
+            Some((depth, t)) => {
+                frames[depth].last_chosen = t;
+                frames.truncate(depth + 1);
+                prefix = frames.iter().map(|f| f.last_chosen).collect();
+            }
+            None => {
+                complete = true;
+                break;
+            }
+        }
+    }
+
+    Report {
+        schedules,
+        distinct_schedules: schedules,
+        complete,
+        failure: None,
+        max_depth,
+        lock_order_edges: lock_edges.into_iter().collect(),
+    }
+}
+
+/// [`check`], panicking with the full report when a failure is found.
+/// The convenient form for protocol tests that expect success.
+pub fn check_ok<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = check(cfg, body);
+    assert!(report.failure.is_none(), "{report}");
+    report
+}
+
+/// Reconciles the DFS frame stack with the decisions of the latest run:
+/// replayed frames keep their pruning state, new frames inherit sleep
+/// sets (filtered by independence with the parent's transition) and the
+/// preemption count.
+fn sync_frames(frames: &mut Vec<Frame>, decisions: &[Decision]) {
+    for (i, d) in decisions.iter().enumerate() {
+        if i < frames.len() {
+            frames[i].last_chosen = d.chosen;
+        } else {
+            let (sleep, preemptions) = if i == 0 {
+                (BTreeSet::new(), 0)
+            } else {
+                let parent = &frames[i - 1];
+                let chosen_op = parent.op_of(parent.last_chosen);
+                let sleep = parent
+                    .sleep
+                    .iter()
+                    .copied()
+                    .filter(|&t| {
+                        parent.enabled.contains(&t) && !dependent(&parent.op_of(t), &chosen_op)
+                    })
+                    .collect();
+                let bump = usize::from(is_preemption(
+                    parent.prev,
+                    &parent.enabled,
+                    parent.last_chosen,
+                ));
+                (sleep, parent.preemptions + bump)
+            };
+            frames.push(Frame {
+                enabled: d.enabled.clone(),
+                ops: d.ops.clone(),
+                prev: d.prev,
+                last_chosen: d.chosen,
+                sleep,
+                preemptions,
+            });
+        }
+    }
+    frames.truncate(decisions.len());
+}
+
+/// Suppresses panic output from controlled threads, once per process:
+/// teardown unwinds and deliberately-failing schedules would otherwise
+/// spray thousands of backtraces across the test output. Uncontrolled
+/// threads keep the previously-installed hook.
+fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if rt::in_model_thread() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -1,0 +1,1183 @@
+//! The model-checking runtime: a controlled scheduler over real OS threads.
+//!
+//! One *execution* runs the test body once under a cooperative regime: at
+//! every schedule point (mutex/condvar/spawn/join/cell op) the acting
+//! thread parks and a controller — running on the thread that called
+//! [`crate::model::check`] — decides who continues. Exactly one controlled
+//! thread runs at a time, so the model state (lock holders, condvar wait
+//! queues, vector clocks, the lock-order graph) is updated race-free under
+//! one internal `std` mutex, and the *schedule* (the sequence of choices)
+//! fully determines the execution of a deterministic body.
+//!
+//! The internal coordination deliberately uses raw `std::sync` — this
+//! module is the one place in the workspace allowed to (the `xtask` lint
+//! pins that), since it is the layer everything else's `conc` ops bottom
+//! out in.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// Panic payload used to unwind controlled threads when an execution is
+/// torn down after a failure. The thread wrapper swallows it; user-facing
+/// `Drop` impls never observe it unless they join mid-teardown, which is
+/// why joining `Drop` impls must guard on `std::thread::panicking()`.
+pub(crate) struct ConcAbort;
+
+/// What kind of object an id in the per-execution object table denotes.
+#[derive(Debug)]
+enum ObjState {
+    Lock {
+        holder: Option<usize>,
+        vc: VClock,
+    },
+    Cv {
+        waiters: VecDeque<usize>,
+    },
+    Atomic {
+        vc: VClock,
+    },
+    Cell {
+        last_write: Option<(usize, VClock)>,
+        reads: Vec<(usize, VClock)>,
+    },
+}
+
+/// Kind tag used at registration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Lock,
+    Cv,
+    Atomic,
+    Cell,
+}
+
+struct ObjRec {
+    state: ObjState,
+    /// Creation site of the object — the lock *class* label used by the
+    /// lock-order graph and every diagnostic.
+    loc: &'static Location<'static>,
+}
+
+/// A schedulable operation, announced by a thread at a schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First schedule point of every thread, before any user code runs.
+    Begin,
+    Lock {
+        obj: usize,
+        /// `true` when this is the re-acquisition half of a condvar wait.
+        from_wait: bool,
+    },
+    Unlock {
+        obj: usize,
+    },
+    NotifyOne {
+        cv: usize,
+    },
+    NotifyAll {
+        cv: usize,
+    },
+    Atomic {
+        obj: usize,
+    },
+    CellRead {
+        obj: usize,
+    },
+    CellWrite {
+        obj: usize,
+    },
+    Spawn {
+        child: usize,
+    },
+    Join {
+        target: usize,
+    },
+    Yield,
+    /// Atomic release-and-wait. Applied at announce time — it never
+    /// appears in a `Ready` state (only the re-acquisition is scheduled,
+    /// as a `Lock { from_wait: true }`).
+    CondWait {
+        cv: usize,
+        lock: usize,
+    },
+}
+
+impl Op {
+    /// The object the op acts on, if any — the key of the dependence
+    /// relation used by the sleep-set reduction.
+    fn object(&self) -> Option<usize> {
+        match *self {
+            Op::Lock { obj, .. }
+            | Op::Unlock { obj }
+            | Op::Atomic { obj }
+            | Op::CellRead { obj }
+            | Op::CellWrite { obj } => Some(obj),
+            Op::NotifyOne { cv } | Op::NotifyAll { cv } | Op::CondWait { cv, .. } => Some(cv),
+            Op::Begin | Op::Spawn { .. } | Op::Join { .. } | Op::Yield => None,
+        }
+    }
+}
+
+/// Two ops commute unless they touch the same object (read/read excepted).
+/// Conservative on purpose: a weaker relation only costs reduction, never
+/// soundness.
+pub(crate) fn dependent(a: &Op, b: &Op) -> bool {
+    match (a.object(), b.object()) {
+        (Some(x), Some(y)) if x == y => {
+            !matches!((a, b), (Op::CellRead { .. }, Op::CellRead { .. }))
+        }
+        _ => false,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    /// Real thread spawned but not yet parked at its `Begin` point.
+    Starting,
+    /// Parked at a schedule point, next op announced.
+    Ready(Op),
+    /// The one thread currently executing user code.
+    Running,
+    /// Released its mutex and is waiting for a notify.
+    CondBlocked {
+        cv: usize,
+        lock: usize,
+    },
+    Exited,
+}
+
+struct ThreadRec {
+    state: TState,
+    vc: VClock,
+    /// Locks currently held, in acquisition order.
+    held: Vec<usize>,
+    name: String,
+}
+
+/// One scheduling decision, recorded for the explorer.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Enabled thread ids at this point, ascending.
+    pub enabled: Vec<usize>,
+    /// The op each enabled thread was about to perform (parallel to
+    /// `enabled`).
+    pub ops: Vec<Op>,
+    /// The thread that was scheduled.
+    pub chosen: usize,
+    /// The thread that executed the step leading *into* this point.
+    pub prev: Option<usize>,
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A controlled thread's panic escaped to the top of the thread.
+    Panic(String),
+    /// No thread was runnable and at least one was blocked on a mutex.
+    Deadlock(String),
+    /// No thread was runnable and every blocked thread was in a condvar
+    /// wait — a notify was lost (or never sent).
+    LostWakeup(String),
+    /// Two threads accessed a [`crate::cell::CheckedCell`] without a
+    /// happens-before edge, at least one of them writing.
+    DataRace(String),
+    /// The per-execution lock-order graph acquired a cycle.
+    LockOrderCycle(String),
+    /// An execution exceeded the per-schedule step limit (livelock guard).
+    StepLimit(String),
+    /// Replaying a schedule prefix diverged — the body is nondeterministic
+    /// (e.g. branches on wall-clock time or an external RNG).
+    Nondeterminism(String),
+    /// A controlled thread blocked outside `conc` primitives and stalled
+    /// the scheduler past the watchdog timeout.
+    Stall(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+            FailureKind::Deadlock(m) => write!(f, "deadlock: {m}"),
+            FailureKind::LostWakeup(m) => write!(f, "lost wakeup: {m}"),
+            FailureKind::DataRace(m) => write!(f, "data race: {m}"),
+            FailureKind::LockOrderCycle(m) => write!(f, "lock-order cycle: {m}"),
+            FailureKind::StepLimit(m) => write!(f, "step limit: {m}"),
+            FailureKind::Nondeterminism(m) => write!(f, "nondeterministic replay: {m}"),
+            FailureKind::Stall(m) => write!(f, "scheduler stall: {m}"),
+        }
+    }
+}
+
+/// Everything the controller and the parked threads share.
+struct ExecState {
+    threads: Vec<ThreadRec>,
+    running: Option<usize>,
+    /// Threads spawned but not yet parked at `Begin`.
+    starting: usize,
+    /// Real OS threads that have not yet finished their wrapper.
+    real_alive: usize,
+    objects: Vec<ObjRec>,
+    step: usize,
+    decisions: Vec<Decision>,
+    prefix: Vec<usize>,
+    prefix_pos: usize,
+    abort: bool,
+    failure: Option<FailureKind>,
+    /// Instance-level lock-order graph: edge a → b when b was acquired
+    /// while a was held.
+    lock_graph: BTreeMap<usize, BTreeSet<usize>>,
+    /// Class-level (creation-site) edges, accumulated for the report.
+    lock_class_edges: BTreeSet<(String, String)>,
+    /// Rolling tail of the executed steps, for failure diagnostics.
+    trace: VecDeque<String>,
+}
+
+/// Per-execution configuration the runtime needs (a subset of
+/// [`crate::model::Config`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RtConfig {
+    pub atomics_are_steps: bool,
+    pub max_steps: usize,
+    pub stall_timeout: Duration,
+}
+
+pub(crate) struct Execution {
+    /// Distinguishes executions so lazily-assigned object ids from a
+    /// previous schedule are never mistaken for this one's.
+    pub(crate) epoch: u32,
+    cfg: RtConfig,
+    state: StdMutex<ExecState>,
+    cond: StdCondvar,
+}
+
+/// Result of running one schedule to completion (or failure).
+pub(crate) struct ExecOutcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<FailureKind>,
+    pub trace: Vec<String>,
+    pub lock_class_edges: Vec<(String, String)>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which execution (if any) the current thread is in.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<Execution>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the current thread's model context, or returns `None` when
+/// the thread is uncontrolled (the passthrough path).
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// `true` when the current thread runs under a model execution — used by
+/// the panic hook to silence expected model-thread panics.
+pub(crate) fn in_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+// ---------------------------------------------------------------------------
+// Lazy per-execution object identity.
+// ---------------------------------------------------------------------------
+
+/// Assigns an object (mutex, condvar, atomic, cell) an id in the current
+/// execution's object table the first time it is touched there. Packed as
+/// `epoch << 32 | (index + 1)` so an id from a previous execution is simply
+/// re-registered.
+#[derive(Debug, Default)]
+pub(crate) struct LazyId {
+    packed: std::sync::atomic::AtomicU64,
+}
+
+impl LazyId {
+    pub(crate) const fn new() -> Self {
+        LazyId {
+            packed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn resolve(&self, ctx: &Ctx, kind: ObjKind, loc: &'static Location<'static>) -> usize {
+        let packed = self.packed.load(Ordering::Relaxed);
+        if packed != 0 && (packed >> 32) as u32 == ctx.exec.epoch {
+            return (packed & 0xffff_ffff) as usize - 1;
+        }
+        let idx = ctx.exec.register_object(kind, loc);
+        self.packed.store(
+            (u64::from(ctx.exec.epoch) << 32) | (idx as u64 + 1),
+            Ordering::Relaxed,
+        );
+        idx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `self ≤ other` pointwise: everything recorded in `self` happened
+    /// before `other`'s point of view.
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+static EPOCH: AtomicU32 = AtomicU32::new(1);
+
+impl Execution {
+    pub(crate) fn new(cfg: RtConfig, prefix: Vec<usize>) -> Self {
+        Execution {
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+            cfg,
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                running: None,
+                starting: 0,
+                real_alive: 0,
+                objects: Vec::new(),
+                step: 0,
+                decisions: Vec::new(),
+                prefix,
+                prefix_pos: 0,
+                abort: false,
+                failure: None,
+                lock_graph: BTreeMap::new(),
+                lock_class_edges: BTreeSet::new(),
+                trace: VecDeque::new(),
+            }),
+            cond: StdCondvar::new(),
+        }
+    }
+
+    fn st(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn register_object(&self, kind: ObjKind, loc: &'static Location<'static>) -> usize {
+        let mut st = self.st();
+        let state = match kind {
+            ObjKind::Lock => ObjState::Lock {
+                holder: None,
+                vc: VClock::default(),
+            },
+            ObjKind::Cv => ObjState::Cv {
+                waiters: VecDeque::new(),
+            },
+            ObjKind::Atomic => ObjState::Atomic {
+                vc: VClock::default(),
+            },
+            ObjKind::Cell => ObjState::Cell {
+                last_write: None,
+                reads: Vec::new(),
+            },
+        };
+        st.objects.push(ObjRec { state, loc });
+        st.objects.len() - 1
+    }
+
+    /// Registers a new controlled thread (state `Starting`) and returns its
+    /// id. Called under the announce of the parent's `Spawn` op, or by the
+    /// controller for the root thread.
+    fn register_thread(st: &mut ExecState, parent_vc: Option<&VClock>) -> usize {
+        let tid = st.threads.len();
+        let mut vc = parent_vc.cloned().unwrap_or_default();
+        vc.tick(tid);
+        st.threads.push(ThreadRec {
+            state: TState::Starting,
+            vc,
+            held: Vec::new(),
+            name: format!("t{tid}"),
+        });
+        // `starting`/`real_alive` are NOT bumped here: the real OS thread
+        // only exists once the parent's `Spawn` op is applied (the
+        // controller must not wait for a `Begin` that cannot come yet).
+        tid
+    }
+
+    /// Accounts for a real OS thread that is now guaranteed to start:
+    /// called when a `Spawn` op is applied (the parent performs the real
+    /// spawn immediately after resuming, before its next schedule point)
+    /// and for the root thread.
+    fn mark_real_spawn(st: &mut ExecState) {
+        st.starting += 1;
+        st.real_alive += 1;
+    }
+
+    /// The schedule point: records the intent to perform `op`, parks until
+    /// the controller schedules this thread, then returns so the caller can
+    /// perform the real operation. During teardown the call either unwinds
+    /// (fresh `ConcAbort` panic) or, if the thread is already unwinding,
+    /// returns immediately as a no-op.
+    fn announce(&self, tid: usize, op: Op) {
+        let mut st = self.st();
+        if op == Op::Begin {
+            // Folded into the announce so the controller never observes
+            // `starting == 0` with this thread still in `Starting` state
+            // (which would look like a deadlock).
+            st.starting -= 1;
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        match op {
+            Op::CondWait { cv, lock } => {
+                // `Condvar::wait` semantics: release the mutex and enter the
+                // wait queue in one indivisible step. The caller has already
+                // dropped the *real* guard (safe: no other controlled thread
+                // is running), so only the model state moves here.
+                st.threads[tid].vc.tick(tid);
+                Self::release_lock(&mut st, tid, lock);
+                match &mut st.objects[cv].state {
+                    ObjState::Cv { waiters } => waiters.push_back(tid),
+                    other => unreachable!("cond wait on non-cv object: {other:?}"),
+                }
+                st.threads[tid].state = TState::CondBlocked { cv, lock };
+            }
+            _ => st.threads[tid].state = TState::Ready(op),
+        }
+        if st.running == Some(tid) {
+            st.running = None;
+        }
+        self.cond.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+                return;
+            }
+            if st.threads[tid].state == TState::Running {
+                return;
+            }
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Condvar-wait announce needs a dedicated op because `Op::CondWait`
+    /// never appears in a `Ready` state (the wait itself is immediate; only
+    /// the re-acquisition is scheduled).
+    fn announce_cond_wait(&self, tid: usize, cv: usize, lock: usize) {
+        self.announce(tid, Op::CondWait { cv, lock });
+    }
+
+    fn release_lock(st: &mut ExecState, tid: usize, obj: usize) {
+        let thread_vc = st.threads[tid].vc.clone();
+        match &mut st.objects[obj].state {
+            ObjState::Lock { holder, vc } => {
+                debug_assert_eq!(*holder, Some(tid), "unlock of a lock not held");
+                *holder = None;
+                *vc = thread_vc;
+            }
+            other => unreachable!("unlock of non-lock object: {other:?}"),
+        }
+        st.threads[tid].held.retain(|&h| h != obj);
+    }
+
+    /// Applies the model-state effects of scheduling `tid`'s announced op.
+    /// Runs in the controller, under the state lock; may set a failure
+    /// (lock-order cycle, data race).
+    fn apply_op(&self, st: &mut ExecState, tid: usize) {
+        let op = match &st.threads[tid].state {
+            TState::Ready(op) => *op,
+            other => unreachable!("scheduling a non-ready thread: {other:?}"),
+        };
+        st.threads[tid].vc.tick(tid);
+        let entry = format!(
+            "step {:>4}: {} {}",
+            st.step,
+            st.threads[tid].name,
+            describe_op(st, &op)
+        );
+        st.trace.push_back(entry);
+        if st.trace.len() > 512 {
+            st.trace.pop_front();
+        }
+        match op {
+            Op::Begin | Op::Yield => {}
+            Op::Lock { obj, .. } => {
+                let thread_vc = {
+                    match &mut st.objects[obj].state {
+                        ObjState::Lock { holder, vc } => {
+                            debug_assert!(holder.is_none(), "lock granted while held");
+                            *holder = Some(tid);
+                            vc.clone()
+                        }
+                        other => unreachable!("lock of non-lock object: {other:?}"),
+                    }
+                };
+                st.threads[tid].vc.join(&thread_vc);
+                self.record_lock_order(st, tid, obj);
+                st.threads[tid].held.push(obj);
+            }
+            Op::Unlock { obj } => Self::release_lock(st, tid, obj),
+            Op::NotifyOne { cv } => {
+                let woken = match &mut st.objects[cv].state {
+                    ObjState::Cv { waiters } => waiters.pop_front(),
+                    other => unreachable!("notify of non-cv object: {other:?}"),
+                };
+                if let Some(w) = woken {
+                    self.wake_waiter(st, tid, w);
+                }
+            }
+            Op::NotifyAll { cv } => {
+                let woken: Vec<usize> = match &mut st.objects[cv].state {
+                    ObjState::Cv { waiters } => waiters.drain(..).collect(),
+                    other => unreachable!("notify of non-cv object: {other:?}"),
+                };
+                for w in woken {
+                    self.wake_waiter(st, tid, w);
+                }
+            }
+            Op::Atomic { obj } => Self::atomic_hb(st, tid, obj),
+            Op::CellRead { obj } => {
+                let reader_vc = st.threads[tid].vc.clone();
+                let loc = st.objects[obj].loc;
+                let mut race: Option<String> = None;
+                match &mut st.objects[obj].state {
+                    ObjState::Cell { last_write, reads } => {
+                        if let Some((wtid, wvc)) = last_write {
+                            if *wtid != tid && !wvc.le(&reader_vc) {
+                                race = Some(format!(
+                                    "t{tid} read CheckedCell@{} concurrently with t{wtid}'s write",
+                                    fmt_loc(loc)
+                                ));
+                            }
+                        }
+                        if race.is_none() {
+                            reads.push((tid, reader_vc));
+                        }
+                    }
+                    other => unreachable!("cell read of non-cell object: {other:?}"),
+                }
+                if let Some(msg) = race {
+                    st.failure.get_or_insert(FailureKind::DataRace(msg));
+                }
+            }
+            Op::CellWrite { obj } => {
+                let writer_vc = st.threads[tid].vc.clone();
+                let loc = st.objects[obj].loc;
+                let mut race: Option<String> = None;
+                match &mut st.objects[obj].state {
+                    ObjState::Cell { last_write, reads } => {
+                        if let Some((wtid, wvc)) = last_write {
+                            if *wtid != tid && !wvc.le(&writer_vc) {
+                                race = Some(format!(
+                                    "t{tid} wrote CheckedCell@{} concurrently with t{wtid}'s write",
+                                    fmt_loc(loc)
+                                ));
+                            }
+                        }
+                        if race.is_none() {
+                            for (rtid, rvc) in reads.iter() {
+                                if *rtid != tid && !rvc.le(&writer_vc) {
+                                    race = Some(format!(
+                                        "t{tid} wrote CheckedCell@{} concurrently with t{rtid}'s \
+                                         read",
+                                        fmt_loc(loc)
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        if race.is_none() {
+                            *last_write = Some((tid, writer_vc));
+                            reads.clear();
+                        }
+                    }
+                    other => unreachable!("cell write of non-cell object: {other:?}"),
+                }
+                if let Some(msg) = race {
+                    st.failure.get_or_insert(FailureKind::DataRace(msg));
+                }
+            }
+            Op::Spawn { child } => {
+                let parent_vc = st.threads[tid].vc.clone();
+                st.threads[child].vc.join(&parent_vc);
+                Self::mark_real_spawn(st);
+            }
+            Op::Join { target } => {
+                let target_vc = st.threads[target].vc.clone();
+                st.threads[tid].vc.join(&target_vc);
+            }
+            Op::CondWait { .. } => unreachable!("cond wait is applied at announce time"),
+        }
+    }
+
+    /// HB bookkeeping for an atomic access: conservatively acquire+release
+    /// (thread and atomic clocks join both ways).
+    fn atomic_hb(st: &mut ExecState, tid: usize, obj: usize) {
+        let thread_vc = st.threads[tid].vc.clone();
+        match &mut st.objects[obj].state {
+            ObjState::Atomic { vc } => {
+                let obj_vc = vc.clone();
+                vc.join(&thread_vc);
+                st.threads[tid].vc.join(&obj_vc);
+            }
+            other => unreachable!("atomic op on non-atomic object: {other:?}"),
+        }
+    }
+
+    fn wake_waiter(&self, st: &mut ExecState, notifier: usize, waiter: usize) {
+        let notifier_vc = st.threads[notifier].vc.clone();
+        st.threads[waiter].vc.join(&notifier_vc);
+        let lock = match st.threads[waiter].state {
+            TState::CondBlocked { lock, .. } => lock,
+            ref other => unreachable!("woke a non-waiting thread: {other:?}"),
+        };
+        st.threads[waiter].state = TState::Ready(Op::Lock {
+            obj: lock,
+            from_wait: true,
+        });
+    }
+
+    /// Adds `held → acquired` edges and fails on a cycle in the
+    /// instance-level graph (class-level edges are kept for the report).
+    fn record_lock_order(&self, st: &mut ExecState, tid: usize, acquired: usize) {
+        let held = st.threads[tid].held.clone();
+        for &h in &held {
+            if h == acquired {
+                continue;
+            }
+            st.lock_graph.entry(h).or_default().insert(acquired);
+            let from = fmt_loc(st.objects[h].loc);
+            let to = fmt_loc(st.objects[acquired].loc);
+            if from != to {
+                st.lock_class_edges.insert((from, to));
+            }
+        }
+        // Cycle check from `acquired`: can we get back to anything held?
+        if held.is_empty() {
+            return;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![acquired];
+        let mut cycle_with: Option<usize> = None;
+        'dfs: while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(succs) = st.lock_graph.get(&n) {
+                for &s in succs {
+                    if held.contains(&s) {
+                        cycle_with = Some(s);
+                        break 'dfs;
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+        if let Some(s) = cycle_with {
+            let kind = FailureKind::LockOrderCycle(format!(
+                "t{tid} acquired {} while holding {}, reversing an earlier order",
+                fmt_loc(st.objects[acquired].loc),
+                fmt_loc(st.objects[s].loc),
+            ));
+            st.failure.get_or_insert(kind);
+        }
+    }
+
+    /// Marks `tid` exited. Called by the thread wrapper after the user
+    /// closure returned or unwound; never parks.
+    fn thread_exit(&self, tid: usize) {
+        let mut st = self.st();
+        st.threads[tid].vc.tick(tid);
+        st.threads[tid].state = TState::Exited;
+        if st.running == Some(tid) {
+            st.running = None;
+        }
+        st.real_alive -= 1;
+        self.cond.notify_all();
+    }
+
+    /// Records a panic that escaped a controlled thread and tears the
+    /// execution down.
+    fn record_leaked_panic(&self, tid: usize, msg: String) {
+        let mut st = self.st();
+        let name = st.threads[tid].name.clone();
+        st.failure
+            .get_or_insert(FailureKind::Panic(format!("{name} panicked: {msg}")));
+        st.abort = true;
+        self.cond.notify_all();
+    }
+
+    fn enabled(st: &ExecState, tid: usize) -> bool {
+        match &st.threads[tid].state {
+            TState::Ready(op) => match *op {
+                Op::Lock { obj, .. } => {
+                    matches!(st.objects[obj].state, ObjState::Lock { holder: None, .. })
+                }
+                Op::Join { target } => st.threads[target].state == TState::Exited,
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    /// Human-readable account of why nothing is runnable.
+    fn blocked_summary(st: &ExecState) -> (String, bool) {
+        let mut parts = Vec::new();
+        let mut any_cond = false;
+        for (tid, t) in st.threads.iter().enumerate() {
+            match &t.state {
+                TState::Ready(Op::Lock { obj, from_wait }) => {
+                    let holder = match &st.objects[*obj].state {
+                        ObjState::Lock { holder, .. } => *holder,
+                        _ => None,
+                    };
+                    // A woken waiter stuck re-acquiring is a mutex block,
+                    // not a missing notify.
+                    let what = if *from_wait {
+                        "re-acquiring"
+                    } else {
+                        "acquiring"
+                    };
+                    parts.push(format!(
+                        "t{tid} blocked {what} Mutex@{}{}",
+                        fmt_loc(st.objects[*obj].loc),
+                        holder.map(|h| format!(" held by t{h}")).unwrap_or_default()
+                    ));
+                }
+                TState::Ready(Op::Join { target }) => {
+                    parts.push(format!("t{tid} blocked joining t{target}"));
+                }
+                TState::CondBlocked { cv, .. } => {
+                    any_cond = true;
+                    parts.push(format!(
+                        "t{tid} waiting on Condvar@{} with no notify in flight",
+                        fmt_loc(st.objects[*cv].loc)
+                    ));
+                }
+                _ => {}
+            }
+        }
+        (parts.join("; "), any_cond)
+    }
+}
+
+fn fmt_loc(loc: &'static Location<'static>) -> String {
+    format!("{}:{}", loc.file(), loc.line())
+}
+
+fn describe_op(st: &ExecState, op: &Op) -> String {
+    match *op {
+        Op::Begin => "begin".into(),
+        Op::Lock { obj, from_wait } => format!(
+            "{}(Mutex@{})",
+            if from_wait { "reacquire" } else { "lock" },
+            fmt_loc(st.objects[obj].loc)
+        ),
+        Op::Unlock { obj } => format!("unlock(Mutex@{})", fmt_loc(st.objects[obj].loc)),
+        Op::NotifyOne { cv } => format!("notify_one(Condvar@{})", fmt_loc(st.objects[cv].loc)),
+        Op::NotifyAll { cv } => format!("notify_all(Condvar@{})", fmt_loc(st.objects[cv].loc)),
+        Op::Atomic { obj } => format!("atomic(@{})", fmt_loc(st.objects[obj].loc)),
+        Op::CellRead { obj } => format!("cell_read(@{})", fmt_loc(st.objects[obj].loc)),
+        Op::CellWrite { obj } => format!("cell_write(@{})", fmt_loc(st.objects[obj].loc)),
+        Op::Spawn { child } => format!("spawn(t{child})"),
+        Op::Join { target } => format!("join(t{target})"),
+        Op::Yield => "yield".into(),
+        Op::CondWait { cv, .. } => format!("cond_wait(Condvar@{})", fmt_loc(st.objects[cv].loc)),
+    }
+}
+
+/// Unwinds the calling thread out of the aborted execution, unless it is
+/// already unwinding (in which case every subsequent schedule point is a
+/// no-op so drop glue can run to completion).
+pub(crate) fn abort_unwind() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(ConcAbort);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public-ish entry points used by the wrapper types in sync/atomic/thread.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn op_lock(id: &LazyId, loc: &'static Location<'static>) {
+    let _ = with_ctx(|ctx| {
+        let obj = id.resolve(ctx, ObjKind::Lock, loc);
+        ctx.exec.announce(
+            ctx.tid,
+            Op::Lock {
+                obj,
+                from_wait: false,
+            },
+        );
+    });
+}
+
+pub(crate) fn op_unlock(id: &LazyId, loc: &'static Location<'static>) {
+    let _ = with_ctx(|ctx| {
+        let obj = id.resolve(ctx, ObjKind::Lock, loc);
+        ctx.exec.announce(ctx.tid, Op::Unlock { obj });
+    });
+}
+
+/// Returns `true` when the wait was handled by the model (the caller must
+/// have dropped the real guard first, and must re-lock the real mutex on
+/// return); `false` on the passthrough path.
+pub(crate) fn op_cond_wait(
+    cv_id: &LazyId,
+    cv_loc: &'static Location<'static>,
+    lock_id: &LazyId,
+    lock_loc: &'static Location<'static>,
+) -> bool {
+    with_ctx(|ctx| {
+        let cv = cv_id.resolve(ctx, ObjKind::Cv, cv_loc);
+        let lock = lock_id.resolve(ctx, ObjKind::Lock, lock_loc);
+        ctx.exec.announce_cond_wait(ctx.tid, cv, lock);
+    })
+    .is_some()
+}
+
+pub(crate) fn op_notify(id: &LazyId, loc: &'static Location<'static>, all: bool) {
+    let _ = with_ctx(|ctx| {
+        let cv = id.resolve(ctx, ObjKind::Cv, loc);
+        let op = if all {
+            Op::NotifyAll { cv }
+        } else {
+            Op::NotifyOne { cv }
+        };
+        ctx.exec.announce(ctx.tid, op);
+    });
+}
+
+pub(crate) fn op_atomic(id: &LazyId, loc: &'static Location<'static>) {
+    let _ = with_ctx(|ctx| {
+        let obj = id.resolve(ctx, ObjKind::Atomic, loc);
+        if ctx.exec.cfg.atomics_are_steps {
+            ctx.exec.announce(ctx.tid, Op::Atomic { obj });
+        } else {
+            // Not a scheduling point, but still a happens-before edge: the
+            // controller is idle (this thread is the running one), so the
+            // state lock is free.
+            let mut st = ctx.exec.st();
+            if !st.abort {
+                st.threads[ctx.tid].vc.tick(ctx.tid);
+                Execution::atomic_hb(&mut st, ctx.tid, obj);
+            }
+        }
+    });
+}
+
+pub(crate) fn op_cell(id: &LazyId, loc: &'static Location<'static>, write: bool) {
+    let _ = with_ctx(|ctx| {
+        let obj = id.resolve(ctx, ObjKind::Cell, loc);
+        let op = if write {
+            Op::CellWrite { obj }
+        } else {
+            Op::CellRead { obj }
+        };
+        ctx.exec.announce(ctx.tid, op);
+    });
+}
+
+pub(crate) fn op_yield() {
+    let _ = with_ctx(|ctx| ctx.exec.announce(ctx.tid, Op::Yield));
+}
+
+/// Spawns a controlled thread: registers the child and announces the spawn
+/// (one schedule point), then starts the real thread. Returns the closure
+/// unchanged (`Err`) on the passthrough path — including the corner where
+/// an already-unwinding thread hits execution teardown, in which case the
+/// caller runs it uncontrolled against the dying execution's wreckage.
+pub(crate) fn op_spawn<T, F>(f: F) -> Result<(usize, std::thread::JoinHandle<Option<T>>), F>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = with_ctx(Clone::clone) else {
+        return Err(f);
+    };
+    let child = {
+        let mut st = ctx.exec.st();
+        if st.abort {
+            drop(st);
+            if std::thread::panicking() {
+                return Err(f);
+            }
+            std::panic::panic_any(ConcAbort);
+        }
+        let parent_vc = st.threads[ctx.tid].vc.clone();
+        Execution::register_thread(&mut st, Some(&parent_vc))
+    };
+    ctx.exec.announce(ctx.tid, Op::Spawn { child });
+    // The parent is the running thread from here until its next schedule
+    // point, so the real spawn below always happens before anyone else can
+    // observe (or join) the child.
+    let exec = Arc::clone(&ctx.exec);
+    let real = std::thread::spawn(move || run_controlled(exec, child, f));
+    Ok((child, real))
+}
+
+pub(crate) fn op_join(tid: usize) {
+    let _ = with_ctx(|ctx| ctx.exec.announce(ctx.tid, Op::Join { target: tid }));
+}
+
+/// Body of every controlled OS thread: park at `Begin`, run the user
+/// closure, classify the way it ended. Returns `None` when the execution
+/// was aborted under this thread (its result is meaningless then).
+fn run_controlled<T, F>(exec: Arc<Execution>, tid: usize, f: F) -> Option<T>
+where
+    F: FnOnce() -> T,
+{
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The Begin announce decrements `starting` under the state lock.
+        exec.announce(tid, Op::Begin);
+        f()
+    }));
+    let out = match result {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<ConcAbort>().is_none() {
+                exec.record_leaked_panic(tid, panic_message(payload.as_ref()));
+            }
+            None
+        }
+    };
+    exec.thread_exit(tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The controller: runs one schedule.
+// ---------------------------------------------------------------------------
+
+/// Seeded choice among `candidates` (used when the schedule prefix is
+/// exhausted and the previously-running thread is not continuable).
+fn seeded_pick(seed: u64, depth: usize, candidates: &[usize]) -> usize {
+    let mut x = seed ^ (depth as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    candidates[(x % candidates.len() as u64) as usize]
+}
+
+/// Runs the body once under the given schedule prefix; past the prefix the
+/// controller prefers the previously-running thread (no preemption) and
+/// otherwise picks by seed. Returns the decision sequence and any failure.
+pub(crate) fn run_schedule(
+    cfg: &RtConfig,
+    prefix: Vec<usize>,
+    seed: u64,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> ExecOutcome {
+    let exec = Arc::new(Execution::new(cfg.clone(), prefix));
+    let root_body = Arc::clone(body);
+    {
+        let mut st = exec.st();
+        let root = Execution::register_thread(&mut st, None);
+        debug_assert_eq!(root, 0);
+        Execution::mark_real_spawn(&mut st);
+        drop(st);
+        let exec2 = Arc::clone(&exec);
+        // The root's real handle is intentionally dropped: `real_alive`
+        // tracks its lifetime, and its wrapper result carries nothing.
+        let _ = std::thread::spawn(move || run_controlled(exec2, root, move || root_body()));
+    }
+
+    let mut prev: Option<usize> = None;
+    loop {
+        let mut st = exec.st();
+        // Quiesce: wait until no thread is running and no spawn is pending.
+        let mut stalled = false;
+        while st.running.is_some() || st.starting > 0 {
+            let (guard, timeout) = exec
+                .cond
+                .wait_timeout(st, cfg.stall_timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() && (st.running.is_some() || st.starting > 0) {
+                stalled = true;
+                break;
+            }
+        }
+        if stalled {
+            let running = st.running;
+            st.failure.get_or_insert(FailureKind::Stall(format!(
+                "thread {:?} did not reach a schedule point within {:?} — is it blocked on a \
+                 non-conc primitive?",
+                running, cfg.stall_timeout
+            )));
+            st.abort = true;
+            exec.cond.notify_all();
+            break;
+        }
+        if st.failure.is_some() {
+            st.abort = true;
+            exec.cond.notify_all();
+            break;
+        }
+        let live: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].state != TState::Exited)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let enabled: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&t| Execution::enabled(&st, t))
+            .collect();
+        if enabled.is_empty() {
+            let (summary, any_cond) = Execution::blocked_summary(&st);
+            let failure = if any_cond {
+                FailureKind::LostWakeup(summary)
+            } else {
+                FailureKind::Deadlock(summary)
+            };
+            st.failure.get_or_insert(failure);
+            st.abort = true;
+            exec.cond.notify_all();
+            break;
+        }
+        if st.step >= cfg.max_steps {
+            st.failure.get_or_insert(FailureKind::StepLimit(format!(
+                "execution exceeded {} steps (livelock, or raise Config::max_steps)",
+                cfg.max_steps
+            )));
+            st.abort = true;
+            exec.cond.notify_all();
+            break;
+        }
+        let chosen = if st.prefix_pos < st.prefix.len() {
+            let want = st.prefix[st.prefix_pos];
+            st.prefix_pos += 1;
+            if !enabled.contains(&want) {
+                let step = st.step;
+                st.failure
+                    .get_or_insert(FailureKind::Nondeterminism(format!(
+                        "replay chose t{want} at step {step} but enabled set is {enabled:?}"
+                    )));
+                st.abort = true;
+                exec.cond.notify_all();
+                break;
+            }
+            want
+        } else if prev.is_some_and(|p| enabled.contains(&p)) {
+            // Default policy: keep running the same thread — baseline
+            // schedules are preemption-free, and the explorer injects the
+            // preemptions deliberately.
+            prev.expect("checked above")
+        } else {
+            seeded_pick(seed, st.step, &enabled)
+        };
+        let ops: Vec<Op> = enabled
+            .iter()
+            .map(|&t| match &st.threads[t].state {
+                TState::Ready(op) => *op,
+                other => unreachable!("enabled thread not ready: {other:?}"),
+            })
+            .collect();
+        st.decisions.push(Decision {
+            enabled: enabled.clone(),
+            ops,
+            chosen,
+            prev,
+        });
+        exec.apply_op(&mut st, chosen);
+        if st.failure.is_some() {
+            st.abort = true;
+            exec.cond.notify_all();
+            break;
+        }
+        st.step += 1;
+        st.threads[chosen].state = TState::Running;
+        st.running = Some(chosen);
+        prev = Some(chosen);
+        exec.cond.notify_all();
+        drop(st);
+    }
+
+    // Teardown: wait for every real thread to finish its wrapper so the
+    // next schedule starts from a clean slate. Aborted threads unwind via
+    // `ConcAbort`; a thread stuck outside conc primitives would stall, so
+    // this wait is bounded too (and the stall is already reported).
+    {
+        let mut st = exec.st();
+        let deadline = Instant::now() + cfg.stall_timeout;
+        while st.real_alive > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                st.failure.get_or_insert(FailureKind::Stall(
+                    "threads did not unwind during teardown".to_string(),
+                ));
+                break;
+            }
+            let (guard, _) = exec
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    let mut st = exec.st();
+    ExecOutcome {
+        decisions: std::mem::take(&mut st.decisions),
+        failure: st.failure.clone(),
+        trace: st.trace.iter().cloned().collect(),
+        lock_class_edges: st.lock_class_edges.iter().cloned().collect(),
+    }
+}

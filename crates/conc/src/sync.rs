@@ -1,0 +1,253 @@
+//! Mutex and condition variable, mirroring `std::sync`.
+//!
+//! Without the `model` feature these are `#[inline]` newtypes over the
+//! `std` primitives. With it, every operation that can order one thread
+//! against another becomes a schedule point when the calling thread runs
+//! under `crate::model::check`; uncontrolled threads take the
+//! passthrough path even in a `model` build.
+
+use std::sync::{LockResult, PoisonError};
+
+#[cfg(feature = "model")]
+use crate::rt;
+
+/// A mutual-exclusion primitive with the `std::sync::Mutex` API.
+///
+/// Under the model backend, the mutex's identity for lock-order tracking
+/// is its construction site (`#[track_caller]` on [`Mutex::new`]): every
+/// mutex created at one source location forms one *lock class*, which is
+/// how per-worker or per-request locks collapse into a finite order graph.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    #[cfg(feature = "model")]
+    id: rt::LazyId,
+    #[cfg(feature = "model")]
+    loc: &'static std::panic::Location<'static>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex. `#[track_caller]` so the model backend can
+    /// label the lock class with the caller's source location.
+    #[track_caller]
+    #[inline]
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            #[cfg(feature = "model")]
+            id: rt::LazyId::new(),
+            #[cfg(feature = "model")]
+            loc: std::panic::Location::caller(),
+        }
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        rt::op_lock(&self.id, self.loc);
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard::new(self, inner)),
+            Err(poison) => Err(PoisonError::new(MutexGuard::new(self, poison.into_inner()))),
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity, so
+    /// this is never a schedule point).
+    #[inline]
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        match self.inner.get_mut() {
+            Ok(v) => Ok(v),
+            Err(poison) => Err(PoisonError::new(poison.into_inner())),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    #[inline]
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(v) => Ok(v),
+            Err(poison) => Err(PoisonError::new(poison.into_inner())),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// An RAII guard with the `std::sync::MutexGuard` API. Releasing it is a
+/// schedule point under the model backend.
+pub struct MutexGuard<'a, T> {
+    // `inner` is an Option only so `Condvar::wait` can release the real
+    // lock without announcing a model unlock; it is `Some` for the guard's
+    // entire user-visible lifetime.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    #[inline]
+    fn new(mutex: &'a Mutex<T>, inner: std::sync::MutexGuard<'a, T>) -> Self {
+        MutexGuard {
+            inner: Some(inner),
+            mutex,
+        }
+    }
+
+    /// Drops the real `std` guard without a model unlock announcement, and
+    /// returns the mutex for re-acquisition. Only `Condvar::wait` calls
+    /// this (wait semantics release + block in one indivisible model step).
+    #[cfg(feature = "model")]
+    fn release_silently(mut self) -> &'a Mutex<T> {
+        let mutex = self.mutex;
+        drop(self.inner.take());
+        mutex
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard used after silent release"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard used after silent release"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "model")]
+        if self.inner.is_some() {
+            // Announce first, then let the field drop release the real
+            // lock: the announced thread keeps running until its next
+            // schedule point, so the real release always happens before
+            // any other controlled thread can try the real acquire.
+            rt::op_unlock(&self.mutex.id, self.mutex.loc);
+        }
+        #[cfg(not(feature = "model"))]
+        let _ = &self.mutex;
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A condition variable with the `std::sync::Condvar` API.
+///
+/// The model backend wakes waiters FIFO and never spuriously; production
+/// `std` condvars may do both, so callers must keep the standard
+/// re-check-the-predicate loop (the model would catch a missing loop only
+/// if FIFO order happened to expose it).
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    #[cfg(feature = "model")]
+    id: rt::LazyId,
+    #[cfg(feature = "model")]
+    loc: &'static std::panic::Location<'static>,
+}
+
+impl Condvar {
+    /// Creates a new condition variable. `#[track_caller]` labels it for
+    /// diagnostics under the model backend.
+    #[track_caller]
+    #[inline]
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            #[cfg(feature = "model")]
+            id: rt::LazyId::new(),
+            #[cfg(feature = "model")]
+            loc: std::panic::Location::caller(),
+        }
+    }
+
+    /// Blocks the current thread until this condition variable is
+    /// notified, atomically releasing `guard` for the duration.
+    #[inline]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(feature = "model")]
+        if rt::in_model_thread() {
+            let mutex = guard.release_silently();
+            rt::op_cond_wait(&self.id, self.loc, &mutex.id, mutex.loc);
+            // The model has granted the re-acquisition, so the real lock
+            // is uncontended here.
+            return match mutex.inner.lock() {
+                Ok(inner) => Ok(MutexGuard::new(mutex, inner)),
+                Err(poison) => Err(PoisonError::new(MutexGuard::new(
+                    mutex,
+                    poison.into_inner(),
+                ))),
+            };
+        }
+        let mutex = guard.mutex;
+        let mut guard = guard;
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard used after silent release"),
+        };
+        drop(guard);
+        match self.inner.wait(inner) {
+            Ok(inner) => Ok(MutexGuard::new(mutex, inner)),
+            Err(poison) => Err(PoisonError::new(MutexGuard::new(
+                mutex,
+                poison.into_inner(),
+            ))),
+        }
+    }
+
+    /// Wakes one blocked waiter (the longest-waiting one, under the model
+    /// backend).
+    #[inline]
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        rt::op_notify(&self.id, self.loc, false);
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    #[inline]
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        rt::op_notify(&self.id, self.loc, true);
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    #[track_caller]
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

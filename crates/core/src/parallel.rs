@@ -110,7 +110,7 @@ impl<S: WitnessSampler + Clone + Send + Sync + 'static> ParallelSampler<S> {
     /// Wraps a prepared sampler, defaulting the worker count to the machine's
     /// available parallelism.
     pub fn new(prototype: S) -> Self {
-        let jobs = std::thread::available_parallelism()
+        let jobs = conc::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
         ParallelSampler {
@@ -199,7 +199,7 @@ impl<S: WitnessSampler + Clone + Send + Sync + 'static> ParallelSampler<S> {
         // solver and spawn a thread only to return an empty vector.
         let jobs = count.div_ceil(chunk);
         let mut chunks: Vec<Vec<SampleOutcome>> = Vec::with_capacity(jobs);
-        std::thread::scope(|scope| {
+        conc::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs)
                 .map(|worker| {
                     // Clone-from-prepared happens on the spawning thread so

@@ -100,10 +100,12 @@
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use conc::atomic::{AtomicBool, AtomicU64, Ordering};
+use conc::sync::{Condvar, Mutex, MutexGuard};
+use conc::thread::JoinHandle;
 
 use crate::error::{ServiceConfigError, TrySubmitError};
 use crate::fault::FaultPlan;
@@ -133,7 +135,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            workers: std::thread::available_parallelism()
+            workers: conc::thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             queue_capacity: 16,
@@ -308,6 +310,12 @@ struct Shared {
     worker_items: Vec<AtomicU64>,
     /// Stolen items executed per worker (index = worker id), lifetime.
     worker_steals: Vec<AtomicU64>,
+    /// When set, [`post_outcome`] releases the backpressure slot *after*
+    /// publishing the finished board instead of inside the board critical
+    /// section — deliberately re-introducing the `try_submit` race fixed in
+    /// the backpressure rework, so the model checker can demonstrate it
+    /// finds the bug. See [`SamplerService::debug_reintroduce_slot_release_race`].
+    racy_slot_release: AtomicBool,
 }
 
 /// A point-in-time health snapshot of a [`SamplerService`], taken with
@@ -437,6 +445,7 @@ impl SamplerService {
             item_retries: AtomicU64::new(0),
             worker_items: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             worker_steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            racy_slot_release: AtomicBool::new(false),
         });
         // One retained prototype for the whole pool: each worker clones its
         // private sampler (own incremental solver) from it at spawn, and
@@ -446,7 +455,7 @@ impl SamplerService {
             .map(|me| {
                 let prototype = Arc::clone(&prototype);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || run_worker(prototype, shared, me))
+                conc::thread::spawn(move || run_worker(prototype, shared, me))
             })
             .collect();
         Ok(SamplerService {
@@ -596,6 +605,23 @@ impl SamplerService {
     pub fn shutdown(self) {
         drop(self);
     }
+
+    /// Test-only regression hook: re-introduces the `try_submit`
+    /// backpressure race that was fixed by moving the queue-slot release
+    /// into the board critical section of [`post_outcome`]. With the flag
+    /// set, a completing worker publishes the finished board (waking
+    /// `wait()`ers) *before* decrementing `in_flight`, so a caller that
+    /// observed completion can still get a spurious
+    /// [`TrySubmitError::QueueFull`].
+    ///
+    /// Exists so the model-checked protocol tests can prove the checker
+    /// actually finds this class of bug (`#[cfg(test)]` would not be
+    /// visible from integration tests, hence `#[doc(hidden)]`). Never call
+    /// this outside a test.
+    #[doc(hidden)]
+    pub fn debug_reintroduce_slot_release_race(&self) {
+        self.shared.racy_slot_release.store(true, Ordering::Relaxed);
+    }
 }
 
 impl Drop for SamplerService {
@@ -603,7 +629,14 @@ impl Drop for SamplerService {
         lock(&self.shared.sched).shutdown = true;
         self.shared.work_available.notify_all();
         for handle in self.workers.drain(..) {
-            handle.join().expect("a sampler service worker panicked");
+            let result = handle.join();
+            // When the service is torn down by an unwinding thread (a failed
+            // test assertion, or a model-checker abort), a second panic here
+            // would escalate to a process abort and mask the original
+            // failure; the join itself still happened either way.
+            if !std::thread::panicking() {
+                result.expect("a sampler service worker panicked");
+            }
         }
     }
 }
@@ -756,20 +789,32 @@ fn post_outcome(shared: &Shared, item: &Item, outcome: SampleOutcome) {
     board.slots[item.index] = Some(outcome);
     board.completed += 1;
     let complete = board.completed == state.request.count;
+    let racy = complete && shared.racy_slot_release.load(Ordering::Relaxed);
     if complete {
         board.finished_at = Some(Instant::now());
-        // Release the queue slot while the board lock is still held: a
-        // client that returns from `wait` may immediately retry a rejected
-        // request (the documented backpressure idiom), so the slot must be
-        // observably free by the time the finished board is visible. The
-        // board → sched nesting here is the only place the two locks nest,
-        // so the ordering is globally consistent.
+        if !racy {
+            // Release the queue slot while the board lock is still held: a
+            // client that returns from `wait` may immediately retry a
+            // rejected request (the documented backpressure idiom), so the
+            // slot must be observably free by the time the finished board is
+            // visible. The board → sched nesting here is the only place the
+            // two locks nest, so the ordering is globally consistent.
+            let mut sched = lock(&shared.sched);
+            sched.in_flight -= 1;
+            drop(sched);
+        }
+    }
+    state.ready.notify_all();
+    drop(board);
+    if racy {
+        // Deliberately broken ordering, enabled only by
+        // `debug_reintroduce_slot_release_race`: the finished board is
+        // already visible, so a `wait()`er can race ahead of this decrement
+        // and observe a spuriously full queue.
         let mut sched = lock(&shared.sched);
         sched.in_flight -= 1;
         drop(sched);
     }
-    state.ready.notify_all();
-    drop(board);
     if complete {
         shared.admission.notify_all();
     }

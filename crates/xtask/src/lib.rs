@@ -1,0 +1,436 @@
+//! Source-level repo lints, in the `cargo xtask` tradition (a workspace
+//! binary instead of an external tool — nothing to install, versioned
+//! with the code it checks).
+//!
+//! `cargo run -p xtask -- lint` walks the workspace sources and enforces
+//! three rules that `rustc`/`clippy` cannot express:
+//!
+//! * **`std-sync`** — `std::sync::{Mutex, Condvar}` and
+//!   `std::thread::spawn` are forbidden outside `crates/conc`: every
+//!   concurrent component must build on the `conc` abstraction layer so
+//!   the model checker can explore it. (Atomics are allowed — they pass
+//!   through `conc::atomic` by convention, but a raw atomic cannot hide a
+//!   blocking protocol from the checker.)
+//! * **`wall-clock`** — `Instant::now` / `SystemTime` are forbidden
+//!   outside the solver budget's wall-clock path and bench code: the
+//!   bit-identity contract (PR 4/7) requires that no sampling decision
+//!   ever branches on real time.
+//! * **`no-unwrap`** — `.unwrap()` / `.expect(` are forbidden in library
+//!   code (test modules, `tests/`, and binaries are exempt): library
+//!   errors must flow through the typed error enums.
+//!
+//! Pre-existing violations are grandfathered in the repo-root
+//! `lint-allow.txt` (format: `<rule> <path>` per line, `#` comments).
+//! The allowlist is debt, not license — new files should not be added.
+//!
+//! The scanner is deliberately line-based (no syn, no parsing): it strips
+//! `//` comments, skips `#[cfg(test)]` modules by brace counting, and
+//! matches substrings. That misses pathological encodings (a forbidden
+//! path split across lines) and that is fine — the lint exists to catch
+//! honest drift, and the real enforcement for the sync layer is that
+//! model-checked tests only exercise `conc` types.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in the order they are applied.
+pub const RULES: [&str; 3] = ["std-sync", "wall-clock", "no-unwrap"];
+
+/// A single lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.text
+        )
+    }
+}
+
+/// Entry point for the `xtask` binary. Returns the process exit code.
+pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
+    match args.next().as_deref() {
+        Some("lint") => match lint_workspace() {
+            Ok(violations) => {
+                if violations.is_empty() {
+                    println!("xtask lint: clean");
+                    0
+                } else {
+                    for v in &violations {
+                        println!("{v}");
+                    }
+                    println!(
+                        "xtask lint: {} violation(s); fix them or (for pre-existing debt only) \
+                         add `<rule> <path>` to lint-allow.txt",
+                        violations.len()
+                    );
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("xtask lint: error: {e}");
+                2
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            2
+        }
+    }
+}
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when run via
+/// cargo, the current directory otherwise.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(Path::parent)
+                .map(Path::to_path_buf)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+/// Lints every tracked source tree under the workspace root and filters
+/// the result through `lint-allow.txt`.
+pub fn lint_workspace() -> Result<Vec<Violation>, String> {
+    let root = workspace_root();
+    let allow = load_allowlist(&root.join("lint-allow.txt"))?;
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        violations.extend(
+            lint_source(&rel, &content)
+                .into_iter()
+                .filter(|v| !allow.contains(&(v.rule.to_string(), v.path.clone()))),
+        );
+    }
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses `lint-allow.txt`: one `<rule> <path>` pair per line.
+fn load_allowlist(path: &Path) -> Result<BTreeSet<(String, String)>, String> {
+    let mut allow = BTreeSet::new();
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(allow),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    for (no, line) in content.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), None) if RULES.contains(&rule) => {
+                allow.insert((rule.to_string(), path.to_string()));
+            }
+            _ => {
+                return Err(format!(
+                    "lint-allow.txt:{}: expected `<rule> <path>` with rule in {RULES:?}",
+                    no + 1
+                ));
+            }
+        }
+    }
+    Ok(allow)
+}
+
+/// Which rules apply to a workspace-relative path. The infrastructure
+/// crates are exempt wholesale: `crates/conc` *is* the sanctioned home of
+/// raw `std::sync`, `crates/xtask` is the linter itself (its sources
+/// contain every forbidden token as a pattern), and `vendor/` is
+/// third-party stand-in code.
+fn applicable_rules(path: &str) -> Vec<&'static str> {
+    if path.starts_with("vendor/")
+        || path.starts_with("crates/conc/")
+        || path.starts_with("crates/xtask/")
+    {
+        return Vec::new();
+    }
+    let mut rules = vec!["std-sync"];
+    let is_bench = path.starts_with("crates/bench/") || path.contains("/benches/");
+    if !is_bench {
+        rules.push("wall-clock");
+    }
+    // Library code only: crate and root `src/` trees, minus binaries.
+    let in_lib = (path.contains("/src/") || path.starts_with("src/"))
+        && !path.ends_with("/main.rs")
+        && !path.contains("/bin/");
+    if in_lib && !is_bench {
+        rules.push("no-unwrap");
+    }
+    rules
+}
+
+/// Lints one file's contents. Exposed (rather than only the directory
+/// walk) so the self-tests can feed synthetic sources through the exact
+/// production code path.
+pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
+    let rules = applicable_rules(path);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    // Brace-counted skip state for `#[cfg(test)] mod …` blocks.
+    let mut pending_cfg_test = false;
+    let mut skip_depth: Option<i64> = None;
+    for (idx, raw) in content.lines().enumerate() {
+        let code = raw.split("//").next().unwrap_or("").trim_end();
+        let trimmed = code.trim_start();
+        if let Some(depth) = skip_depth.as_mut() {
+            *depth += brace_delta(code);
+            if *depth <= 0 {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") || trimmed.is_empty() {
+                // Further attributes between the cfg and the item.
+                continue;
+            }
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                let depth = brace_delta(code);
+                if depth > 0 {
+                    skip_depth = Some(depth);
+                }
+                // `mod foo;` (depth 0) refers to a file that is linted —
+                // or rather skipped — on its own merits.
+                continue;
+            }
+            // `#[cfg(test)]` on a non-module item (helper fn, import):
+            // test-only too, but without braces tracked we only skip the
+            // single item line. Good enough for this codebase's idiom.
+            continue;
+        }
+        for rule in &rules {
+            if let Some(hit) = match_rule(rule, trimmed) {
+                violations.push(Violation {
+                    rule,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    text: hit,
+                });
+            }
+        }
+    }
+    violations
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0;
+    for c in code.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+fn match_rule(rule: &str, code: &str) -> Option<String> {
+    let hit =
+        |needle: &str| -> Option<String> { code.contains(needle).then(|| code.trim().to_string()) };
+    match rule {
+        "std-sync" => {
+            if code.starts_with("use std::sync")
+                && (code.contains("Mutex") || code.contains("Condvar"))
+            {
+                return Some(code.trim().to_string());
+            }
+            if code.starts_with("use std::thread") && code.contains("spawn") {
+                return Some(code.trim().to_string());
+            }
+            hit("std::sync::Mutex")
+                .or_else(|| hit("std::sync::Condvar"))
+                .or_else(|| hit("std::thread::spawn"))
+        }
+        "wall-clock" => hit("Instant::now").or_else(|| hit("SystemTime")),
+        "no-unwrap" => hit(".unwrap()").or_else(|| hit(".expect(")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_std_sync_in_library_code() {
+        let src = "use std::sync::{Arc, Mutex};\nfn f() { let _ = std::sync::Condvar::new(); }\n";
+        let v = lint_source("crates/core/src/service.rs", src);
+        assert_eq!(rules_of(&v), vec!["std-sync", "std-sync"]);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn flags_std_thread_spawn_but_not_conc_spawn() {
+        let src = "fn f() { std::thread::spawn(|| {}); conc::thread::spawn(|| {}); }\n";
+        let v = lint_source("crates/core/src/service.rs", src);
+        assert_eq!(rules_of(&v), vec!["std-sync"]);
+        let clean = lint_source(
+            "crates/core/src/service.rs",
+            "fn f() { conc::thread::spawn(|| {}); }\n",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn conc_xtask_and_vendor_are_exempt() {
+        let src = "use std::sync::Mutex;\nfn f() { x.unwrap(); Instant::now(); }\n";
+        assert!(lint_source("crates/conc/src/rt.rs", src).is_empty());
+        assert!(lint_source("crates/xtask/src/lib.rs", src).is_empty());
+        assert!(lint_source("vendor/rand/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_outside_bench() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/unigen.rs", src)),
+            vec!["wall-clock"]
+        );
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/core/benches/speed.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_in_lib_but_not_tests_or_bins() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"boom\"); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/sampler.rs", src)),
+            vec!["no-unwrap", "no-unwrap"]
+        );
+        assert!(lint_source("crates/core/tests/service.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/main.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); }\n";
+        assert!(lint_source("crates/core/src/sampler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped_by_brace_counting() {
+        let src = "\
+fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let _ = Instant::now();
+        let _ = (x, Mutex::new(()));
+    }
+}
+
+fn after() { tail.unwrap(); }
+";
+        let v = lint_source("crates/core/src/service.rs", src);
+        assert_eq!(rules_of(&v), vec!["no-unwrap"]);
+        assert_eq!(v[0].line, 15, "the post-module line is still linted: {v:?}");
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "// std::sync::Mutex is forbidden\nfn f() {} // x.unwrap()\n";
+        assert!(lint_source("crates/core/src/service.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_junk() {
+        let dir = std::env::temp_dir().join(format!("xtask-allow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.txt");
+        std::fs::write(&good, "# debt\nno-unwrap crates/core/src/support.rs\n").unwrap();
+        let allow = load_allowlist(&good).unwrap();
+        assert!(allow.contains(&(
+            "no-unwrap".to_string(),
+            "crates/core/src/support.rs".to_string()
+        )));
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "not-a-rule crates/core/src/support.rs\n").unwrap();
+        assert!(load_allowlist(&bad).is_err());
+        let missing = load_allowlist(&dir.join("absent.txt")).unwrap();
+        assert!(missing.is_empty());
+    }
+
+    /// The real tree must be clean — this is the same check CI runs, kept
+    /// as a unit test so `cargo test` alone catches drift.
+    #[test]
+    fn workspace_is_clean() {
+        let violations = lint_workspace().expect("lint walk failed");
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace task runner (`cargo xtask` pattern, vendored): repo lints.
+
+fn main() {
+    std::process::exit(xtask::run(std::env::args().skip(1)));
+}

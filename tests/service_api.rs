@@ -114,7 +114,8 @@ fn builder_rejects_misapplied_options_at_build_time() {
 /// timing.
 #[test]
 fn bounded_queue_backpressure_round_trip() {
-    use std::sync::{Arc, Condvar, Mutex};
+    use conc::sync::{Condvar, Mutex};
+    use std::sync::Arc;
 
     #[derive(Clone)]
     struct Gated {
@@ -163,6 +164,62 @@ fn bounded_queue_backpressure_round_trip() {
     assert_eq!(second.wait().outcomes.len(), 3);
     let retried = service.try_submit(SampleRequest::new(3, 3)).unwrap();
     assert_eq!(retried.wait().outcomes.len(), 3);
+}
+
+/// Regression (handle lifecycle audit): a `ResponseHandle` dropped
+/// mid-stream — while workers are still blocked *executing* that request's
+/// items — must not wedge or panic the service. The request's board simply
+/// loses its reader; workers keep posting outcomes into it and release the
+/// queue slot on completion, so the service stays usable and drains cleanly
+/// on drop.
+#[test]
+fn handle_dropped_mid_stream_leaves_service_usable() {
+    use conc::sync::{Condvar, Mutex};
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct Gated {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+    impl WitnessSampler for Gated {
+        fn sample(&mut self, _rng: &mut dyn RngCore) -> SampleOutcome {
+            let (lock, condvar) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = condvar.wait(open).unwrap();
+            }
+            SampleOutcome::bottom(SampleStats::default())
+        }
+        fn name(&self) -> &'static str {
+            "Gated"
+        }
+    }
+
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let service = SamplerService::new(
+        Gated {
+            gate: Arc::clone(&gate),
+        },
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(1),
+    );
+    let mut abandoned = service.submit(SampleRequest::new(4, 1));
+    // The workers are (or will shortly be) parked inside `sample` on the
+    // closed gate; the stream has produced nothing yet.
+    assert_eq!(abandoned.completed(), 0);
+    assert!(abandoned.try_next().is_none());
+    drop(abandoned);
+    {
+        let (lock, condvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        condvar.notify_all();
+    }
+    // The orphaned request still completes and frees its queue slot, so a
+    // follow-up submission is admitted and answered in full.
+    let follow_up = service.submit(SampleRequest::new(3, 2)).wait();
+    assert_eq!(follow_up.outcomes.len(), 3);
+    service.shutdown();
 }
 
 /// `SampleResponse::aggregate_stats` is exactly the `accumulate` fold of the
