@@ -1,0 +1,385 @@
+//! The checker's own clause database and unit propagation.
+//!
+//! This is an independent two-watched-literal engine, much smaller than the
+//! solver's: it only ever assigns at the root level plus one temporary
+//! layer of RUP assumptions, so there is no decision heap, no conflict
+//! analysis, and no clause learning. Root assignments are permanent (a
+//! forward checker never retracts them, even when the clause that produced
+//! one is later deleted); RUP assumptions are rolled back after each check.
+//!
+//! Internal literal encoding: a variable is a `u32` index, a literal is
+//! `var << 1 | sign` with `sign = 1` for negative. The checker interleaves
+//! two variable spaces — proof variables map to even internal indices and
+//! checker-allocated auxiliary variables (for xor expansions) to odd ones —
+//! so fresh solver variables can never collide with checker auxiliaries;
+//! that mapping lives in the checker, not here.
+
+use std::collections::HashMap;
+
+/// Internal literal: `var << 1 | sign` (sign 1 = negated).
+pub(crate) type ILit = u32;
+
+/// Builds an internal literal from an internal variable index.
+pub(crate) fn mklit(var: u32, neg: bool) -> ILit {
+    var << 1 | u32::from(neg)
+}
+
+/// The internal variable of a literal.
+pub(crate) fn litvar(lit: ILit) -> u32 {
+    lit >> 1
+}
+
+/// Negates an internal literal.
+pub(crate) fn neg(lit: ILit) -> ILit {
+    lit ^ 1
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+/// Where a clause came from; governs what may delete it and whether a
+/// witness is evaluated against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// A clause of the base formula.
+    Axiom,
+    /// A clause of an xor row's Tseitin expansion (mentions auxiliary
+    /// variables, so witnesses are checked against row parities instead).
+    XorExpansion,
+    /// A clause installed under a guard by the producer.
+    Guarded,
+    /// A blocking clause of the cell protocol.
+    Block,
+    /// A learned clause that passed RUP (the only kind `Delete` may touch).
+    Learned,
+    /// A clause entailed by the database (verified verdicts, retire units).
+    Lemma,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<ILit>,
+    kind: Kind,
+    deleted: bool,
+}
+
+/// Clause database with root-level propagation and RUP checking.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Db {
+    vals: Vec<u8>,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>,
+    trail: Vec<ILit>,
+    qhead: usize,
+    /// The database has been refuted: root propagation reached a conflict.
+    /// Every subsequent RUP check trivially succeeds.
+    contradiction: bool,
+    /// Sorted-literal key → indices of clauses with those literals, for
+    /// delete-by-literals lookups.
+    by_lits: HashMap<Vec<ILit>, Vec<u32>>,
+}
+
+impl Db {
+    pub(crate) fn contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    fn ensure_var(&mut self, var: u32) {
+        let needed = (var as usize + 1) * 2;
+        if self.watches.len() < needed {
+            self.watches.resize_with(needed, Vec::new);
+            self.vals.resize(var as usize + 1, UNDEF);
+        }
+    }
+
+    /// `Some(true)` if the literal is assigned true, `Some(false)` if
+    /// false, `None` if unassigned.
+    pub(crate) fn value(&self, lit: ILit) -> Option<bool> {
+        match self.vals[litvar(lit) as usize] {
+            UNDEF => None,
+            v => Some((v == TRUE) != (lit & 1 == 1)),
+        }
+    }
+
+    /// Assigns a literal; returns `false` on an immediate conflict.
+    fn enqueue(&mut self, lit: ILit) -> bool {
+        match self.value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                self.vals[litvar(lit) as usize] = if lit & 1 == 0 { TRUE } else { FALSE };
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Propagates queued assignments; returns `false` on conflict. The
+    /// trail keeps the assignments made before the conflict, so a caller
+    /// rolling back to a mark stays consistent.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = neg(lit);
+            let mut ws = std::mem::take(&mut self.watches[false_lit as usize]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i] as usize;
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand as usize].push(ws[i]);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                if !self.enqueue(first) {
+                    self.watches[false_lit as usize] = ws;
+                    return false;
+                }
+                i += 1;
+            }
+            self.watches[false_lit as usize] = ws;
+        }
+        true
+    }
+
+    /// Asserts a literal at the root and propagates; a conflict refutes
+    /// the database.
+    pub(crate) fn assert_root(&mut self, lit: ILit) {
+        self.ensure_var(litvar(lit));
+        if self.contradiction {
+            return;
+        }
+        if !self.enqueue(lit) || !self.propagate() {
+            self.contradiction = true;
+        }
+    }
+
+    /// Installs a clause (root level only) and returns its index.
+    pub(crate) fn add_clause(&mut self, mut lits: Vec<ILit>, kind: Kind) -> u32 {
+        // Repeated literals would break the two-watch invariant; drop them
+        // (keeping first occurrences) before storing.
+        let mut seen = Vec::with_capacity(lits.len());
+        lits.retain(|&l| {
+            let fresh = !seen.contains(&l);
+            if fresh {
+                seen.push(l);
+            }
+            fresh
+        });
+        for &l in &lits {
+            self.ensure_var(litvar(l));
+        }
+        let idx = self.clauses.len() as u32;
+        let mut key = lits.clone();
+        key.sort_unstable();
+        key.dedup();
+        self.by_lits.entry(key).or_default().push(idx);
+        self.clauses.push(Clause {
+            lits,
+            kind,
+            deleted: false,
+        });
+        if !self.contradiction {
+            self.attach(idx as usize);
+        }
+        idx
+    }
+
+    /// Watches a freshly stored clause, resolving root-level degeneracies:
+    /// a root-satisfied clause stays unwatched (root assignments are
+    /// permanent, so it can never become unit), a root-unit clause asserts
+    /// its literal, a root-falsified or empty clause refutes the database.
+    fn attach(&mut self, ci: usize) {
+        let lits = &self.clauses[ci].lits;
+        // A tautology can never be falsified; skip watching it.
+        for (i, &l) in lits.iter().enumerate() {
+            if lits[..i].contains(&neg(l)) {
+                return;
+            }
+        }
+        if lits.iter().any(|&l| self.value(l) == Some(true)) {
+            return;
+        }
+        let open: Vec<usize> = (0..lits.len())
+            .filter(|&i| self.value(lits[i]) != Some(false))
+            .collect();
+        match open.len() {
+            0 => self.contradiction = true,
+            1 => {
+                let unit = self.clauses[ci].lits[open[0]];
+                if !self.enqueue(unit) || !self.propagate() {
+                    self.contradiction = true;
+                }
+            }
+            _ => {
+                self.clauses[ci].lits.swap(0, open[0]);
+                // `open` is ascending, so `open[1]` is neither 0 nor
+                // `open[0]` — the first swap cannot have disturbed it.
+                self.clauses[ci].lits.swap(1, open[1]);
+                let (w0, w1) = (self.clauses[ci].lits[0], self.clauses[ci].lits[1]);
+                self.watches[w0 as usize].push(ci as u32);
+                self.watches[w1 as usize].push(ci as u32);
+            }
+        }
+    }
+
+    /// Marks a clause deleted (watch lists are cleaned lazily).
+    pub(crate) fn delete(&mut self, idx: u32) {
+        self.clauses[idx as usize].deleted = true;
+    }
+
+    /// Finds an active clause of the given kind with exactly these
+    /// literals (as a set).
+    pub(crate) fn find_active(&self, lits: &[ILit], kind: Kind) -> Option<u32> {
+        let mut key = lits.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.by_lits
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|&idx| {
+                let c = &self.clauses[idx as usize];
+                !c.deleted && c.kind == kind
+            })
+    }
+
+    /// Checks that `clause` is RUP: asserting the negation of each literal
+    /// and propagating reaches a conflict. The temporary assignments are
+    /// rolled back; the root trail is untouched.
+    pub(crate) fn rup(&mut self, clause: &[ILit]) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        for &l in clause {
+            self.ensure_var(litvar(l));
+        }
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in clause {
+            if !self.enqueue(neg(l)) {
+                conflict = true;
+                break;
+            }
+        }
+        if !conflict {
+            conflict = !self.propagate();
+        }
+        for &l in &self.trail[mark..] {
+            self.vals[litvar(l) as usize] = UNDEF;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        conflict
+    }
+
+    /// Iterates the active clauses as `(index, kind, literals)`.
+    pub(crate) fn active(&self) -> impl Iterator<Item = (u32, Kind, &[ILit])> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, c)| (i as u32, c.kind, c.lits.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(v: u32) -> ILit {
+        mklit(v, false)
+    }
+
+    fn negl(v: u32) -> ILit {
+        mklit(v, true)
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        let mut db = Db::default();
+        db.add_clause(vec![pos(0)], Kind::Axiom);
+        db.add_clause(vec![negl(0), pos(1)], Kind::Axiom);
+        db.add_clause(vec![negl(1), pos(2)], Kind::Axiom);
+        assert_eq!(db.value(pos(2)), Some(true));
+        assert!(!db.contradiction());
+    }
+
+    #[test]
+    fn rup_detects_entailed_clause_and_rolls_back() {
+        let mut db = Db::default();
+        db.add_clause(vec![pos(0), pos(1)], Kind::Axiom);
+        db.add_clause(vec![pos(0), negl(1)], Kind::Axiom);
+        // (x0) is entailed; (¬x0) is not.
+        assert!(db.rup(&[pos(0)]));
+        assert!(!db.rup(&[negl(0)]));
+        assert_eq!(db.value(pos(0)), None);
+        // The same checks again: the rollback left a clean state.
+        assert!(db.rup(&[pos(0)]));
+    }
+
+    #[test]
+    fn contradiction_makes_everything_rup() {
+        let mut db = Db::default();
+        db.add_clause(vec![pos(0)], Kind::Axiom);
+        db.add_clause(vec![negl(0)], Kind::Axiom);
+        assert!(db.contradiction());
+        assert!(db.rup(&[]));
+    }
+
+    #[test]
+    fn deleted_clause_no_longer_propagates() {
+        let mut db = Db::default();
+        let c = db.add_clause(vec![pos(0), pos(1)], Kind::Learned);
+        db.add_clause(vec![pos(0), negl(1)], Kind::Axiom);
+        assert!(db.rup(&[pos(0)]));
+        db.delete(c);
+        assert!(!db.rup(&[pos(0)]));
+    }
+
+    #[test]
+    fn find_active_matches_by_set_and_kind() {
+        let mut db = Db::default();
+        let c = db.add_clause(vec![pos(1), negl(0)], Kind::Learned);
+        assert_eq!(db.find_active(&[negl(0), pos(1)], Kind::Learned), Some(c));
+        assert_eq!(db.find_active(&[negl(0), pos(1)], Kind::Axiom), None);
+        db.delete(c);
+        assert_eq!(db.find_active(&[negl(0), pos(1)], Kind::Learned), None);
+    }
+
+    #[test]
+    fn root_units_survive_their_clause_deletion() {
+        let mut db = Db::default();
+        let c = db.add_clause(vec![pos(0)], Kind::Learned);
+        db.delete(c);
+        // Forward checkers never retract root assignments.
+        assert_eq!(db.value(pos(0)), Some(true));
+    }
+
+    #[test]
+    fn tautologies_are_inert() {
+        let mut db = Db::default();
+        db.add_clause(vec![pos(0), negl(0)], Kind::Axiom);
+        db.add_clause(vec![pos(1)], Kind::Axiom);
+        assert!(!db.contradiction());
+        assert_eq!(db.value(pos(1)), Some(true));
+    }
+}

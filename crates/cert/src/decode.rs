@@ -1,0 +1,421 @@
+//! Independent decoder for the binary proof format.
+//!
+//! The step tags and encodings here are a deliberate re-statement of the
+//! format written by `unigen-satsolver`'s `proof` module — the byte format
+//! is the contract between the two crates, not shared code. Integers are
+//! LEB128 varints; literals are zigzag-encoded signed DIMACS numbers;
+//! variables are 1-based (0 encodes "none" where a guard is optional);
+//! witness values are LSB-first packed bits.
+
+use crate::CheckError;
+
+/// Step tags (independent copy of the producer's values).
+pub mod tag {
+    /// A fresh activation guard variable was allocated.
+    pub const NEW_GUARD: u8 = 1;
+    /// An xor row was added (guarded or unguarded).
+    pub const XOR_ROW: u8 = 2;
+    /// A row derived as a GF(2) sum of previously logged rows.
+    pub const XOR_DERIVE: u8 = 3;
+    /// A learned clause, checkable by reverse unit propagation.
+    pub const LEARNED: u8 = 4;
+    /// A learned clause was deleted from the database.
+    pub const DELETE: u8 = 5;
+    /// An input clause of the base formula was added.
+    pub const AXIOM: u8 = 6;
+    /// A clause added under a guard (weakened with the disable literal).
+    pub const GUARDED_CLAUSE: u8 = 7;
+    /// An enumeration session (cell) opened.
+    pub const CELL_BEGIN: u8 = 8;
+    /// A model found during enumeration.
+    pub const WITNESS: u8 = 9;
+    /// The blocking clause installed after a witness.
+    pub const BLOCK: u8 = 10;
+    /// An Unsat-under-assumptions verdict.
+    pub const UNSAT_UNDER: u8 = 11;
+    /// The current cell closed (reason byte follows).
+    pub const CELL_CLOSE: u8 = 12;
+    /// A guard was retired.
+    pub const RETIRE_GUARD: u8 = 13;
+}
+
+/// A decoded proof step.
+///
+/// Variables are reported 1-based exactly as encoded; literals are signed
+/// DIMACS integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Step {
+    /// A fresh activation guard variable.
+    NewGuard {
+        /// The guard variable (1-based).
+        guard: u64,
+    },
+    /// An xor row `vars = rhs`, optionally scoped to a guard. Rows are
+    /// implicitly numbered 1, 2, … in stream order for [`Step::XorDerive`]
+    /// references.
+    XorRow {
+        /// Scoping guard, if any.
+        guard: Option<u64>,
+        /// Row variables (1-based).
+        vars: Vec<u64>,
+        /// Row parity.
+        rhs: bool,
+    },
+    /// A row derived as the GF(2) sum of the rows numbered in `from`.
+    XorDerive {
+        /// The guard the derivation is scoped to.
+        guard: u64,
+        /// Derived row variables (1-based).
+        vars: Vec<u64>,
+        /// Derived row parity.
+        rhs: bool,
+        /// 1-based stream ids of the summed rows.
+        from: Vec<u64>,
+    },
+    /// A learned clause (RUP over the database logged so far).
+    Learned {
+        /// Clause literals.
+        lits: Vec<i64>,
+    },
+    /// Deletion of a learned clause (ignored if no match exists).
+    Delete {
+        /// Clause literals.
+        lits: Vec<i64>,
+    },
+    /// An input clause of the base formula.
+    Axiom {
+        /// Clause literals.
+        lits: Vec<i64>,
+    },
+    /// A clause weakened with its guard's disable literal.
+    GuardedClause {
+        /// Clause literals (the positive guard literal is among them).
+        lits: Vec<i64>,
+    },
+    /// An enumeration cell opened.
+    CellBegin {
+        /// Scoping guard, if any.
+        guard: Option<u64>,
+        /// Sampling-set variables (1-based) defining witness identity.
+        sampling: Vec<u64>,
+    },
+    /// A full model over the producer's variables at that point in time.
+    Witness {
+        /// `values[i]` is the value of 1-based variable `i + 1`.
+        values: Vec<bool>,
+    },
+    /// The blocking clause installed after the preceding witness.
+    Block {
+        /// Clause literals.
+        lits: Vec<i64>,
+    },
+    /// Unsat under the given assumption literals: the clause of negated
+    /// assumptions is claimed RUP.
+    UnsatUnder {
+        /// The assumption literals the solve ran under.
+        assumptions: Vec<i64>,
+    },
+    /// The open cell closed.
+    CellClose {
+        /// Close reason byte: 0 exhausted, 1 bound reached, 2 interrupted.
+        reason: u8,
+    },
+    /// A guard was retired: clauses mentioning it are dropped and the unit
+    /// clause `g` joins the database.
+    RetireGuard {
+        /// The retired guard variable (1-based).
+        guard: u64,
+    },
+}
+
+/// Decode failure local to one step.
+pub(crate) enum DecodeErr {
+    /// The buffer ended mid-step; more bytes may complete it.
+    Incomplete,
+    /// The bytes cannot be a valid step no matter what follows.
+    Malformed(&'static str),
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, DecodeErr> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeErr::Incomplete)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u(&mut self) -> Result<u64, DecodeErr> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift == 63 && b > 1 {
+                return Err(DecodeErr::Malformed("varint overflows u64"));
+            }
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeErr::Malformed("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    fn i(&mut self) -> Result<i64, DecodeErr> {
+        let z = self.u()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn lit(&mut self) -> Result<i64, DecodeErr> {
+        let l = self.i()?;
+        if l == 0 {
+            return Err(DecodeErr::Malformed("zero literal"));
+        }
+        Ok(l)
+    }
+
+    fn var(&mut self) -> Result<u64, DecodeErr> {
+        let v = self.u()?;
+        if v == 0 {
+            return Err(DecodeErr::Malformed("zero variable"));
+        }
+        Ok(v)
+    }
+
+    fn opt_var(&mut self) -> Result<Option<u64>, DecodeErr> {
+        let v = self.u()?;
+        Ok((v != 0).then_some(v))
+    }
+
+    /// A count prefix. A corrupted huge count cannot trigger a huge
+    /// allocation: callers cap `Vec::with_capacity` and the element decode
+    /// loop runs out of buffer (`Incomplete`) long before materialising a
+    /// count the stream cannot actually hold.
+    fn count(&mut self) -> Result<usize, DecodeErr> {
+        let n = self.u()?;
+        if n > 1 << 32 {
+            return Err(DecodeErr::Malformed("absurd element count"));
+        }
+        Ok(n as usize)
+    }
+
+    fn lits(&mut self) -> Result<Vec<i64>, DecodeErr> {
+        let n = self.count()?;
+        let mut lits = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            lits.push(self.lit()?);
+        }
+        Ok(lits)
+    }
+
+    fn vars(&mut self, n: usize) -> Result<Vec<u64>, DecodeErr> {
+        let mut vars = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            vars.push(self.var()?);
+        }
+        Ok(vars)
+    }
+
+    fn rhs(&mut self) -> Result<bool, DecodeErr> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeErr::Malformed("parity byte is not 0 or 1")),
+        }
+    }
+}
+
+/// Tries to decode one step from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer ends mid-step (streaming callers wait
+/// for more bytes), `Ok(Some((step, consumed)))` on success. `Err` always
+/// means the bytes can never become a valid step.
+pub(crate) fn try_step(buf: &[u8]) -> Result<Option<(Step, usize)>, DecodeErr> {
+    match step_inner(buf) {
+        Err(DecodeErr::Incomplete) => Ok(None),
+        other => other,
+    }
+}
+
+fn step_inner(buf: &[u8]) -> Result<Option<(Step, usize)>, DecodeErr> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let mut r = Reader { buf, pos: 0 };
+    let step = match r.byte()? {
+        tag::NEW_GUARD => Step::NewGuard { guard: r.var()? },
+        tag::XOR_ROW => {
+            let guard = r.opt_var()?;
+            let n = r.count()?;
+            let vars = r.vars(n)?;
+            let rhs = r.rhs()?;
+            Step::XorRow { guard, vars, rhs }
+        }
+        tag::XOR_DERIVE => {
+            let guard = r.var()?;
+            let n = r.count()?;
+            let vars = r.vars(n)?;
+            let rhs = r.rhs()?;
+            let m = r.count()?;
+            let mut from = Vec::with_capacity(m.min(4096));
+            for _ in 0..m {
+                from.push(r.u()?);
+            }
+            Step::XorDerive {
+                guard,
+                vars,
+                rhs,
+                from,
+            }
+        }
+        tag::LEARNED => Step::Learned { lits: r.lits()? },
+        tag::DELETE => Step::Delete { lits: r.lits()? },
+        tag::AXIOM => Step::Axiom { lits: r.lits()? },
+        tag::GUARDED_CLAUSE => Step::GuardedClause { lits: r.lits()? },
+        tag::CELL_BEGIN => {
+            let guard = r.opt_var()?;
+            let n = r.count()?;
+            let sampling = r.vars(n)?;
+            Step::CellBegin { guard, sampling }
+        }
+        tag::WITNESS => {
+            let n = r.count()?;
+            let mut values = Vec::with_capacity(n.min(4096));
+            let mut byte = 0u8;
+            for i in 0..n {
+                if i % 8 == 0 {
+                    byte = r.byte()?;
+                }
+                values.push(byte >> (i % 8) & 1 == 1);
+            }
+            Step::Witness { values }
+        }
+        tag::BLOCK => Step::Block { lits: r.lits()? },
+        tag::UNSAT_UNDER => Step::UnsatUnder {
+            assumptions: r.lits()?,
+        },
+        tag::CELL_CLOSE => Step::CellClose { reason: r.byte()? },
+        tag::RETIRE_GUARD => Step::RetireGuard { guard: r.var()? },
+        _ => return Err(DecodeErr::Malformed("unknown step tag")),
+    };
+    Ok(Some((step, r.pos)))
+}
+
+/// Returns the `(offset, length)` span of every step in a complete proof
+/// stream.
+///
+/// This is the surgery table for proof-mutation tooling (and tests): a step
+/// can be dropped, duplicated, or reordered by splicing byte ranges without
+/// re-encoding. Fails if the stream is malformed or ends mid-step.
+pub fn step_spans(bytes: &[u8]) -> Result<Vec<(usize, usize)>, CheckError> {
+    let mut spans = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match try_step(&bytes[pos..]) {
+            Ok(Some((_, len))) => {
+                spans.push((pos, len));
+                pos += len;
+            }
+            Ok(None) => return Err(CheckError::Truncated { offset: pos as u64 }),
+            Err(DecodeErr::Incomplete) => unreachable!("try_step maps Incomplete to Ok(None)"),
+            Err(DecodeErr::Malformed(detail)) => {
+                return Err(CheckError::Malformed {
+                    offset: pos as u64,
+                    detail,
+                })
+            }
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    fn zz(out: &mut Vec<u8>, v: i64) {
+        u(out, ((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    #[test]
+    fn decodes_a_learned_clause() {
+        let mut bytes = vec![tag::LEARNED];
+        u(&mut bytes, 2);
+        zz(&mut bytes, 3);
+        zz(&mut bytes, -1);
+        let (step, len) = try_step(&bytes).ok().flatten().expect("complete step");
+        assert_eq!(len, bytes.len());
+        assert_eq!(step, Step::Learned { lits: vec![3, -1] });
+    }
+
+    #[test]
+    fn decodes_witness_bits_lsb_first() {
+        let mut bytes = vec![tag::WITNESS];
+        u(&mut bytes, 9);
+        bytes.push(0x01);
+        bytes.push(0x01);
+        let (step, _) = try_step(&bytes).ok().flatten().expect("complete step");
+        let Step::Witness { values } = step else {
+            panic!("wrong step");
+        };
+        assert_eq!(values.len(), 9);
+        assert!(values[0] && values[8]);
+        assert!(!values[1..8].iter().any(|&b| b));
+    }
+
+    #[test]
+    fn incomplete_step_is_not_an_error() {
+        let mut bytes = vec![tag::LEARNED];
+        u(&mut bytes, 2);
+        zz(&mut bytes, 3);
+        // Second literal missing.
+        assert!(matches!(try_step(&bytes), Ok(None)));
+    }
+
+    #[test]
+    fn unknown_tag_is_malformed() {
+        assert!(matches!(try_step(&[200]), Err(DecodeErr::Malformed(_))));
+    }
+
+    #[test]
+    fn zero_literal_is_malformed() {
+        let mut bytes = vec![tag::AXIOM];
+        u(&mut bytes, 1);
+        zz(&mut bytes, 0);
+        assert!(matches!(try_step(&bytes), Err(DecodeErr::Malformed(_))));
+    }
+
+    #[test]
+    fn spans_cover_the_stream_exactly() {
+        let mut bytes = vec![tag::NEW_GUARD];
+        u(&mut bytes, 6);
+        let first = bytes.len();
+        bytes.push(tag::CELL_CLOSE);
+        bytes.push(2);
+        let spans = step_spans(&bytes).expect("well-formed");
+        assert_eq!(spans, vec![(0, first), (first, 2)]);
+        assert!(matches!(
+            step_spans(&bytes[..bytes.len() - 1]),
+            Err(CheckError::Truncated { .. })
+        ));
+    }
+}

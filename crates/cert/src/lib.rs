@@ -1,0 +1,234 @@
+//! Offline checker for certified enumeration proofs.
+//!
+//! `unigen-satsolver` can record a DRAT-style binary proof of everything it
+//! does during witness enumeration (see its `proof` module for the step
+//! catalogue). This crate re-checks such a stream **independently**: it has
+//! its own decoder, its own clause database, and its own watched-literal
+//! unit propagation, and deliberately shares zero code with the solver — a
+//! bug in the solver's reasoning cannot silently excuse itself here.
+//!
+//! The checker is a *forward* RUP checker in the DRAT tradition:
+//!
+//! * It starts from the base [`Formula`] (clauses plus xor constraints).
+//!   Xor constraints are compiled into chunked Tseitin CNF expansions over
+//!   checker-internal auxiliary variables; each chunk covers at most four
+//!   row variables, so the expansion is propagation-complete per row and
+//!   watched-xor reasoning in the solver checks as plain unit propagation.
+//! * Learned clauses must be RUP (their negation unit-propagates to a
+//!   conflict); deletions remove learned clauses and are ignored when no
+//!   matching clause exists; Gauss-derived rows are verified algebraically
+//!   as GF(2) sums of previously logged rows.
+//! * The cell protocol (`CellBegin` / `Witness` / `Block` / `UnsatUnder` /
+//!   `CellClose`) is checked semantically: every witness must satisfy the
+//!   active database, every blocking clause must be exactly the negated
+//!   projection of the preceding witness, and a cell may only close as
+//!   *exhausted* after an `UnsatUnder` verdict whose negated-assumption
+//!   clause passed RUP. An interrupted cell yields a typed
+//!   [`CheckError::CertIncomplete`] from [`Report::require_complete`],
+//!   never a bogus exhaustion claim.
+//!
+//! Entry points: [`Checker::check`] for one-shot verification,
+//! [`Checker::feed`] for streaming, and [`step_spans`] for tooling that
+//! needs step boundaries (the adversarial mutation tests use it).
+
+pub mod checker;
+mod db;
+pub mod decode;
+
+pub use checker::{CellCertificate, Checker, CloseReason, Report};
+pub use decode::{step_spans, Step};
+
+use std::fmt;
+
+/// The base formula a proof stream is checked against.
+///
+/// Variables are 1-based (DIMACS convention); clause literals are signed
+/// DIMACS integers and xor rows are variable lists with a parity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Formula {
+    num_vars: usize,
+    clauses: Vec<Vec<i64>>,
+    xors: Vec<(Vec<u64>, bool)>,
+}
+
+impl Formula {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Formula {
+            num_vars,
+            ..Formula::default()
+        }
+    }
+
+    /// Number of variables of the base formula.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of xor constraints added so far.
+    pub fn num_xors(&self) -> usize {
+        self.xors.len()
+    }
+
+    /// Adds a clause of DIMACS literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal is zero or out of range.
+    pub fn add_clause(&mut self, lits: &[i64]) {
+        for &l in lits {
+            assert!(
+                l != 0 && l.unsigned_abs() <= self.num_vars as u64,
+                "clause literal {l} out of range (formula has {} vars)",
+                self.num_vars
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Adds an xor constraint `v₁ ⊕ … ⊕ vₖ = rhs` over 1-based variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is zero or out of range.
+    pub fn add_xor(&mut self, vars: &[u64], rhs: bool) {
+        for &v in vars {
+            assert!(
+                v != 0 && v <= self.num_vars as u64,
+                "xor variable {v} out of range (formula has {} vars)",
+                self.num_vars
+            );
+        }
+        self.xors.push((vars.to_vec(), rhs));
+    }
+
+    pub(crate) fn clauses(&self) -> &[Vec<i64>] {
+        &self.clauses
+    }
+
+    pub(crate) fn xors(&self) -> &[(Vec<u64>, bool)] {
+        &self.xors
+    }
+}
+
+/// Why a proof stream was rejected (or cannot be trusted as complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// The byte stream violates the binary format.
+    Malformed {
+        /// Byte offset of the offending step.
+        offset: u64,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The stream ended in the middle of a step.
+    Truncated {
+        /// Byte offset of the incomplete step.
+        offset: u64,
+    },
+    /// A well-formed step failed verification.
+    Rejected {
+        /// 1-based index of the rejected step.
+        step: u64,
+        /// Which rule rejected it.
+        rule: Rule,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// A cell's certificate is incomplete (interrupted or never closed):
+    /// its witness list is verified as far as it goes, but it must not be
+    /// treated as an exhaustive enumeration.
+    CertIncomplete {
+        /// Index of the incomplete cell in [`Report::cells`].
+        cell: usize,
+        /// How the cell ended.
+        reason: CloseReason,
+    },
+}
+
+/// Verification rule that rejected a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rule {
+    /// An `Axiom` step is not a clause of the base formula.
+    UnknownAxiom,
+    /// An unguarded `XorRow` is not an xor constraint of the base formula.
+    UnknownXorRow,
+    /// An `XorDerive` step is not the GF(2) sum of its cited rows.
+    BadDerive,
+    /// A clause claimed as RUP did not propagate to a conflict.
+    FailedRup,
+    /// A witness does not satisfy the active database.
+    BadWitness,
+    /// A blocking clause is not the negated projection of its witness.
+    BadBlock,
+    /// A guard was used inconsistently (reused, retired twice, negated…).
+    GuardMisuse,
+    /// A cell-protocol violation (nested cells, block without witness…).
+    Protocol,
+    /// A cell closed as exhausted without an `UnsatUnder` verdict.
+    BogusExhaustion,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Malformed { offset, detail } => {
+                write!(f, "malformed proof stream at byte {offset}: {detail}")
+            }
+            CheckError::Truncated { offset } => {
+                write!(f, "proof stream truncated inside the step at byte {offset}")
+            }
+            CheckError::Rejected { step, rule, detail } => {
+                write!(f, "step {step} rejected ({rule:?}): {detail}")
+            }
+            CheckError::CertIncomplete { cell, reason } => {
+                write!(
+                    f,
+                    "cell {cell} certificate is incomplete (close reason: {reason:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_counts_and_validation() {
+        let mut f = Formula::new(3);
+        f.add_clause(&[1, -2]);
+        f.add_xor(&[1, 3], true);
+        assert_eq!((f.num_vars(), f.num_clauses(), f.num_xors()), (3, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn formula_rejects_out_of_range_literal() {
+        let mut f = Formula::new(2);
+        f.add_clause(&[3]);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CheckError::Rejected {
+            step: 7,
+            rule: Rule::FailedRup,
+            detail: "no conflict".into(),
+        };
+        assert!(e.to_string().contains("step 7"));
+        assert!(CheckError::Truncated { offset: 3 }
+            .to_string()
+            .contains("byte 3"));
+    }
+}

@@ -11,6 +11,9 @@
 //!   --seed S         random seed                                [default: 1]
 //!   --timeout SECS   per-solver-call budget in seconds          [default: none]
 //!   --jobs N         sample on N worker threads (0 = all cores) [default: serial]
+//!   --certify        verify a DRAT-style proof of every cell online
+//!   --proof-dump F   write the raw proof stream to F (serial only; implies
+//!                    --certify)
 //!   --verbose        print per-sample statistics to stderr
 //!
 //! batch-only options:
@@ -60,7 +63,7 @@ use unigen::{
 use unigen_cnf::dimacs;
 use unigen_satsolver::Budget;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CliOptions {
     file: String,
     samples: usize,
@@ -70,6 +73,12 @@ struct CliOptions {
     /// `None` = historical serial sampling; `Some(0)` = one worker per core;
     /// `Some(n)` = n workers (deterministic per-index streams either way).
     jobs: Option<usize>,
+    /// Certified enumeration: solver-side proof logging plus the online
+    /// independent checker.
+    certify: bool,
+    /// Write the raw proof stream here after a serial run (implies
+    /// `certify`); `cargo xtask certify` re-checks it offline.
+    proof_dump: Option<String>,
     verbose: bool,
     /// `batch` subcommand: drive the request/response service.
     batch: bool,
@@ -81,7 +90,7 @@ struct CliOptions {
 
 fn usage() -> &'static str {
     "usage: unigen_cli [batch] [--samples N] [--epsilon E] [--seed S] [--timeout SECS] \
-     [--jobs N] [--requests R] [--queue N] [--verbose] <FILE.cnf>"
+     [--jobs N] [--requests R] [--queue N] [--certify] [--proof-dump FILE] [--verbose] <FILE.cnf>"
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -92,6 +101,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         seed: 1,
         timeout: None,
         jobs: None,
+        certify: false,
+        proof_dump: None,
         verbose: false,
         batch: false,
         requests: 1,
@@ -157,6 +168,12 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     return Err(format!("--queue is a `batch` option\n{}", usage()));
                 }
             }
+            "--certify" => options.certify = true,
+            "--proof-dump" => {
+                let path = iter.next().ok_or("--proof-dump needs a file path")?;
+                options.proof_dump = Some(path.clone());
+                options.certify = true;
+            }
             "--verbose" => options.verbose = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with("--") => {
@@ -172,6 +189,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if options.file.is_empty() {
         return Err(usage().to_string());
+    }
+    if options.proof_dump.is_some() && (options.batch || options.jobs.is_some()) {
+        return Err(
+            "--proof-dump needs the serial path (no `batch`, no --jobs): worker solver \
+             clones fork the proof stream, so only the serial sampler's stream is complete"
+                .to_string(),
+        );
     }
     Ok(options)
 }
@@ -199,6 +223,7 @@ fn run(options: &CliOptions) -> Result<(), String> {
         .epsilon(options.epsilon)
         .seed(options.seed)
         .bsat_budget(budget)
+        .certify(options.certify)
         .build()
         // BuildError's Display already carries the "preparation failed" /
         // "option not supported" context.
@@ -261,6 +286,12 @@ fn run(options: &CliOptions) -> Result<(), String> {
                 outcome.stats.degradations,
                 outcome.stats.faults_injected
             );
+            if outcome.stats.cert_checks > 0 {
+                eprintln!(
+                    "c sample {i}: cert_checks={} proof_bytes={} cert_time={:?}",
+                    outcome.stats.cert_checks, outcome.stats.proof_bytes, outcome.stats.cert_time
+                );
+            }
         }
         success
     };
@@ -310,6 +341,22 @@ fn run(options: &CliOptions) -> Result<(), String> {
                 produced += usize::from(emit(i, &outcome));
             }
         }
+    }
+    if options.certify {
+        if let Some(err) = sampler.cert_error() {
+            return Err(format!("proof certification failed: {err}"));
+        }
+        if let Some(steps) = sampler.certified_steps() {
+            eprintln!("c certified: {steps} proof steps verified by the independent checker");
+        }
+    }
+    if let Some(path) = &options.proof_dump {
+        let bytes = sampler
+            .proof_bytes()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default();
+        std::fs::write(path, &bytes).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("c proof stream: {} bytes written to `{path}`", bytes.len());
     }
     eprintln!(
         "c produced {produced}/{} witnesses (observed success probability {:.2})",
@@ -599,6 +646,24 @@ mod tests {
     }
 
     #[test]
+    fn certify_and_proof_dump_parse_and_constrain() {
+        let options = parse_args(&args(&["--certify", "a.cnf"])).unwrap();
+        assert!(options.certify);
+        assert!(options.proof_dump.is_none());
+        // --proof-dump implies --certify.
+        let options = parse_args(&args(&["--proof-dump", "p.bin", "a.cnf"])).unwrap();
+        assert!(options.certify);
+        assert_eq!(options.proof_dump.as_deref(), Some("p.bin"));
+        // The dump needs the serial path: worker clones fork the stream.
+        assert!(parse_args(&args(&["--proof-dump", "p.bin", "--jobs", "2", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["batch", "--proof-dump", "p.bin", "a.cnf"])).is_err());
+        assert!(parse_args(&args(&["--proof-dump"])).is_err());
+        // Plain --certify composes with both parallel paths.
+        assert!(parse_args(&args(&["--certify", "--jobs", "2", "a.cnf"])).is_ok());
+        assert!(parse_args(&args(&["batch", "--certify", "a.cnf"])).is_ok());
+    }
+
+    #[test]
     fn rejects_missing_file_and_unknown_options() {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["--bogus", "x.cnf"])).is_err());
@@ -618,12 +683,27 @@ mod tests {
             seed: 7,
             timeout: None,
             jobs: None,
+            certify: false,
+            proof_dump: None,
             verbose: true,
             batch: false,
             requests: 1,
             queue: 16,
         };
         run(&options).unwrap();
+        // Certified serial run with a proof dump, re-checked offline.
+        let dump = dir.join("unigen_cli_smoke.proof");
+        let certified = CliOptions {
+            certify: true,
+            proof_dump: Some(dump.to_string_lossy().into_owned()),
+            ..options.clone()
+        };
+        run(&certified).unwrap();
+        let formula = dimacs::parse_file(&certified.file).unwrap();
+        let bytes = std::fs::read(&dump).unwrap();
+        assert!(!bytes.is_empty());
+        unigen_cert::Checker::check(&unigen::cert_formula(&formula), &bytes).unwrap();
+        let _ = std::fs::remove_file(&dump);
         // The deprecated parallel flag path on the same file.
         let options = CliOptions {
             jobs: Some(2),

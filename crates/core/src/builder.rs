@@ -210,6 +210,20 @@ impl<'f> SamplerBuilder<'f> {
         }
     }
 
+    /// Certified enumeration: log a DRAT-style proof of every cell
+    /// enumeration and verify it online with the independent `unigen-cert`
+    /// checker (see [`UniGenConfig::certify`]). **UniGen only** (the other
+    /// families' solvers run without proof sinks).
+    pub fn certify(mut self, certify: bool) -> Self {
+        match &mut self.spec {
+            SamplerSpec::UniGen(config) => {
+                config.certify = certify;
+                self
+            }
+            _ => self.misapply("certify"),
+        }
+    }
+
     /// Configuration of the approximate model counter used during
     /// preparation. **UniGen only.**
     pub fn approxmc(mut self, approxmc: ApproxMcConfig) -> Self {
@@ -375,6 +389,7 @@ impl<'f> SamplerBuilder<'f> {
 /// exactly like the concrete types do.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
+#[allow(clippy::large_enum_variant)] // lint: prepared samplers are built once and long-lived; boxing the UniGen variant would buy nothing but an extra indirection on every delegated call
 pub enum AnySampler {
     /// A prepared [`UniGen`].
     UniGen(UniGen),
@@ -466,12 +481,14 @@ mod tests {
         let builder = SamplerBuilder::unigen(&f)
             .epsilon(8.0)
             .seed(42)
-            .bsat_retries(5);
+            .bsat_retries(5)
+            .certify(true);
         match builder.spec() {
             SamplerSpec::UniGen(config) => {
                 assert_eq!(config.epsilon, 8.0);
                 assert_eq!(config.seed, 42);
                 assert_eq!(config.bsat_retries, 5);
+                assert!(config.certify);
             }
             other => panic!("expected a UniGen spec, got {other:?}"),
         }
@@ -497,6 +514,18 @@ mod tests {
                 sampler: "UniWit"
             }
         );
+        // Certified enumeration lives in UniGen's solver wiring only.
+        let err = SamplerBuilder::uniform(&f)
+            .certify(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::UnsupportedOption {
+                option: "certify",
+                ..
+            }
+        ));
         // UniWit hashes over the full support by definition.
         let err = SamplerBuilder::uniwit(&f)
             .sampling_set([Var::new(0)])

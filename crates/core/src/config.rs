@@ -32,6 +32,15 @@ pub struct UniGenConfig {
     /// retried with fresh randomness without advancing the hash width — the
     /// paper repeats lines 14–16 when a call times out.
     pub bsat_retries: usize,
+    /// Certified enumeration: when `true` the persistent solver logs a
+    /// DRAT-style proof of every cell enumeration and an independent
+    /// [`unigen_cert`] checker verifies it online. A cell whose proof fails
+    /// to check is reported as [`crate::OutcomeKind::Faulted`] rather than
+    /// trusted; a failure during preparation surfaces as
+    /// [`crate::SamplerError::CertificationFailed`]. Off by default — the
+    /// solver's proof hooks are a single pointer test when disabled, but
+    /// logging and checking cost real time and memory when enabled.
+    pub certify: bool,
 }
 
 impl Default for UniGenConfig {
@@ -42,6 +51,7 @@ impl Default for UniGenConfig {
             bsat_budget: Budget::new(),
             approxmc: ApproxMcConfig::default(),
             bsat_retries: 2,
+            certify: false,
         }
     }
 }
@@ -64,6 +74,13 @@ impl UniGenConfig {
         self.bsat_budget = budget;
         self
     }
+
+    /// Returns a copy of this configuration with certified enumeration
+    /// switched on or off (see [`UniGenConfig::certify`]).
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +94,7 @@ mod tests {
         assert!(config.bsat_budget.is_unlimited());
         assert_eq!(config.approxmc.tolerance, 0.8);
         assert_eq!(config.approxmc.confidence, 0.8);
+        assert!(!config.certify);
     }
 
     #[test]
@@ -84,9 +102,11 @@ mod tests {
         let config = UniGenConfig::default()
             .with_epsilon(8.0)
             .with_seed(42)
-            .with_bsat_budget(Budget::new().with_conflict_limit(10));
+            .with_bsat_budget(Budget::new().with_conflict_limit(10))
+            .with_certify(true);
         assert_eq!(config.epsilon, 8.0);
         assert_eq!(config.seed, 42);
         assert_eq!(config.bsat_budget.conflict_limit(), Some(10));
+        assert!(config.certify);
     }
 }

@@ -29,6 +29,16 @@ pub enum SamplerError {
     /// The initial bounded enumeration (line 4 of Algorithm 1) exceeded its
     /// budget, so the sampler could not be prepared.
     PreparationBudgetExhausted,
+    /// Certified enumeration was requested and the preparation phase's proof
+    /// failed to check: the solver claimed something the independent
+    /// [`unigen_cert`] checker could not verify. The rendered
+    /// [`unigen_cert::CheckError`] is carried as text (the error type itself
+    /// lives in the checker crate, which this crate must not leak into its
+    /// stable error surface).
+    CertificationFailed {
+        /// The checker's rejection, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SamplerError {
@@ -44,6 +54,9 @@ impl fmt::Display for SamplerError {
             SamplerError::Counting(err) => write!(f, "model counting failed: {err}"),
             SamplerError::PreparationBudgetExhausted => {
                 write!(f, "the preparation phase exhausted its budget")
+            }
+            SamplerError::CertificationFailed { detail } => {
+                write!(f, "proof certification failed during preparation: {detail}")
             }
         }
     }

@@ -33,6 +33,12 @@
 //! [`ParallelSampler`] remains as a thin compatibility wrapper over a
 //! single-request service.
 //!
+//! With [`UniGenConfig::certify`] the persistent solver additionally logs a
+//! DRAT-style proof of every cell enumeration, verified online by the
+//! independent `unigen-cert` checker (and offline via `cargo xtask certify`
+//! over a dumped stream); see [`cert_formula`] and the `unigen-cert` crate
+//! docs for the certificate semantics.
+//!
 //! ```
 //! use unigen::{SamplerBuilder, SampleRequest, ServiceConfig};
 //! use unigen_cnf::{CnfFormula, Lit};
@@ -80,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod certify;
 mod config;
 mod error;
 mod fault;
@@ -95,6 +102,7 @@ mod xorsample;
 pub mod stats;
 
 pub use builder::{AnySampler, SamplerBuilder, SamplerSpec};
+pub use certify::cert_formula;
 pub use config::UniGenConfig;
 pub use error::{BuildError, SamplerError, ServiceConfigError, TrySubmitError};
 pub use fault::FaultPlan;

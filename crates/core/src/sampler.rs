@@ -59,6 +59,15 @@ pub struct SampleStats {
     /// Number of injected faults observed while producing this sample.
     /// Zero unless a [`crate::FaultPlan`] (or custom hook) is installed.
     pub faults_injected: usize,
+    /// Proof-stream bytes logged by the solver and fed to the independent
+    /// checker while producing this sample. Zero unless certified
+    /// enumeration ([`crate::UniGenConfig::certify`]) is on.
+    pub proof_bytes: usize,
+    /// Number of incremental certification checks run while producing this
+    /// sample (one per cell enumeration when certify mode is on).
+    pub cert_checks: usize,
+    /// Wall-clock time spent verifying proof steps for this sample.
+    pub cert_time: Duration,
 }
 
 impl SampleStats {
@@ -88,6 +97,9 @@ impl SampleStats {
         self.retries += other.retries;
         self.degradations += other.degradations;
         self.faults_injected += other.faults_injected;
+        self.proof_bytes += other.proof_bytes;
+        self.cert_checks += other.cert_checks;
+        self.cert_time += other.cert_time;
     }
 }
 
@@ -312,6 +324,9 @@ mod tests {
             retries: 2,
             degradations: 0,
             faults_injected: 1,
+            proof_bytes: 100,
+            cert_checks: 1,
+            cert_time: Duration::from_millis(1),
         };
         let b = SampleStats {
             bsat_calls: 3,
@@ -327,6 +342,9 @@ mod tests {
             retries: 1,
             degradations: 1,
             faults_injected: 2,
+            proof_bytes: 11,
+            cert_checks: 2,
+            cert_time: Duration::from_millis(4),
         };
         a.accumulate(&b);
         assert_eq!(a.bsat_calls, 4);
@@ -342,6 +360,9 @@ mod tests {
         assert_eq!(a.retries, 3);
         assert_eq!(a.degradations, 1);
         assert_eq!(a.faults_injected, 3);
+        assert_eq!(a.proof_bytes, 111);
+        assert_eq!(a.cert_checks, 3);
+        assert_eq!(a.cert_time, Duration::from_millis(5));
     }
 
     #[test]

@@ -179,6 +179,15 @@ impl ServiceConfig {
 /// `count` and `master_seed`, budget never firing) reproduces the identical
 /// witness sequence, which is what makes retries over an RPC boundary
 /// idempotent.
+///
+/// There is no per-request certify switch: certification is a property of
+/// the *prepared sampler* ([`crate::UniGenConfig::certify`]), so a service
+/// built from a certified prototype verifies proofs in every worker
+/// independently (each clone forks the solver's proof stream together with
+/// its checker). A cell whose proof fails to check comes back as a
+/// [`crate::OutcomeKind::Faulted`] outcome in the response, and the
+/// per-outcome [`crate::SampleStats`] carry the `proof_bytes` /
+/// `cert_checks` / `cert_time` counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleRequest {
     /// Number of witnesses requested.

@@ -9,9 +9,11 @@ use unigen_cnf::{CnfFormula, Model, Var, XorClause};
 use unigen_counting::ApproxMc;
 use unigen_hashing::XorHashFamily;
 use unigen_satsolver::{
-    enumerate_cell, EnumerationOutcome, FaultHook, GaussMode, InterruptReason, Solver, SolverStats,
+    enumerate_cell, EnumerationOutcome, FaultHook, GaussMode, InterruptReason, ProofLog, Solver,
+    SolverConfig, SolverStats,
 };
 
+use crate::certify::Certifier;
 use crate::config::UniGenConfig;
 use crate::error::SamplerError;
 use crate::fault::FaultPlan;
@@ -71,6 +73,14 @@ pub struct UniGen {
     /// fault plan is installed: the last rung of the degradation ladder
     /// rebuilds the working solver from it when retries keep faulting.
     pristine: Option<Box<Solver>>,
+    /// Online certification state ([`UniGenConfig::certify`]): the
+    /// independent proof checker plus its watermark into the solver's proof
+    /// stream. `None` when certify mode is off.
+    certifier: Option<Certifier>,
+    /// The first certification failure observed while sampling, kept for
+    /// diagnosis (the failing cell itself is reported as
+    /// [`OutcomeKind::Faulted`]).
+    cert_error: Option<unigen_cert::CheckError>,
 }
 
 impl UniGen {
@@ -111,8 +121,19 @@ impl UniGen {
         let kappa_pivot = compute_kappa_pivot(config.epsilon)?;
         let hi_count = kappa_pivot.hi_thresh_count();
 
-        // The single solver instance for this sampler's lifetime.
-        let mut solver = Solver::from_formula(formula);
+        // The single solver instance for this sampler's lifetime. Certify
+        // mode installs the proof sink before the formula is loaded, so the
+        // stream opens with the axioms the checker validates against.
+        let mut solver = if config.certify {
+            let solver_config = SolverConfig {
+                proof: Some(ProofLog::new()),
+                ..SolverConfig::default()
+            };
+            Solver::from_formula_with_config(formula, solver_config)
+        } else {
+            Solver::from_formula(formula)
+        };
+        let mut certifier = config.certify.then(|| Certifier::new(formula));
 
         // Line 4: Y ← BSAT(F, hiThresh). (The bound is hiThresh + 1 so that a
         // result of exactly hiThresh witnesses can be told apart from "more
@@ -125,6 +146,16 @@ impl UniGen {
             hi_count + 1,
             &config.bsat_budget,
         );
+        // The preparation cell's proof is checked before its outcome is
+        // acted on — even an empty cell (unsatisfiable formula) must carry a
+        // verified refutation, never an unchecked claim.
+        if let Some(certifier) = certifier.as_mut() {
+            if let Err(err) = certifier.absorb(&mut solver, None) {
+                return Err(SamplerError::CertificationFailed {
+                    detail: err.to_string(),
+                });
+            }
+        }
         if outcome.budget_exhausted {
             return Err(SamplerError::PreparationBudgetExhausted);
         }
@@ -167,6 +198,8 @@ impl UniGen {
             solver,
             fault_plan: None,
             pristine: None,
+            certifier,
+            cert_error: None,
         })
     }
 
@@ -209,6 +242,40 @@ impl UniGen {
     /// end of each cell versus base-formula learned clauses retained).
     pub fn solver_stats(&self) -> &SolverStats {
         self.solver.stats()
+    }
+
+    /// The raw DRAT-style proof stream the persistent solver has logged so
+    /// far, or `None` when certify mode ([`UniGenConfig::certify`]) is off.
+    /// Offline tooling (`xtask certify`) re-checks a dumped stream against
+    /// [`crate::cert_formula`] of the input formula.
+    pub fn proof_bytes(&mut self) -> Option<&[u8]> {
+        self.solver.proof_bytes()
+    }
+
+    /// The first certification failure observed while sampling, if any (the
+    /// cell it occurred in was reported as [`OutcomeKind::Faulted`]).
+    pub fn cert_error(&self) -> Option<&unigen_cert::CheckError> {
+        self.cert_error.as_ref()
+    }
+
+    /// Number of proof steps the online checker has verified, or `None`
+    /// when certify mode is off.
+    pub fn certified_steps(&self) -> Option<u64> {
+        self.certifier.as_ref().map(Certifier::steps)
+    }
+
+    /// Feeds every proof byte logged since the last check into the online
+    /// checker (a no-op when certify mode is off).
+    fn certify_progress(&mut self, stats: &mut SampleStats) -> Result<(), unigen_cert::CheckError> {
+        match self.certifier.as_mut() {
+            Some(certifier) => {
+                let started = Instant::now();
+                let result = certifier.absorb(&mut self.solver, Some(stats));
+                stats.cert_time += started.elapsed();
+                result
+            }
+            None => Ok(()),
+        }
     }
 
     /// Draws up to `count` witnesses from a **single** accepted cell — the
@@ -338,6 +405,12 @@ impl UniGen {
                 stats.faults_injected += 1;
                 stats.degradations += 1;
                 self.solver = (**pristine).clone();
+                // The rebuilt solver's proof stream is a fork taken at the
+                // snapshot point; the checker has consumed bytes beyond it
+                // from the discarded stream, so it restarts from scratch.
+                if let Some(certifier) = self.certifier.as_mut() {
+                    certifier.reset();
+                }
                 outcome = self.run_bsat(clauses, bound, stats);
             }
         }
@@ -392,6 +465,16 @@ impl UniGen {
                 // and the enumeration's blocking clauses are retired when
                 // the call returns, so no fresh solver is ever built here.
                 let outcome = self.enumerate_with_ladder(&clauses, hi_count + 1, &mut stats);
+
+                // Certify mode: the cell's proof steps must check before
+                // its outcome is trusted. A failed check voids the cell —
+                // the sample is reported as faulted, never as a witness or
+                // a confident ⊥.
+                if let Err(err) = self.certify_progress(&mut stats) {
+                    self.cert_error.get_or_insert(err);
+                    failure = OutcomeKind::Faulted;
+                    break 'widths;
+                }
 
                 if let Some(reason) = outcome.interrupted {
                     // A budget fired (or a fault survived the whole ladder):
@@ -827,6 +910,85 @@ mod tests {
         assert_eq!(total_stats(&reference).degradations, 0);
         let stats = chaotic.solver_stats();
         assert_eq!(stats.guards_created, stats.guards_retired);
+    }
+
+    #[test]
+    fn certified_sampling_checks_every_cell_and_matches_uncertified_output() {
+        let f = formula_with_count(10, 4);
+        let mut plain = UniGen::new(&f, UniGenConfig::default()).unwrap();
+        let mut certified = UniGen::new(&f, UniGenConfig::default().with_certify(true)).unwrap();
+        assert!(certified.certified_steps().unwrap_or(0) > 0);
+
+        let reference = plain.sample_batch(6, 0x5eed);
+        let checked = certified.sample_batch(6, 0x5eed);
+        let witnesses =
+            |outs: &[SampleOutcome]| outs.iter().map(|o| o.witness.clone()).collect::<Vec<_>>();
+        // Certification observes the run; it must not perturb the witnesses.
+        assert_eq!(witnesses(&reference), witnesses(&checked));
+        assert!(certified.cert_error().is_none());
+
+        let total = {
+            let mut acc = SampleStats::default();
+            for o in &checked {
+                acc.accumulate(&o.stats);
+            }
+            acc
+        };
+        assert!(total.cert_checks >= total.bsat_calls.min(1));
+        assert!(total.proof_bytes > 0);
+        // The stream the checker consumed is exactly the solver's log.
+        assert!(certified.proof_bytes().is_some_and(|b| !b.is_empty()));
+        assert!(plain.proof_bytes().is_none());
+    }
+
+    #[test]
+    fn certified_enumerated_mode_verifies_the_preparation_cell() {
+        let f = formula_with_count(3, 2);
+        let mut sampler = UniGen::new(&f, UniGenConfig::default().with_certify(true)).unwrap();
+        match sampler.prepared_mode() {
+            PreparedMode::Enumerated { witnesses } => assert_eq!(witnesses.len(), 8),
+            other => panic!("expected Enumerated, got {other:?}"),
+        }
+        // The whole preparation enumeration was proof-checked.
+        assert!(sampler.certified_steps().unwrap() > 0);
+        assert!(sampler.cert_error().is_none());
+        // The independent offline checker accepts the same stream end to end.
+        let formula = crate::certify::cert_formula(&f);
+        let bytes = sampler.proof_bytes().unwrap().to_vec();
+        let report = unigen_cert::Checker::check(&formula, &bytes).unwrap();
+        report.require_complete().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0].exhaustive());
+        assert_eq!(report.cells[0].witnesses.len(), 8);
+    }
+
+    #[test]
+    fn certified_unsat_formula_still_carries_a_checked_refutation() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::from_dimacs(1)]).unwrap();
+        f.add_clause([Lit::from_dimacs(-1)]).unwrap();
+        assert!(matches!(
+            UniGen::new(&f, UniGenConfig::default().with_certify(true)),
+            Err(SamplerError::Unsatisfiable)
+        ));
+    }
+
+    #[test]
+    fn certified_fault_recovery_resets_the_checker_with_the_solver() {
+        let f = formula_with_count(10, 4);
+        let config = UniGenConfig::default().with_certify(true);
+        let mut clean = UniGen::new(&f, config.clone()).unwrap();
+        let mut chaotic = UniGen::new(&f, config).unwrap();
+        let plan = Arc::new(FaultPlan::seeded(9).fail_nth_bsat(1));
+        chaotic.install_fault_plan(plan.clone());
+
+        let reference = clean.sample_batch(4, 0xabc);
+        let faulted = chaotic.sample_batch(4, 0xabc);
+        let witnesses =
+            |outs: &[SampleOutcome]| outs.iter().map(|o| o.witness.clone()).collect::<Vec<_>>();
+        assert_eq!(witnesses(&reference), witnesses(&faulted));
+        assert_eq!(plan.faults_injected(), 1);
+        assert!(chaotic.cert_error().is_none(), "{:?}", chaotic.cert_error());
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   [`ServiceHealth`] reflects exactly the scheduled worker panics and
 //!   respawns, with the pool back at full strength afterwards.
 //!
+//! Every lane runs with [`unigen::UniGenConfig::certify`] enabled, so the
+//! independent proof checker rides along through the injected faults: a
+//! ladder retry or pristine rebuild that desynchronised the proof stream
+//! from the checker would surface as a certification error (and a ⊥
+//! witness) here.
+//!
 //! Everything is driven by one `u64` seed, mirroring
 //! [`crate::fuzz::differential_case`]: a failure report's name + seed is a
 //! complete reproduction recipe.
@@ -131,7 +137,7 @@ pub fn chaos_case(name: &str, formula: &CnfFormula, seed: u64, count: usize) -> 
         divergence: None,
     };
 
-    let prepared = match UniGen::new(formula, UniGenConfig::default()) {
+    let prepared = match UniGen::new(formula, UniGenConfig::default().with_certify(true)) {
         Ok(prepared) => prepared,
         Err(SamplerError::Unsatisfiable) => {
             report.schedule = "unsat-instance (no sampling stack to fault)".to_string();
@@ -144,7 +150,14 @@ pub fn chaos_case(name: &str, formula: &CnfFormula, seed: u64, count: usize) -> 
     };
 
     // The fault-free reference lane.
-    let reference = prepared.clone().sample_batch(count, seed);
+    let mut reference_lane = prepared.clone();
+    let reference = reference_lane.sample_batch(count, seed);
+    if let Some(err) = reference_lane.cert_error() {
+        report.divergence = Some(format!(
+            "certification rejected the fault-free reference lane: {err}"
+        ));
+        return report;
+    }
 
     // Two serial faulted lanes under bit-identical schedules: each must be
     // bit-identical to the reference (the ladder absorbs every injected
@@ -158,6 +171,14 @@ pub fn chaos_case(name: &str, formula: &CnfFormula, seed: u64, count: usize) -> 
         faulted.install_fault_plan(Arc::clone(&plan));
         let batch = faulted.sample_batch(count, seed);
 
+        if let Some(err) = faulted.cert_error() {
+            report.divergence = Some(format!(
+                "lane {lane} under schedule `{}`: certification rejected the \
+                 faulted lane's proof stream: {err}",
+                report.schedule
+            ));
+            return report;
+        }
         if witness_sequence(&batch) != witness_sequence(&reference) {
             report.divergence = Some(format!(
                 "lane {lane} under schedule `{}` diverged from the fault-free \

@@ -8,6 +8,12 @@
 //! a brute-force oracle, and `SolverStats` invariants (guard bookkeeping,
 //! solve-call accounting) are asserted on both persistent solvers.
 //!
+//! The Gauss-on lane additionally runs with proof logging enabled, and the
+//! stream is verified cell-by-cell with the independent [`unigen_cert`]
+//! checker: every exhausted cell must carry a checked refutation of its
+//! blocked residue, and the checker's per-cell verdicts must agree with the
+//! enumeration outcomes the harness observed.
+//!
 //! [`service_case`] covers the sampler layer: batch determinism through
 //! [`SamplerService`] against the serial [`WitnessSampler::sample_batch`]
 //! reference, a typed [`SamplerError::Unsatisfiable`] from UniGen
@@ -22,12 +28,13 @@ use std::collections::BTreeSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use unigen::{
-    SampleOutcome, SampleRequest, SamplerError, SamplerService, ServiceConfig, UniGen,
-    UniGenConfig, UniWit, UniWitConfig, WitnessSampler,
+    cert_formula, SampleOutcome, SampleRequest, SamplerError, SamplerService, ServiceConfig,
+    UniGen, UniGenConfig, UniWit, UniWitConfig, WitnessSampler,
 };
+use unigen_cert::Checker;
 use unigen_cnf::{CnfFormula, Model, Var, XorClause};
 use unigen_hashing::XorHashFamily;
-use unigen_satsolver::{enumerate_cell, Budget, GaussMode, Solver, SolverConfig};
+use unigen_satsolver::{enumerate_cell, Budget, GaussMode, ProofLog, Solver, SolverConfig};
 
 /// Knobs for [`differential_case`]. The defaults keep a debug-mode case in
 /// the low milliseconds on the instance sizes the fuzz tests use.
@@ -70,6 +77,8 @@ pub struct CaseReport {
     pub unsat_cells: usize,
     /// Witnesses seen across all cells in the Gauss-on mode.
     pub witnesses: usize,
+    /// Proof steps the independent checker verified on the Gauss-on lane.
+    pub certified_steps: u64,
     /// Human-readable description of the first disagreement, if any.
     pub divergence: Option<String>,
 }
@@ -125,13 +134,19 @@ pub fn differential_case(
     }
     layers.push(Vec::new());
 
+    // The Gauss-on lane records a proof stream, verified incrementally by
+    // the independent checker as a fourth differential dimension: logging
+    // must not perturb enumeration, and every step must check.
     let mut gauss_on = Solver::from_formula_with_config(
         formula,
         SolverConfig {
             gauss: GaussMode::On,
+            proof: Some(ProofLog::new()),
             ..SolverConfig::default()
         },
     );
+    let mut checker = Checker::new(&cert_formula(formula));
+    let mut watermark = 0usize;
     let mut gauss_off = Solver::from_formula_with_config(
         formula,
         SolverConfig {
@@ -147,6 +162,7 @@ pub fn differential_case(
         cells: layers.len(),
         unsat_cells: 0,
         witnesses: 0,
+        certified_steps: 0,
         divergence: None,
     };
     let mut empty_layer_digests: Vec<CellDigest> = Vec::new();
@@ -155,6 +171,26 @@ pub fn differential_case(
         let on_outcome = enumerate_cell(&mut gauss_on, &sampling_set, xors, config.bound, &budget);
         let off_outcome =
             enumerate_cell(&mut gauss_off, &sampling_set, xors, config.bound, &budget);
+
+        // Certify the cell's proof-stream suffix before anything else: a
+        // rejected step localises the failure to this cell.
+        let bytes = match gauss_on.proof_bytes() {
+            Some(bytes) => bytes.to_vec(),
+            None => {
+                report.divergence = Some(format!(
+                    "cell {cell_index}: the gauss-on lane lost its proof sink"
+                ));
+                return report;
+            }
+        };
+        if let Err(err) = checker.feed(&bytes[watermark..]) {
+            report.divergence = Some(format!(
+                "cell {cell_index} ({} xors): proof certification failed: {err}",
+                xors.len()
+            ));
+            return report;
+        }
+        watermark = bytes.len();
 
         // Scratch: a fresh default-config solver over the formula with the
         // cell's XORs baked in as base constraints.
@@ -287,6 +323,46 @@ pub fn differential_case(
         }
     }
 
+    // Close out the proof check and cross-check the checker's independent
+    // per-cell verdicts against what the harness itself observed on the
+    // Gauss-on lane. (The budget here is never interrupted, so every cell
+    // certificate must be complete.)
+    let cert = match checker.finish() {
+        Ok(cert) => cert,
+        Err(err) => {
+            report.divergence = Some(format!("proof stream failed final checking: {err}"));
+            return report;
+        }
+    };
+    if let Err(err) = cert.require_complete() {
+        report.divergence = Some(format!("proof certificate incomplete: {err}"));
+        return report;
+    }
+    report.certified_steps = cert.steps;
+    let certified_witnesses: usize = cert.cells.iter().map(|c| c.witnesses.len()).sum();
+    let certified_empty = cert
+        .cells
+        .iter()
+        .filter(|c| c.exhaustive() && c.witnesses.is_empty())
+        .count();
+    if cert.cells.len() != report.cells
+        || certified_witnesses != report.witnesses
+        || certified_empty != report.unsat_cells
+    {
+        report.divergence = Some(format!(
+            "certificate disagrees with the enumeration outcomes: \
+             {} cells / {} witnesses / {} empty certified, but \
+             {} / {} / {} observed",
+            cert.cells.len(),
+            certified_witnesses,
+            certified_empty,
+            report.cells,
+            report.witnesses,
+            report.unsat_cells
+        ));
+        return report;
+    }
+
     report
 }
 
@@ -295,16 +371,48 @@ pub fn differential_case(
 ///
 /// On satisfiable input: a 2-worker [`SamplerService`] must reproduce the
 /// serial `sample_batch` witness sequence for the same request, twice (the
-/// second submission proving the pool survived the first). On unsatisfiable
-/// input: UniGen preparation must fail with the typed
-/// [`SamplerError::Unsatisfiable`], while UniWit must build, answer every
-/// sample with a clean ⊥ outcome, and leave the service pool alive for a
-/// follow-up request.
+/// second submission proving the pool survived the first), and a serial
+/// lane prepared with [`UniGenConfig::certify`] must reproduce it as well
+/// with every proof step verified (logging must not perturb sampling). On
+/// unsatisfiable input: UniGen preparation must fail with the typed
+/// [`SamplerError::Unsatisfiable`] — certified or not — while UniWit must
+/// build, answer every sample with a clean ⊥ outcome, and leave the
+/// service pool alive for a follow-up request.
 pub fn service_case(name: &str, formula: &CnfFormula, seed: u64) -> Option<String> {
     let count = 4;
     match UniGen::new(formula, UniGenConfig::default()) {
         Ok(prepared) => {
             let serial = prepared.clone().sample_batch(count, seed);
+
+            // The certified lane: identical witnesses, verified proofs.
+            let mut certified =
+                match UniGen::new(formula, UniGenConfig::default().with_certify(true)) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return Some(format!(
+                            "{name} seed {seed:#x}: certified preparation failed with {e:?} \
+                             where uncertified preparation succeeded"
+                        ));
+                    }
+                };
+            let certified_batch = certified.sample_batch(count, seed);
+            if let Some(err) = certified.cert_error() {
+                return Some(format!(
+                    "{name} seed {seed:#x}: certification rejected the sampler's \
+                     proof stream: {err}"
+                ));
+            }
+            if witness_sequence(&certified_batch) != witness_sequence(&serial) {
+                return Some(format!(
+                    "{name} seed {seed:#x}: the certified lane diverged from the \
+                     uncertified sample_batch reference"
+                ));
+            }
+            if certified.certified_steps().unwrap_or(0) == 0 {
+                return Some(format!(
+                    "{name} seed {seed:#x}: the certified lane verified zero proof steps"
+                ));
+            }
             let service = SamplerService::new(
                 prepared,
                 ServiceConfig::default()
@@ -323,6 +431,18 @@ pub fn service_case(name: &str, formula: &CnfFormula, seed: u64) -> Option<Strin
             None
         }
         Err(SamplerError::Unsatisfiable) => {
+            // Certified preparation must reach the same typed verdict: the
+            // refutation is proof-checked, never reported as a cert failure.
+            match UniGen::new(formula, UniGenConfig::default().with_certify(true)) {
+                Err(SamplerError::Unsatisfiable) => {}
+                other => {
+                    return Some(format!(
+                        "{name} seed {seed:#x}: certified preparation of an unsat \
+                         instance returned {:?} instead of Unsatisfiable",
+                        other.map(|_| "a prepared sampler")
+                    ));
+                }
+            }
             let prepared = match UniWit::new(formula, UniWitConfig::default()) {
                 Ok(p) => p,
                 Err(e) => {
@@ -389,6 +509,10 @@ mod tests {
         let report = differential_case(&config.name(), &formula, 1, &FuzzConfig::default());
         assert_eq!(report.divergence, None, "{report:?}");
         assert!(report.cells >= 2);
+        assert!(
+            report.certified_steps > 0,
+            "the gauss-on lane's proof stream was checked: {report:?}"
+        );
     }
 
     #[test]
@@ -405,6 +529,10 @@ mod tests {
             "every cell of an unsat formula is exhaustively empty"
         );
         assert_eq!(report.witnesses, 0);
+        assert!(
+            report.certified_steps > 0,
+            "every empty cell carries a checked refutation: {report:?}"
+        );
     }
 
     #[test]

@@ -217,10 +217,12 @@ impl ClauseDb {
     /// high LBD and low activity. Clauses for which `is_locked` returns true
     /// (currently acting as a reason) and binary clauses are kept.
     ///
-    /// Returns the number of clauses deleted. Watch lists are rebuilt; clause
-    /// references stay valid (deletion is a tombstone until the next
-    /// level-zero garbage collection).
-    pub(crate) fn reduce<F>(&mut self, is_locked: F) -> usize
+    /// Returns the deleted clause references (their literals stay readable
+    /// until the next garbage collection, so the caller can proof-log the
+    /// deletions). Watch lists are rebuilt; clause references stay valid
+    /// (deletion is a tombstone until the next level-zero garbage
+    /// collection).
+    pub(crate) fn reduce<F>(&mut self, is_locked: F) -> Vec<ClauseRef>
     where
         F: Fn(ClauseRef) -> bool,
     {
@@ -250,7 +252,8 @@ impl ClauseDb {
         if to_delete > 0 {
             self.rebuild_watches();
         }
-        to_delete
+        candidates.truncate(to_delete);
+        candidates
     }
 
     fn rebuild_watches(&mut self) {
@@ -294,12 +297,12 @@ impl ClauseDb {
 
     /// Deletes every learned clause whose LBD exceeds `max_lbd` (binary
     /// clauses always survive), sweeping the affected watch lists. Returns
-    /// the number of clauses deleted.
+    /// the deleted clause references (still readable for proof logging).
     ///
     /// Used when a guard is retired: only glucose-style "core" clauses are
     /// worth carrying into the next hash cell — the long-tail ballast costs
     /// more in propagation work than it saves in conflicts.
-    pub(crate) fn trim_learned(&mut self, max_lbd: u32) -> usize {
+    pub(crate) fn trim_learned(&mut self, max_lbd: u32) -> Vec<ClauseRef> {
         let victims: Vec<ClauseRef> = self
             .headers
             .iter()
@@ -315,7 +318,7 @@ impl ClauseDb {
             self.delete(cref);
         }
         self.sweep_deleted_watchers(&victims);
-        victims.len()
+        victims
     }
 
     /// Returns `true` when enough of the arena is tombstoned that compaction
@@ -417,7 +420,7 @@ mod tests {
         }
         assert_eq!(db.num_learned(), 8);
         let deleted = db.reduce(|_| false);
-        assert_eq!(deleted, 4);
+        assert_eq!(deleted.len(), 4);
         assert_eq!(db.num_learned(), 4);
         // The surviving clauses should be the ones with the lowest LBD.
         let surviving_lbds: Vec<u32> = db
@@ -451,7 +454,7 @@ mod tests {
             let b = Var::new(i + 1).negative();
             db.add_clause(&[a, b], true, 10);
         }
-        assert_eq!(db.reduce(|_| false), 0);
+        assert!(db.reduce(|_| false).is_empty());
     }
 
     #[test]

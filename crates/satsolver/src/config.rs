@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::fault::FaultHook;
+use crate::proof::ProofLog;
 
 /// How the solver propagates *guarded* xor layers (hash cells).
 ///
@@ -73,6 +74,16 @@ pub struct SolverConfig {
     /// (see [`FaultHook`]); `None` — the default — costs one pointer test
     /// per search-loop iteration and injects nothing.
     pub fault_hook: Option<Arc<dyn FaultHook>>,
+    /// DRAT-style proof sink enabling *certify mode*: when `Some`, the
+    /// solver records every learned clause, deletion, xor-row expansion,
+    /// Gauss derivation, guard lifecycle event, and enumeration step into
+    /// the in-memory [`ProofLog`], so each Unsat / exhaustive-cell verdict
+    /// can be re-validated offline by the independent `unigen-cert`
+    /// checker. `None` — the default — costs one `Option` test per logging
+    /// site and records nothing (the same zero-cost discipline as
+    /// [`SolverConfig::fault_hook`]). Install the sink at construction
+    /// time; retrieve the stream via `Solver::proof_bytes`.
+    pub proof: Option<ProofLog>,
 }
 
 // `Arc<dyn FaultHook>` has no structural equality; two configs are equal
@@ -86,6 +97,9 @@ impl PartialEq for SolverConfig {
             _ => false,
         };
         hooks_equal
+            // Proof logs diverge by construction (each solver's stream is
+            // its own); configs agree when certify mode is on in both.
+            && self.proof.is_some() == other.proof.is_some()
             && self.restart_interval == other.restart_interval
             && self.var_decay == other.var_decay
             && self.clause_decay == other.clause_decay
@@ -111,6 +125,7 @@ impl Default for SolverConfig {
             gauss: GaussMode::Auto,
             gauss_auto_threshold: 2,
             fault_hook: None,
+            proof: None,
         }
     }
 }
@@ -129,6 +144,17 @@ mod tests {
         assert_eq!(c.gauss, GaussMode::Auto);
         assert!(c.gauss_auto_threshold >= 1);
         assert!(c.fault_hook.is_none());
+        assert!(c.proof.is_none());
+    }
+
+    #[test]
+    fn proof_compares_by_presence() {
+        let on = SolverConfig {
+            proof: Some(ProofLog::new()),
+            ..SolverConfig::default()
+        };
+        assert_eq!(on, on.clone());
+        assert_ne!(on, SolverConfig::default());
     }
 
     #[test]

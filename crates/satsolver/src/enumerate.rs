@@ -24,6 +24,7 @@ use unigen_cnf::{Model, Var, XorClause};
 
 use crate::budget::Budget;
 use crate::fault::InterruptReason;
+use crate::proof::close;
 use crate::solver::{Guard, SolveResult, Solver};
 
 /// Outcome of a bounded enumeration call.
@@ -107,6 +108,12 @@ pub struct Enumerator<'s> {
     /// the next solve can continue from the blocking clause's backjump point
     /// instead of re-descending from level zero.
     warm: bool,
+    /// A `CellBegin` proof step was emitted (certify mode) and its matching
+    /// `CellClose` has not been; the close is emitted on drop.
+    cell_open: bool,
+    /// The most recent [`Enumerator::run`] stopped at its bound, so a
+    /// non-exhausted close records `BoundReached` rather than `Interrupted`.
+    bound_hit: bool,
 }
 
 impl<'s> Enumerator<'s> {
@@ -118,17 +125,7 @@ impl<'s> Enumerator<'s> {
     ///
     /// Panics if the sampling set is empty.
     pub fn new(solver: &'s mut Solver, sampling_set: Vec<Var>) -> Self {
-        assert!(
-            !sampling_set.is_empty(),
-            "enumeration requires a non-empty sampling set"
-        );
-        Enumerator {
-            solver,
-            sampling_set,
-            guard: None,
-            exhausted: false,
-            warm: false,
-        }
+        Enumerator::with_guard(solver, sampling_set, None)
     }
 
     /// Creates an enumerator that solves under `guard`'s assumption and
@@ -139,9 +136,32 @@ impl<'s> Enumerator<'s> {
     ///
     /// Panics if the sampling set is empty.
     pub fn under_guard(solver: &'s mut Solver, sampling_set: Vec<Var>, guard: Guard) -> Self {
-        let mut enumerator = Enumerator::new(solver, sampling_set);
-        enumerator.guard = Some(guard);
-        enumerator
+        Enumerator::with_guard(solver, sampling_set, Some(guard))
+    }
+
+    fn with_guard(solver: &'s mut Solver, sampling_set: Vec<Var>, guard: Option<Guard>) -> Self {
+        assert!(
+            !sampling_set.is_empty(),
+            "enumeration requires a non-empty sampling set"
+        );
+        let mut cell_open = false;
+        {
+            let guard_var = guard.map(|g| g.var());
+            let sampling = &sampling_set;
+            solver.with_proof(|p| {
+                p.cell_begin(guard_var, sampling);
+                cell_open = true;
+            });
+        }
+        Enumerator {
+            solver,
+            sampling_set,
+            guard,
+            exhausted: false,
+            warm: false,
+            cell_open,
+            bound_hit: false,
+        }
     }
 
     /// Returns a reference to the underlying solver (for statistics).
@@ -166,6 +186,11 @@ impl<'s> Enumerator<'s> {
             .solve_for_enumeration(&assumptions, budget, self.warm, true)
         {
             SolveResult::Sat(model) => {
+                // The full model is logged (the checker evaluates the base
+                // formula's clauses, which range over all base variables);
+                // the certificate's witness *identity* is its projection
+                // onto the cell's sampling set.
+                self.solver.with_proof(|p| p.witness(model.values()));
                 let projection = model.project(&self.sampling_set);
                 let mut blocking: Vec<_> = projection.to_lits().iter().map(|&l| !l).collect();
                 if let Some(guard) = self.guard {
@@ -179,6 +204,9 @@ impl<'s> Enumerator<'s> {
                 (Some(model), None)
             }
             SolveResult::Unsat => {
+                // The solver has already logged the cell's verdict (the
+                // `UnsatUnder` step is emitted at the solve choke point):
+                // the blocked residue is unsatisfiable, checkable by RUP.
                 self.exhausted = true;
                 self.warm = false;
                 (None, None)
@@ -213,6 +241,9 @@ impl<'s> Enumerator<'s> {
             }
         }
         let bound_reached = witnesses.len() >= bound && !self.exhausted;
+        if bound_reached {
+            self.bound_hit = true;
+        }
         EnumerationOutcome {
             witnesses,
             bound_reached,
@@ -224,6 +255,21 @@ impl<'s> Enumerator<'s> {
 
 impl Drop for Enumerator<'_> {
     fn drop(&mut self) {
+        if self.cell_open {
+            // Only a cell whose `UnsatUnder` verdict was logged may close
+            // as `Exhausted`; anything else is explicitly non-exhaustive,
+            // so an interrupted enumeration can never masquerade as a
+            // complete one in the certificate.
+            let reason = if self.exhausted {
+                close::EXHAUSTED
+            } else if self.bound_hit {
+                close::BOUND_REACHED
+            } else {
+                close::INTERRUPTED
+            };
+            self.solver.with_proof(|p| p.cell_close(reason));
+            self.cell_open = false;
+        }
         // A warm (mid-enumeration) trail must not leak into whatever the
         // caller does with the solver next.
         self.solver.end_enumeration();

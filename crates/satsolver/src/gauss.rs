@@ -52,7 +52,7 @@
 //! variable leaves the trail, after which they are overwritten by the next
 //! implication of that variable.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use unigen_cnf::{Lit, Var, XorClause};
 
@@ -98,6 +98,26 @@ pub(crate) enum GaussResult {
     Conflict,
 }
 
+/// A row the matrix derived as a GF(2) sum of two or more original xor
+/// rows, recorded for proof logging: implication/conflict *reasons* come
+/// from the **reduced** rows, which are linear combinations of the logged
+/// originals and therefore not RUP-checkable over their expansions alone.
+/// Each derive names the exact original row ids whose sum it is, so the
+/// checker can verify the combination symbolically and install the derived
+/// row's expansion before any clause that depends on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RowDerive {
+    /// The guard variable owning the matrix.
+    pub(crate) guard: Var,
+    /// Variables of the derived row (empty for the `0 = 1` layer-unsat
+    /// combination).
+    pub(crate) vars: Vec<Var>,
+    /// Parity of the derived row.
+    pub(crate) rhs: bool,
+    /// Proof-stream ids of the original rows summed.
+    pub(crate) from: Vec<u64>,
+}
+
 /// One row: column bitset plus parity, owning one basic column.
 #[derive(Debug, Clone)]
 struct Row {
@@ -105,6 +125,12 @@ struct Row {
     rhs: bool,
     /// Column index of this row's basic variable.
     basic: usize,
+    /// Provenance bitset over the matrix's inserted originals: bit `i` set
+    /// means original `origin_ids[i]` participates in the GF(2) sum that
+    /// produced this row. Maintained by every row operation alongside
+    /// `bits`/`rhs`, so combo ↔ row content stays 1:1. Empty when proof
+    /// tracking is off.
+    combo: Vec<u64>,
 }
 
 impl Row {
@@ -117,6 +143,9 @@ impl Row {
             *w ^= o;
         }
         self.rhs ^= other.rhs;
+        for (w, o) in self.combo.iter_mut().zip(&other.combo) {
+            *w ^= o;
+        }
     }
 
     fn is_zero(&self) -> bool {
@@ -151,6 +180,12 @@ struct GaussMatrix {
     col_of: HashMap<u32, usize>,
     words: usize,
     rows: Vec<Row>,
+    /// Proof-stream id of each original row inserted into this matrix, in
+    /// insertion order (combo bit `i` ↔ `origin_ids[i]`). Empty when proof
+    /// tracking is off.
+    origin_ids: Vec<u64>,
+    /// Width of every row's `combo` bitset, in words.
+    combo_words: usize,
 }
 
 /// What a row looks like under the current partial assignment.
@@ -170,6 +205,8 @@ impl GaussMatrix {
             col_of: HashMap::new(),
             words: 0,
             rows: Vec::new(),
+            origin_ids: Vec::new(),
+            combo_words: 0,
         }
     }
 
@@ -195,27 +232,46 @@ impl GaussMatrix {
     /// Reduces a fresh xor row against the matrix and inserts it, keeping
     /// the reduced row-echelon invariant. Returns the variables of any
     /// newly created columns, `Ok(false)` if the row was redundant,
-    /// `Ok(true)` if it was inserted, and `Err(())` if it reduced to
-    /// `0 = 1` (the layer is unsatisfiable).
+    /// `Ok(true)` if it was inserted, and `Err(from)` if it reduced to
+    /// `0 = 1` (the layer is unsatisfiable) — `from` names the proof ids of
+    /// the original rows whose sum is the contradiction (empty when proof
+    /// tracking is off).
     ///
+    /// `origin` is the row's proof-stream id (0 = tracking off).
     /// `row_ops` counts the elimination xors performed.
     fn insert_row(
         &mut self,
         xor: &XorClause,
+        origin: u64,
         value_of: impl Fn(Var) -> Option<bool>,
         new_cols: &mut Vec<Var>,
         row_ops: &mut u64,
-    ) -> Result<bool, ()> {
+    ) -> Result<bool, Vec<u64>> {
         for &v in xor.vars() {
             let (_, fresh) = self.intern_col(v);
             if fresh {
                 new_cols.push(v);
             }
         }
+        let mut combo = Vec::new();
+        if origin != 0 {
+            self.origin_ids.push(origin);
+            let words = self.origin_ids.len().div_ceil(64);
+            if words > self.combo_words {
+                self.combo_words = words;
+                for row in &mut self.rows {
+                    row.combo.resize(words, 0);
+                }
+            }
+            combo = vec![0; self.combo_words];
+            let bit = self.origin_ids.len() - 1;
+            combo[bit / 64] |= 1 << (bit % 64);
+        }
         let mut row = Row {
             bits: vec![0; self.words],
             rhs: xor.rhs(),
             basic: 0,
+            combo,
         };
         for &v in xor.vars() {
             let c = self.col_of[&(v.index() as u32)];
@@ -229,7 +285,11 @@ impl GaussMatrix {
             }
         }
         if row.is_zero() {
-            return if row.rhs { Err(()) } else { Ok(false) };
+            return if row.rhs {
+                Err(self.origins_of(&row.combo))
+            } else {
+                Ok(false)
+            };
         }
         // Pick a basic column, preferring an unassigned variable so the
         // row starts out obeying the propagation invariant.
@@ -302,6 +362,20 @@ impl GaussMatrix {
         state
     }
 
+    /// The proof-stream ids named by a combo bitset, in insertion order.
+    fn origins_of(&self, combo: &[u64]) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for (wi, &word) in combo.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                ids.push(self.origin_ids[wi * 64 + bit]);
+            }
+        }
+        ids
+    }
+
     /// The falsified literals of the row's assigned variables (the reason
     /// side of an implication or conflict derived from the row).
     fn falsified_lits(&self, row: &Row, value_of: &impl Fn(Var) -> Option<bool>) -> Vec<Lit> {
@@ -320,8 +394,9 @@ impl GaussMatrix {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct GaussEngine {
     /// Rows added under a guard but not yet compiled (sealed at the next
-    /// solve). Insertion-ordered so sealing is deterministic.
-    pending: Vec<(GuardKey, Vec<XorClause>)>,
+    /// solve), paired with their proof-stream ids (0 = tracking off).
+    /// Insertion-ordered so sealing is deterministic.
+    pending: Vec<(GuardKey, Vec<(XorClause, u64)>)>,
     matrices: HashMap<GuardKey, GaussMatrix>,
     /// Variable index → guards whose matrix has the variable as a column.
     touching: HashMap<u32, Vec<GuardKey>>,
@@ -334,15 +409,25 @@ pub(crate) struct GaussEngine {
     affected_scratch: Vec<usize>,
     /// Number of row xors performed (build, insert and re-pivot combined).
     pub(crate) row_ops: u64,
+    /// `true` when the solver has a proof sink installed: rows that fire
+    /// implications or conflicts enqueue [`RowDerive`] provenance records.
+    tracking: bool,
+    /// Derives awaiting proof logging; drained by the solver before it
+    /// writes any step that may depend on them.
+    derives: Vec<RowDerive>,
+    /// Combos already logged, per matrix — a derived row may fire many
+    /// times across solves but its derivation only needs logging once.
+    logged_derives: HashMap<GuardKey, HashSet<Vec<u64>>>,
 }
 
 impl GaussEngine {
     /// Queues a row for `guard`; it becomes part of the guard's matrix when
-    /// the layer is sealed.
-    pub(crate) fn push_pending(&mut self, guard: GuardKey, xor: XorClause) {
+    /// the layer is sealed. `origin` is the row's proof-stream id (0 when
+    /// proof tracking is off).
+    pub(crate) fn push_pending(&mut self, guard: GuardKey, xor: XorClause, origin: u64) {
         match self.pending.iter_mut().find(|(g, _)| *g == guard) {
-            Some((_, rows)) => rows.push(xor),
-            None => self.pending.push((guard, vec![xor])),
+            Some((_, rows)) => rows.push((xor, origin)),
+            None => self.pending.push((guard, vec![(xor, origin)])),
         }
     }
 
@@ -350,8 +435,24 @@ impl GaussEngine {
         !self.pending.is_empty()
     }
 
-    pub(crate) fn take_pending(&mut self) -> Vec<(GuardKey, Vec<XorClause>)> {
+    pub(crate) fn take_pending(&mut self) -> Vec<(GuardKey, Vec<(XorClause, u64)>)> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Enables provenance tracking (proof sink installed on the solver).
+    pub(crate) fn set_tracking(&mut self, on: bool) {
+        self.tracking = on;
+    }
+
+    /// Drains the derives recorded since the last call.
+    pub(crate) fn take_derives(&mut self) -> Vec<RowDerive> {
+        std::mem::take(&mut self.derives)
+    }
+
+    /// `true` when derives await logging (fast path for the solver's
+    /// logging helper).
+    pub(crate) fn has_derives(&self) -> bool {
+        !self.derives.is_empty()
     }
 
     /// Returns `true` if no matrix exists (fast path for propagation).
@@ -372,7 +473,7 @@ impl GaussEngine {
         &mut self,
         guard: GuardKey,
         guard_lit: Lit,
-        rows: &[XorClause],
+        rows: &[(XorClause, u64)],
         value_of: impl Fn(Var) -> Option<bool>,
     ) -> BuildOutcome {
         let fresh = !self.matrices.contains_key(&guard);
@@ -383,10 +484,21 @@ impl GaussEngine {
         let rows_before = matrix.rows.len();
         let mut new_cols = Vec::new();
         let mut unsat = false;
-        for xor in rows {
-            match matrix.insert_row(xor, &value_of, &mut new_cols, &mut self.row_ops) {
+        for (xor, origin) in rows {
+            match matrix.insert_row(xor, *origin, &value_of, &mut new_cols, &mut self.row_ops) {
                 Ok(_) => {}
-                Err(()) => {
+                Err(from) => {
+                    // The contradiction `0 = 1` is the sum of the named
+                    // originals; record the derivation (a singleton is the
+                    // original itself — already logged as a row).
+                    if self.tracking && from.len() > 1 {
+                        self.derives.push(RowDerive {
+                            guard: guard_lit.var(),
+                            vars: Vec::new(),
+                            rhs: true,
+                            from,
+                        });
+                    }
                     unsat = true;
                     break;
                 }
@@ -419,6 +531,7 @@ impl GaussEngine {
     }
 
     fn drop_matrix(&mut self, guard: GuardKey) {
+        self.logged_derives.remove(&guard);
         if let Some(matrix) = self.matrices.remove(&guard) {
             for v in &matrix.cols {
                 if let Some(list) = self.touching.get_mut(&(v.index() as u32)) {
@@ -554,6 +667,28 @@ impl GaussEngine {
             return; // dormant: `g ∨ row` is satisfied outright
         }
         let active = guard_value == Some(false);
+        // Any row that fires came from the *reduced* matrix; record its
+        // derivation from the logged originals so the proof checker can
+        // reproduce the implication (singleton combos are the originals
+        // themselves, and each distinct combination is logged only once).
+        let mut logged = self
+            .tracking
+            .then(|| self.logged_derives.entry(guard).or_default());
+        let derives = &mut self.derives;
+        let mut note_derive = |row: &Row| {
+            let Some(logged) = logged.as_deref_mut() else {
+                return;
+            };
+            let popcount: u32 = row.combo.iter().map(|w| w.count_ones()).sum();
+            if popcount > 1 && logged.insert(row.combo.clone()) {
+                derives.push(RowDerive {
+                    guard: g.var(),
+                    vars: row.cols().map(|c| matrix.cols[c]).collect(),
+                    rhs: row.rhs,
+                    from: matrix.origins_of(&row.combo),
+                });
+            }
+        };
         let mut conflict: Option<Vec<Lit>> = None;
         let mut indices = 0..matrix.rows.len();
         let mut listed = rows.map(|r| r.iter().copied());
@@ -566,6 +701,7 @@ impl GaussEngine {
             let state = matrix.state_of(row, value_of);
             match state.unassigned {
                 0 if state.parity != row.rhs => {
+                    note_derive(row);
                     let mut lits = matrix.falsified_lits(row, value_of);
                     if active {
                         lits.push(g);
@@ -579,6 +715,7 @@ impl GaussEngine {
                     });
                 }
                 1 if active => {
+                    note_derive(row);
                     let v = matrix.cols[state.unassigned_col];
                     let lit = v.lit(row.rhs ^ state.parity);
                     let mut lits = matrix.falsified_lits(row, value_of);
@@ -628,7 +765,8 @@ mod tests {
 
     fn build(engine: &mut GaussEngine, rows: &[XorClause]) -> BuildOutcome {
         let assigned: Map<Var, bool> = Map::new();
-        engine.build(9, guard_lit(), rows, value_fn(&assigned))
+        let rows: Vec<(XorClause, u64)> = rows.iter().map(|x| (x.clone(), 0)).collect();
+        engine.build(9, guard_lit(), &rows, value_fn(&assigned))
     }
 
     #[test]
@@ -764,9 +902,52 @@ mod tests {
     }
 
     #[test]
+    fn tracked_cross_row_implication_records_its_derivation() {
+        let mut engine = GaussEngine::default();
+        engine.set_tracking(true);
+        let assigned: Map<Var, bool> = Map::new();
+        let rows = vec![(xor(&[0, 1], false), 7), (xor(&[0, 1, 2], true), 8)];
+        engine.build(9, guard_lit(), &rows, value_fn(&assigned));
+        let mut assigned = Map::new();
+        assigned.insert(guard_var(), false);
+        let mut results = Vec::new();
+        engine.on_assign(guard_var(), value_fn(&assigned), &mut results);
+        assert_eq!(implied_lits(&results), vec![Var::new(2).positive()]);
+        let derives = engine.take_derives();
+        assert_eq!(derives.len(), 1);
+        assert_eq!(derives[0].guard, guard_var());
+        assert_eq!(derives[0].vars, vec![Var::new(2)]);
+        assert!(derives[0].rhs);
+        assert_eq!(derives[0].from, vec![7, 8]);
+        // The same combination firing again is not re-logged.
+        engine.on_assign(guard_var(), value_fn(&assigned), &mut results);
+        assert!(!engine.has_derives());
+    }
+
+    #[test]
+    fn tracked_layer_unsat_records_the_contradiction() {
+        let mut engine = GaussEngine::default();
+        engine.set_tracking(true);
+        let assigned: Map<Var, bool> = Map::new();
+        let rows = vec![
+            (xor(&[0, 1], false), 3),
+            (xor(&[1, 2], true), 4),
+            (xor(&[0, 2], false), 5),
+        ];
+        let outcome = engine.build(9, guard_lit(), &rows, value_fn(&assigned));
+        assert_eq!(outcome, BuildOutcome::LayerUnsat);
+        let derives = engine.take_derives();
+        assert_eq!(derives.len(), 1);
+        assert_eq!(derives[0].guard, guard_var());
+        assert!(derives[0].vars.is_empty());
+        assert!(derives[0].rhs);
+        assert_eq!(derives[0].from, vec![3, 4, 5]);
+    }
+
+    #[test]
     fn retire_drops_matrix_and_pending() {
         let mut engine = GaussEngine::default();
-        engine.push_pending(9, xor(&[0, 1], true));
+        engine.push_pending(9, xor(&[0, 1], true), 0);
         assert!(engine.has_pending());
         build(&mut engine, &[xor(&[2, 3], false)]);
         assert_eq!(engine.retire(Var::new(9)), 1);

@@ -106,11 +106,13 @@ mod stats;
 mod xor_engine;
 
 pub mod enumerate;
+pub mod proof;
 pub mod support;
 
 pub use budget::Budget;
 pub use config::{GaussMode, SolverConfig};
 pub use enumerate::{bounded_solutions, enumerate_cell, EnumerationOutcome, Enumerator};
 pub use fault::{FaultHook, FaultSite, InterruptReason};
+pub use proof::ProofLog;
 pub use solver::{Guard, SolveResult, Solver};
 pub use stats::SolverStats;

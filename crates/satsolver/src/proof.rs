@@ -1,0 +1,316 @@
+//! DRAT-style proof logging for certified enumeration.
+//!
+//! When a [`ProofLog`] sink is installed on
+//! [`SolverConfig::proof`](crate::SolverConfig), the solver records every
+//! inference that contributes to an Unsat or exhaustive-cell verdict as a
+//! step in a compact binary stream:
+//!
+//! * **Learned clauses** are logged as RUP steps (reverse unit propagation:
+//!   the clause's negation unit-propagates to a conflict over the database
+//!   logged so far) — the classical DRAT discipline.
+//! * **Xor rows** are logged at [`Solver::add_xor_under`](crate::Solver)
+//!   time; an independent checker re-derives their chunked aux-variable
+//!   Tseitin CNF expansion, which is propagation-complete per row, so
+//!   watched-xor reasoning checks as plain RUP.
+//! * **Gauss-derived rows** — implications justified by *linear
+//!   combinations* of original rows, which are not RUP over the originals —
+//!   are logged as algebraic `XorDerive` steps carrying the exact set of
+//!   original row ids whose GF(2) sum produces the derived row. The checker
+//!   verifies the sum symbolically and installs the derived row's expansion.
+//! * **Guard lifecycle** steps (`NewGuard`, `RetireGuard`) scope a hash
+//!   cell's constraints; an Unsat-under-assumptions verdict is logged as the
+//!   clause `¬a₁ ∨ … ∨ ¬aₖ` (`UnsatUnder`), which for a cell guard `g`
+//!   assumed as `¬g` is the unit clause `g` — the checkable claim that the
+//!   blocked residue of the cell is unsatisfiable.
+//! * **Cell packaging** steps (`CellBegin`, `Witness`, `Block`, `CellClose`)
+//!   turn an [`enumerate_cell`](crate::enumerate_cell) run into a *cell
+//!   certificate*: the witness list, the blocking clause trail, and the
+//!   unsat proof of the blocked residue — together a machine-checkable claim
+//!   that the cell's witness set is exactly what was returned.
+//!
+//! The stream is checked offline by the dependency-free `unigen-cert` crate
+//! (`crates/cert`), which deliberately shares zero code with this module: it
+//! has its own decoder and its own watched-literal propagation, so a bug
+//! here cannot silently excuse itself there.
+//!
+//! Logging is zero-cost when disabled: every call site is behind a single
+//! `Option` test, exactly like the fault-injection hooks.
+
+use unigen_cnf::{Lit, Var, XorClause};
+
+/// Step tags of the binary proof format. The `unigen-cert` checker keeps an
+/// independent copy of these values; the format is the contract between the
+/// two crates, not shared code.
+pub mod tag {
+    /// A fresh activation guard variable was allocated.
+    pub const NEW_GUARD: u8 = 1;
+    /// An xor row was added (guarded or unguarded).
+    pub const XOR_ROW: u8 = 2;
+    /// A row derived as a GF(2) sum of previously logged rows.
+    pub const XOR_DERIVE: u8 = 3;
+    /// A learned clause, checkable by reverse unit propagation.
+    pub const LEARNED: u8 = 4;
+    /// A learned clause was deleted from the database.
+    pub const DELETE: u8 = 5;
+    /// An input clause of the base formula was added.
+    pub const AXIOM: u8 = 6;
+    /// A clause added under a guard (weakened with the disable literal).
+    pub const GUARDED_CLAUSE: u8 = 7;
+    /// An enumeration session (cell) opened.
+    pub const CELL_BEGIN: u8 = 8;
+    /// A model found during enumeration (full assignment over base vars).
+    pub const WITNESS: u8 = 9;
+    /// The blocking clause installed after a witness.
+    pub const BLOCK: u8 = 10;
+    /// An Unsat-under-assumptions verdict: the clause of negated
+    /// assumptions is entailed (RUP over the database logged so far).
+    pub const UNSAT_UNDER: u8 = 11;
+    /// The current cell closed (reason byte follows).
+    pub const CELL_CLOSE: u8 = 12;
+    /// A guard was retired: every clause mentioning it is deleted and the
+    /// unit clause `g` becomes an axiom of the remaining database.
+    pub const RETIRE_GUARD: u8 = 13;
+}
+
+/// Reason bytes of a [`tag::CELL_CLOSE`] step.
+pub mod close {
+    /// The cell was exhausted; a verdict step must precede the close.
+    pub const EXHAUSTED: u8 = 0;
+    /// Enumeration stopped at the requested bound.
+    pub const BOUND_REACHED: u8 = 1;
+    /// Enumeration was interrupted (budget or injected fault); the cell's
+    /// certificate is *incomplete* and must not be treated as exhaustive.
+    pub const INTERRUPTED: u8 = 2;
+}
+
+/// An in-memory binary proof sink.
+///
+/// The log is a plain byte buffer, so cloning a solver forks the stream:
+/// the clone's log is the shared prefix plus its own suffix — a valid
+/// standalone proof of the clone's own reasoning. Retrieve the bytes with
+/// [`ProofLog::bytes`] (or [`Solver::proof_bytes`](crate::Solver)) and feed
+/// them to the `unigen-cert` checker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProofLog {
+    buf: Vec<u8>,
+    steps: u64,
+    xor_rows: u64,
+}
+
+impl ProofLog {
+    /// Creates an empty proof log.
+    pub fn new() -> Self {
+        ProofLog::default()
+    }
+
+    /// The raw proof stream logged so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of steps logged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of bytes logged so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// LEB128 unsigned varint.
+    fn u(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    fn i(&mut self, v: i64) {
+        self.u(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// A literal in DIMACS form (1-based, sign = polarity).
+    fn lit(&mut self, l: Lit) {
+        self.i(l.to_dimacs());
+    }
+
+    /// A variable as its 1-based index.
+    fn var(&mut self, v: Var) {
+        self.u(v.index() as u64 + 1);
+    }
+
+    /// An optional guard variable (0 = none).
+    fn opt_var(&mut self, v: Option<Var>) {
+        match v {
+            Some(v) => self.var(v),
+            None => self.u(0),
+        }
+    }
+
+    fn lits(&mut self, lits: &[Lit]) {
+        self.u(lits.len() as u64);
+        for &l in lits {
+            self.lit(l);
+        }
+    }
+
+    fn begin(&mut self, tag: u8) {
+        self.buf.push(tag);
+        self.steps += 1;
+    }
+
+    pub(crate) fn new_guard(&mut self, guard: Var) {
+        self.begin(tag::NEW_GUARD);
+        self.var(guard);
+    }
+
+    /// Logs an xor row and returns its stream id (1-based; used by
+    /// [`ProofLog::xor_derive`] provenance references).
+    pub(crate) fn xor_row(&mut self, guard: Option<Var>, xor: &XorClause) -> u64 {
+        self.begin(tag::XOR_ROW);
+        self.opt_var(guard);
+        self.u(xor.len() as u64);
+        for &v in xor.vars() {
+            self.var(v);
+        }
+        self.buf.push(u8::from(xor.rhs()));
+        self.xor_rows += 1;
+        self.xor_rows
+    }
+
+    pub(crate) fn xor_derive(&mut self, guard: Var, vars: &[Var], rhs: bool, from: &[u64]) {
+        self.begin(tag::XOR_DERIVE);
+        self.var(guard);
+        self.u(vars.len() as u64);
+        for &v in vars {
+            self.var(v);
+        }
+        self.buf.push(u8::from(rhs));
+        self.u(from.len() as u64);
+        for &id in from {
+            self.u(id);
+        }
+    }
+
+    pub(crate) fn learned(&mut self, lits: &[Lit]) {
+        self.begin(tag::LEARNED);
+        self.lits(lits);
+    }
+
+    pub(crate) fn delete(&mut self, lits: &[Lit]) {
+        self.begin(tag::DELETE);
+        self.lits(lits);
+    }
+
+    pub(crate) fn axiom(&mut self, lits: &[Lit]) {
+        self.begin(tag::AXIOM);
+        self.lits(lits);
+    }
+
+    pub(crate) fn guarded_clause(&mut self, lits: &[Lit]) {
+        self.begin(tag::GUARDED_CLAUSE);
+        self.lits(lits);
+    }
+
+    pub(crate) fn cell_begin(&mut self, guard: Option<Var>, sampling: &[Var]) {
+        self.begin(tag::CELL_BEGIN);
+        self.opt_var(guard);
+        self.u(sampling.len() as u64);
+        for &v in sampling {
+            self.var(v);
+        }
+    }
+
+    pub(crate) fn witness(&mut self, values: &[bool]) {
+        self.begin(tag::WITNESS);
+        self.u(values.len() as u64);
+        let mut byte = 0u8;
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                self.buf.push(byte);
+                byte = 0;
+            }
+        }
+        if values.len() % 8 != 0 {
+            self.buf.push(byte);
+        }
+    }
+
+    pub(crate) fn block(&mut self, lits: &[Lit]) {
+        self.begin(tag::BLOCK);
+        self.lits(lits);
+    }
+
+    pub(crate) fn unsat_under(&mut self, assumptions: &[Lit]) {
+        self.begin(tag::UNSAT_UNDER);
+        self.lits(assumptions);
+    }
+
+    pub(crate) fn cell_close(&mut self, reason: u8) {
+        self.begin(tag::CELL_CLOSE);
+        self.buf.push(reason);
+    }
+
+    pub(crate) fn retire_guard(&mut self, guard: Var) {
+        self.begin(tag::RETIRE_GUARD);
+        self.var(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_use_minimal_bytes() {
+        let mut log = ProofLog::new();
+        log.u(0);
+        log.u(127);
+        log.u(128);
+        assert_eq!(log.bytes(), &[0, 127, 0x80, 1]);
+    }
+
+    #[test]
+    fn steps_and_ids_count_up() {
+        let mut log = ProofLog::new();
+        log.new_guard(Var::new(5));
+        let id1 = log.xor_row(Some(Var::new(5)), &XorClause::new([Var::new(0)], true));
+        let id2 = log.xor_row(None, &XorClause::new([Var::new(1)], false));
+        assert_eq!((id1, id2), (1, 2));
+        assert_eq!(log.steps(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn witness_packs_bits_lsb_first() {
+        let mut log = ProofLog::new();
+        log.witness(&[true, false, false, false, false, false, false, false, true]);
+        // tag, count = 9, then two payload bytes: 0b0000_0001, 0b0000_0001.
+        assert_eq!(log.bytes(), &[tag::WITNESS, 9, 0x01, 0x01]);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut log = ProofLog::new();
+        log.learned(&[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        let mut fork = log.clone();
+        fork.learned(&[Lit::from_dimacs(2)]);
+        assert!(fork.bytes().starts_with(log.bytes()));
+        assert_eq!(log.steps() + 1, fork.steps());
+    }
+}

@@ -17,6 +17,7 @@ use crate::config::{GaussMode, SolverConfig};
 use crate::decide::Vsids;
 use crate::fault::{FaultHook, FaultSite, InterruptReason};
 use crate::gauss::{BuildOutcome, GaussEngine, GaussResult};
+use crate::proof::ProofLog;
 use crate::restart::LubyRestarts;
 use crate::stats::SolverStats;
 use crate::xor_engine::{AddXor, XorEngine, XorPropagation, XorRef, XorState};
@@ -201,11 +202,12 @@ pub struct Solver {
     /// Reusable buffer for gauss propagation results.
     gauss_scratch: Vec<GaussResult>,
     /// Guarded rows routed to the watched engine while their layer was
-    /// below the Auto threshold, remembered so a later batch that pushes
-    /// the layer over the threshold can promote the *whole* layer into the
+    /// below the Auto threshold (paired with their proof-stream ids, 0 when
+    /// certify mode is off), remembered so a later batch that pushes the
+    /// layer over the threshold can promote the *whole* layer into the
     /// matrix (the watched copies stay installed — redundant propagation
     /// is sound — so the matrix never reasons over a partial layer).
-    watched_guard_rows: HashMap<u32, Vec<XorClause>>,
+    watched_guard_rows: HashMap<u32, Vec<(XorClause, u64)>>,
 }
 
 impl Solver {
@@ -219,7 +221,7 @@ impl Solver {
         CONSTRUCTIONS.with(|c| c.set(c.get() + 1));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let noise: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1e-6)).collect();
-        Solver {
+        let mut solver = Solver {
             num_vars,
             num_base_vars: num_vars,
             clauses: ClauseDb::new(num_vars, config.clause_decay),
@@ -244,7 +246,9 @@ impl Solver {
             gauss: GaussEngine::default(),
             gauss_scratch: Vec::new(),
             watched_guard_rows: HashMap::new(),
-        }
+        };
+        solver.gauss.set_tracking(solver.config.proof.is_some());
+        solver
     }
 
     /// Builds a solver pre-loaded with all clauses and xor constraints of a
@@ -299,6 +303,33 @@ impl Solver {
     /// across every clone of a prepared solver.
     pub fn set_fault_hook(&mut self, hook: Option<Arc<dyn FaultHook>>) {
         self.config.fault_hook = hook;
+    }
+
+    /// Runs `f` against the proof sink, if one is installed, after flushing
+    /// any Gauss row derivations recorded since the last step — their
+    /// `XorDerive` steps must precede whatever `f` writes, which may depend
+    /// on the derived rows. A no-op single `Option` test when certify mode
+    /// is off.
+    pub(crate) fn with_proof(&mut self, f: impl FnOnce(&mut ProofLog)) {
+        let Some(proof) = self.config.proof.as_mut() else {
+            return;
+        };
+        if self.gauss.has_derives() {
+            for d in self.gauss.take_derives() {
+                proof.xor_derive(d.guard, &d.vars, d.rhs, &d.from);
+            }
+        }
+        f(proof);
+        self.stats.proof_steps = proof.steps();
+        self.stats.proof_bytes = proof.len() as u64;
+    }
+
+    /// The proof stream recorded so far, or `None` when certify mode is off
+    /// (no [`SolverConfig::proof`] sink installed). Takes `&mut self` so
+    /// pending Gauss derivations can be flushed into the stream first.
+    pub fn proof_bytes(&mut self) -> Option<&[u8]> {
+        self.with_proof(|_| {});
+        self.config.proof.as_ref().map(|p| p.bytes())
     }
 
     /// Returns the current Gauss–Jordan policy for guarded xor layers.
@@ -395,7 +426,9 @@ impl Solver {
         self.grow_storage(index + 1);
         self.is_guard[index] = true;
         self.stats.guards_created += 1;
-        Guard(Var::new(index))
+        let var = Var::new(index);
+        self.with_proof(|p| p.new_guard(var));
+        Guard(var)
     }
 
     /// Adds a CNF clause. May be called between `solve` calls (the solver is
@@ -408,6 +441,10 @@ impl Solver {
             return;
         }
         let lits: Vec<Lit> = clause.iter().copied().collect();
+        // Logged with the caller's original literals: `add_clause_lits` may
+        // strip level-zero-false literals, but the logged (weaker) clause
+        // is UP-equivalent under the units that justified the stripping.
+        self.with_proof(|p| p.axiom(&lits));
         self.add_clause_lits(lits);
     }
 
@@ -423,6 +460,7 @@ impl Solver {
         if !lits.contains(&guard.disable_lit()) {
             lits.push(guard.disable_lit());
         }
+        self.with_proof(|p| p.guarded_clause(&lits));
         self.add_clause_lits(lits);
     }
 
@@ -492,6 +530,16 @@ impl Solver {
             return;
         }
         let guard_lit = guard.map(|g| g.disable_lit());
+        // Every row is logged once, at add time, whatever propagation path
+        // it takes below: the checker derives the row's CNF expansion
+        // itself, so watched propagation, matrix implications (via the
+        // derives recorded at scan time), and the degenerate unit/empty
+        // cases all check against the same logged row.
+        let mut xor_id = 0u64;
+        if self.config.proof.is_some() {
+            let guard_var = guard.map(|g| g.var());
+            self.with_proof(|p| xor_id = p.xor_row(guard_var, &xor));
+        }
         // Non-degenerate guarded rows are deferred: the gauss engine
         // collects a guard's whole layer and decides at the next solve
         // (the *seal* point) whether it becomes a Gauss–Jordan matrix or
@@ -499,7 +547,7 @@ impl Solver {
         // after normalisation) combine with the guard immediately below.
         if let Some(g) = guard_lit {
             if xor.len() >= 2 && self.config.gauss != GaussMode::Off {
-                self.gauss.push_pending(g.var().index() as u32, xor);
+                self.gauss.push_pending(g.var().index() as u32, xor, xor_id);
                 return;
             }
         }
@@ -628,7 +676,7 @@ impl Solver {
                 GaussMode::Off => false,
             };
             if !use_matrix {
-                for xor in &rows {
+                for (xor, _) in &rows {
                     if !self.ok {
                         return false;
                     }
@@ -728,6 +776,10 @@ impl Solver {
         self.backtrack_to(0);
         debug_assert!(self.is_guard[guard.var().index()], "retiring a non-guard");
         self.stats.guards_retired += 1;
+        // One step covers the wholesale deletion: the checker drops every
+        // clause mentioning the guard itself and installs the unit `g`.
+        let guard_var = guard.var();
+        self.with_proof(|p| p.retire_guard(guard_var));
         let key = guard.var().index() as u32;
         let mut retired_learned = 0u64;
         if let Some(list) = self.guarded_clauses.remove(&key) {
@@ -755,7 +807,9 @@ impl Solver {
         // than their pruning is worth, so a retirement is the natural point
         // to shed them. (Level-zero reasons are never dereferenced, so no
         // lock set is needed here.)
-        self.stats.deleted_clauses += self.clauses.trim_learned(RETAINED_LBD_LIMIT) as u64;
+        let trimmed = self.clauses.trim_learned(RETAINED_LBD_LIMIT);
+        self.log_deletions(&trimmed);
+        self.stats.deleted_clauses += trimmed.len() as u64;
         self.stats.learned_clauses = self.clauses.num_learned() as u64;
         self.stats.learned_retained = self.stats.learned_clauses;
         if self.ok {
@@ -777,6 +831,7 @@ impl Solver {
         if !self.ok {
             return;
         }
+        self.with_proof(|p| p.block(&lits));
         debug_assert!(lits.iter().all(|&l| self.lit_value(l) == Some(false)));
         let level_of = |s: &Self, l: Lit| s.level[l.var().index()];
         let max_level = lits.iter().map(|&l| level_of(self, l)).max().unwrap_or(0);
@@ -896,6 +951,25 @@ impl Solver {
     /// `keep_trail_on_sat`, a `Sat` return leaves the satisfying trail in
     /// place so the next blocking clause can backjump instead of restarting.
     pub(crate) fn solve_for_enumeration(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        warm: bool,
+        keep_trail_on_sat: bool,
+    ) -> SolveResult {
+        let result = self.solve_for_enumeration_inner(assumptions, budget, warm, keep_trail_on_sat);
+        if matches!(result, SolveResult::Unsat) {
+            // Every Unsat answer — base-formula contradiction, exhausted
+            // search, or a falsified assumption — is certified here, at the
+            // single choke point all solve entry points route through: the
+            // clause of negated assumptions is RUP over the steps logged so
+            // far (the empty clause when there are no assumptions).
+            self.with_proof(|p| p.unsat_under(assumptions));
+        }
+        result
+    }
+
+    fn solve_for_enumeration_inner(
         &mut self,
         assumptions: &[Lit],
         budget: &Budget,
@@ -1383,6 +1457,9 @@ impl Solver {
     }
 
     fn attach_learnt(&mut self, clause: Vec<Lit>, lbd: u32) {
+        // Logged exactly as stored (learned clauses are never stripped), so
+        // a later deletion finds the clause by its literals.
+        self.with_proof(|p| p.learned(&clause));
         self.stats.learned_clauses = self.clauses.num_learned() as u64;
         match clause.len() {
             0 => {
@@ -1418,9 +1495,22 @@ impl Solver {
             })
             .collect();
         let deleted = self.clauses.reduce(|cref| locked.contains(&cref));
-        self.stats.deleted_clauses += deleted as u64;
+        self.log_deletions(&deleted);
+        self.stats.deleted_clauses += deleted.len() as u64;
         self.stats.learned_clauses = self.clauses.num_learned() as u64;
         self.learned_limit *= self.config.learned_clause_growth;
+    }
+
+    /// Logs a `Delete` step for each just-tombstoned clause (their literals
+    /// stay readable until the next garbage collection).
+    fn log_deletions(&mut self, crefs: &[ClauseRef]) {
+        if self.config.proof.is_none() {
+            return;
+        }
+        for &cref in crefs {
+            let lits: Vec<Lit> = self.clauses.iter_lits(cref).collect();
+            self.with_proof(|p| p.delete(&lits));
+        }
     }
 }
 

@@ -50,13 +50,18 @@ pub struct SolverStats {
     /// Number of row-xor operations (eliminations and re-pivots) performed
     /// by the Gauss–Jordan engine.
     pub gauss_row_ops: u64,
+    /// Number of proof steps recorded (0 unless certify mode is on).
+    pub proof_steps: u64,
+    /// Size of the recorded proof stream in bytes (0 unless certify mode
+    /// is on).
+    pub proof_bytes: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "decisions={} propagations={} (xor={} gauss={}) conflicts={} (gauss={}) restarts={} learned={} deleted={} solves={} guards={}/{} guarded_retired={} retained={} gauss_matrices={} gauss_rows={} gauss_row_ops={}",
+            "decisions={} propagations={} (xor={} gauss={}) conflicts={} (gauss={}) restarts={} learned={} deleted={} solves={} guards={}/{} guarded_retired={} retained={} gauss_matrices={} gauss_rows={} gauss_row_ops={} proof_steps={} proof_bytes={}",
             self.decisions,
             self.propagations,
             self.xor_propagations,
@@ -73,7 +78,9 @@ impl fmt::Display for SolverStats {
             self.learned_retained,
             self.gauss_matrices,
             self.gauss_rows,
-            self.gauss_row_ops
+            self.gauss_row_ops,
+            self.proof_steps,
+            self.proof_bytes
         )
     }
 }
@@ -102,6 +109,8 @@ mod tests {
             gauss_propagations: 15,
             gauss_conflicts: 16,
             gauss_row_ops: 17,
+            proof_steps: 18,
+            proof_bytes: 19,
         };
         let text = stats.to_string();
         for needle in [
@@ -116,6 +125,8 @@ mod tests {
             "gauss=15",
             "gauss=16",
             "gauss_row_ops=17",
+            "proof_steps=18",
+            "proof_bytes=19",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }

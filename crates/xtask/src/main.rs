@@ -1,4 +1,5 @@
-//! Workspace task runner (`cargo xtask` pattern, vendored): repo lints.
+//! Workspace task runner (`cargo xtask` pattern, vendored): repo lints and
+//! offline proof certification.
 
 fn main() {
     std::process::exit(xtask::run(std::env::args().skip(1)));

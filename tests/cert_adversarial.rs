@@ -1,0 +1,215 @@
+//! Adversarial proof-mutation tests: the `unigen-cert` checker must accept
+//! a solver-produced proof stream verbatim and reject every seeded
+//! mutation of it — a checker that accepts a doctored certificate is worse
+//! than no checker, because it launders the very verdicts it exists to
+//! audit.
+//!
+//! Mutations are spliced at step granularity using
+//! [`unigen_cert::step_spans`] (drop a step, swap two steps, truncate at a
+//! step boundary) or at byte granularity inside a step (corrupt one
+//! literal). Step kinds are identified by their leading tag byte — the
+//! binary format encodes tags as single-byte varints, so `bytes[offset]`
+//! *is* the tag.
+
+use unigen::cert_formula;
+use unigen_cert::{step_spans, CheckError, Checker};
+use unigen_cnf::{CnfFormula, Lit, Var, XorClause};
+use unigen_satsolver::{enumerate_cell, Budget, ProofLog, Solver, SolverConfig};
+
+/// Step tags of the binary proof format (see `unigen_satsolver::proof`).
+const TAG_AXIOM: u8 = 6;
+const TAG_CELL_BEGIN: u8 = 8;
+const TAG_WITNESS: u8 = 9;
+const TAG_BLOCK: u8 = 10;
+const TAG_UNSAT_UNDER: u8 = 11;
+
+/// A satisfiable formula with an xor-hashed cell that enumerates
+/// exhaustively: the stream then contains axioms, xor rows, witnesses,
+/// blocking clauses, and the residue refutation — every step kind the
+/// mutations below target.
+fn certified_stream() -> (unigen_cert::Formula, Vec<u8>) {
+    let mut f = CnfFormula::new(4);
+    f.add_clause([
+        Lit::from_dimacs(1),
+        Lit::from_dimacs(2),
+        Lit::from_dimacs(3),
+    ])
+    .unwrap();
+    f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(4)])
+        .unwrap();
+    f.set_sampling_set([
+        Var::from_dimacs(1),
+        Var::from_dimacs(2),
+        Var::from_dimacs(3),
+    ])
+    .unwrap();
+    let sampling = f.sampling_set_or_all();
+
+    let mut solver = Solver::from_formula_with_config(
+        &f,
+        SolverConfig {
+            proof: Some(ProofLog::new()),
+            ..SolverConfig::default()
+        },
+    );
+    let xors = vec![XorClause::from_dimacs([1, 2], true)];
+    let outcome = enumerate_cell(&mut solver, &sampling, &xors, 64, &Budget::new());
+    assert!(outcome.is_exhaustive(), "the cell must enumerate fully");
+    assert!(!outcome.witnesses.is_empty(), "the cell must be non-empty");
+
+    let bytes = solver.proof_bytes().expect("proof sink installed").to_vec();
+    (cert_formula(&f), bytes)
+}
+
+/// Returns the spans whose step has the given tag byte.
+fn spans_of(bytes: &[u8], spans: &[(usize, usize)], tag: u8) -> Vec<(usize, usize)> {
+    spans
+        .iter()
+        .copied()
+        .filter(|&(off, _)| bytes[off] == tag)
+        .collect()
+}
+
+/// Rebuilds a stream from `spans` with the steps at indices `a` and `b`
+/// exchanged.
+fn swap_steps(bytes: &[u8], spans: &[(usize, usize)], a: usize, b: usize) -> Vec<u8> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.swap(a, b);
+    let mut out = Vec::with_capacity(bytes.len());
+    for i in order {
+        let (off, len) = spans[i];
+        out.extend_from_slice(&bytes[off..off + len]);
+    }
+    out
+}
+
+fn splice_out(bytes: &[u8], span: (usize, usize)) -> Vec<u8> {
+    let mut out = bytes[..span.0].to_vec();
+    out.extend_from_slice(&bytes[span.0 + span.1..]);
+    out
+}
+
+#[test]
+fn the_unmutated_stream_is_accepted_and_complete() {
+    let (f, bytes) = certified_stream();
+    let report = Checker::check(&f, &bytes).expect("the original stream checks");
+    report.require_complete().expect("every cell closed");
+    assert_eq!(report.cells.len(), 1);
+    assert!(report.cells[0].exhaustive());
+}
+
+#[test]
+fn dropping_a_witness_step_is_rejected() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let witnesses = spans_of(&bytes, &spans, TAG_WITNESS);
+    assert!(!witnesses.is_empty());
+    // The orphaned blocking clause no longer matches a pending witness.
+    let mutated = splice_out(&bytes, witnesses[0]);
+    Checker::check(&f, &mutated).expect_err("a dropped witness must be caught");
+}
+
+#[test]
+fn dropping_the_unsat_verdict_makes_exhaustion_bogus() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let verdicts = spans_of(&bytes, &spans, TAG_UNSAT_UNDER);
+    assert!(!verdicts.is_empty());
+    let mutated = splice_out(&bytes, verdicts[0]);
+    let err = Checker::check(&f, &mutated).expect_err("exhaustion now lacks its refutation");
+    assert!(
+        matches!(&err, CheckError::Rejected { .. }),
+        "expected a rejected step, got {err:?}"
+    );
+}
+
+#[test]
+fn corrupting_a_blocking_literal_is_rejected() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let blocks = spans_of(&bytes, &spans, TAG_BLOCK);
+    assert!(!blocks.is_empty());
+    // The last byte of a block step is its final zigzag literal (all vars
+    // here fit single-byte varints); xor 1 flips that literal's sign, so
+    // the clause is no longer the negated projection of its witness.
+    let (off, len) = blocks[0];
+    let mut mutated = bytes.clone();
+    mutated[off + len - 1] ^= 1;
+    Checker::check(&f, &mutated).expect_err("a corrupted blocking literal must be caught");
+}
+
+#[test]
+fn corrupting_an_axiom_literal_is_rejected() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let axioms = spans_of(&bytes, &spans, TAG_AXIOM);
+    assert!(!axioms.is_empty(), "base clauses are logged as axioms");
+    let (off, len) = axioms[0];
+    let mut mutated = bytes.clone();
+    mutated[off + len - 1] ^= 1;
+    Checker::check(&f, &mutated).expect_err("the clause is no longer in the base formula");
+}
+
+#[test]
+fn permuting_witness_and_block_is_rejected() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let witness_idx = spans
+        .iter()
+        .position(|&(off, _)| bytes[off] == TAG_WITNESS)
+        .unwrap();
+    let block_idx = spans
+        .iter()
+        .position(|&(off, _)| bytes[off] == TAG_BLOCK)
+        .unwrap();
+    let mutated = swap_steps(&bytes, &spans, witness_idx, block_idx);
+    Checker::check(&f, &mutated).expect_err("a block may not precede its witness");
+}
+
+#[test]
+fn permuting_cell_begin_into_the_cell_is_rejected() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let begin_idx = spans
+        .iter()
+        .position(|&(off, _)| bytes[off] == TAG_CELL_BEGIN)
+        .unwrap();
+    let witness_idx = spans
+        .iter()
+        .position(|&(off, _)| bytes[off] == TAG_WITNESS)
+        .unwrap();
+    assert!(begin_idx < witness_idx);
+    let mutated = swap_steps(&bytes, &spans, begin_idx, witness_idx);
+    Checker::check(&f, &mutated).expect_err("a witness outside its cell must be caught");
+}
+
+#[test]
+fn truncating_the_residue_proof_never_claims_exhaustion() {
+    let (f, bytes) = certified_stream();
+    let spans = step_spans(&bytes).unwrap();
+    let verdicts = spans_of(&bytes, &spans, TAG_UNSAT_UNDER);
+    let cut = verdicts[0].0;
+
+    // Truncation at a step boundary leaves a well-formed stream whose cell
+    // never closes: the verified prefix is usable, but the typed
+    // incompleteness error forbids treating it as an exhaustive cell.
+    let report = Checker::check(&f, &bytes[..cut]).expect("the prefix itself is valid");
+    let err = report
+        .require_complete()
+        .expect_err("an unclosed cell is incomplete");
+    assert!(
+        matches!(err, CheckError::CertIncomplete { .. }),
+        "expected CertIncomplete, got {err:?}"
+    );
+    assert!(
+        report.cells.iter().all(|c| !c.exhaustive()),
+        "no truncated cell may claim exhaustion"
+    );
+
+    // Truncation inside a step is flagged as such.
+    let err = Checker::check(&f, &bytes[..cut + 1]).expect_err("a torn step cannot check");
+    assert!(
+        matches!(err, CheckError::Truncated { .. }),
+        "expected Truncated, got {err:?}"
+    );
+}

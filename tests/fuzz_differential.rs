@@ -3,8 +3,10 @@
 //! through scale-free, triangle-free, sgen-unsat and sgen-sat) and runs
 //! [`unigen_instgen::fuzz::differential_case`] — incremental Gauss-on vs
 //! Gauss-off vs scratch enumeration over the same XOR hash cells, with a
-//! brute-force oracle on small instances — plus the sampler-service check
-//! on every third case. Zero divergence is the pass condition.
+//! brute-force oracle on small instances and the Gauss-on lane's proof
+//! stream verified by the independent `unigen-cert` checker — plus the
+//! sampler-service check (uncertified and certified sampling lanes) on
+//! every third case. Zero divergence is the pass condition.
 //!
 //! The sweep is fully seeded. Knobs (also documented in the README):
 //!
@@ -80,6 +82,7 @@ fn differential_sweep_has_zero_divergence() {
     let mut checked_cells = 0usize;
     let mut unsat_cells = 0usize;
     let mut service_checks = 0usize;
+    let mut certified_steps = 0u64;
     for index in start..start + cases {
         let (generator, seed) = case(index);
         let name = generator.name();
@@ -95,6 +98,11 @@ fn differential_sweep_has_zero_divergence() {
         );
         checked_cells += report.cells;
         unsat_cells += report.unsat_cells;
+        assert!(
+            report.certified_steps > 0,
+            "case {index}: {name} seed {seed:#x} produced an empty proof stream"
+        );
+        certified_steps += report.certified_steps;
 
         if index % 3 == 0 {
             service_checks += 1;
@@ -110,7 +118,8 @@ fn differential_sweep_has_zero_divergence() {
 
     eprintln!(
         "differential sweep: {cases} cases, {checked_cells} cells \
-         ({unsat_cells} unsat), {service_checks} service checks, zero divergence"
+         ({unsat_cells} unsat), {service_checks} service checks, \
+         {certified_steps} proof steps certified, zero divergence"
     );
     // The sweep must genuinely exercise both verdicts: the sgen-unsat lane
     // alone guarantees unsat cells at any sweep length covering it.
