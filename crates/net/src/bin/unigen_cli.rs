@@ -4,6 +4,8 @@
 //! ```text
 //! unigen_cli [OPTIONS] <FILE.cnf>
 //! unigen_cli batch [OPTIONS] <FILE.cnf>
+//! unigen_cli serve [--listen ADDR] [--unix PATH] [SERVE-OPTIONS] [FILE.cnf ...]
+//! unigen_cli client (--connect ADDR | --unix PATH) [CLIENT-OPTIONS] [FILE.cnf]
 //!
 //! Options:
 //!   --samples N      number of witnesses to generate            [default: 10]
@@ -19,6 +21,31 @@
 //! batch-only options:
 //!   --requests R     split the samples over R service requests  [default: 1]
 //!   --queue N        bounded request-queue capacity             [default: 16]
+//!
+//! serve options (daemon mode; see `unigen_net::server`):
+//!   --listen ADDR    TCP listen address (e.g. 127.0.0.1:4171)
+//!   --unix PATH      unix-domain socket path
+//!   --jobs N         worker threads per prepared service
+//!   --queue N        request-queue capacity per prepared service
+//!   --max-formulas N prepared-formula registry capacity         [default: 64]
+//!   --allow-shutdown honor wire Shutdown frames
+//!   --quiet          suppress serve log lines
+//!   positional FILE.cnf arguments are preloaded into the registry
+//!
+//! client options (talk to a daemon):
+//!   --connect ADDR   TCP address of the daemon
+//!   --unix PATH      unix-domain socket of the daemon
+//!   --samples N      witnesses to request                       [default: 10]
+//!   --seed S         master seed for the batch                  [default: 1]
+//!   --epsilon E      tolerance ε sent in the spec               [default: 6.0]
+//!   --prepare-seed S prepare-phase seed sent in the spec
+//!   --timeout SECS   per-item budget in seconds
+//!   --fingerprint H  request by 16-hex-digit registry fingerprint
+//!   --health         print the daemon's health snapshot
+//!   --selftest       also run the same batch in-process and assert the wire
+//!                    witnesses are bit-identical (needs FILE.cnf)
+//!   --cancel-demo    submit a second larger request and cancel it mid-stream
+//!   --shutdown       ask the daemon to exit (needs --allow-shutdown)
 //! ```
 //!
 //! The `batch` subcommand drives the request/response [`SamplerService`]:
@@ -50,6 +77,7 @@
 //! file (the convention of the original UniGen benchmark suite); without
 //! them, the full support is used.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -61,6 +89,9 @@ use unigen::{
     SamplerService, ServiceConfig, TrySubmitError, UniGen, WitnessSampler,
 };
 use unigen_cnf::dimacs;
+use unigen_net::client::{Client, ClientError, ClientRequest};
+use unigen_net::server::{default_spec, ServeConfig};
+use unigen_net::wire::{ErrorCode, WireOutcomeKind};
 use unigen_satsolver::Budget;
 
 #[derive(Debug, Clone)]
@@ -90,7 +121,20 @@ struct CliOptions {
 
 fn usage() -> &'static str {
     "usage: unigen_cli [batch] [--samples N] [--epsilon E] [--seed S] [--timeout SECS] \
-     [--jobs N] [--requests R] [--queue N] [--certify] [--proof-dump FILE] [--verbose] <FILE.cnf>"
+     [--jobs N] [--requests R] [--queue N] [--certify] [--proof-dump FILE] [--verbose] <FILE.cnf>\n\
+     (daemon mode: `unigen_cli serve --help`; remote sampling: `unigen_cli client --help`)"
+}
+
+fn serve_usage() -> &'static str {
+    "usage: unigen_cli serve [--listen ADDR] [--unix PATH] [--jobs N] [--queue N] \
+     [--max-formulas N] [--allow-shutdown] [--quiet] [FILE.cnf ...]\n\
+     at least one of --listen / --unix is required; positional files are preloaded"
+}
+
+fn client_usage() -> &'static str {
+    "usage: unigen_cli client (--connect ADDR | --unix PATH) [--samples N] [--seed S] \
+     [--epsilon E] [--prepare-seed S] [--timeout SECS] [--fingerprint HEX] [--health] \
+     [--selftest] [--cancel-demo] [--shutdown] [FILE.cnf]"
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -545,18 +589,481 @@ fn run_batch(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// `serve` subcommand: run the network daemon (crates/net)
+// ---------------------------------------------------------------------------
+
+fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => {
+                config.tcp = Some(
+                    iter.next()
+                        .ok_or("--listen needs an address (e.g. 127.0.0.1:4171)")?
+                        .clone(),
+                );
+            }
+            "--unix" => {
+                config.unix = Some(PathBuf::from(
+                    iter.next().ok_or("--unix needs a socket path")?,
+                ));
+            }
+            "--jobs" => {
+                config.workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs an unsigned integer (0 = service default)")?;
+            }
+            "--queue" => {
+                config.queue_capacity = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queue needs an unsigned integer (0 = service default)")?;
+            }
+            "--max-formulas" => {
+                config.max_formulas = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--max-formulas needs a positive integer")?;
+            }
+            "--allow-shutdown" => config.allow_shutdown = true,
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => return Err(serve_usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown serve option `{other}`\n{}", serve_usage()));
+            }
+            file => {
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read preload file `{file}`: {e}"))?;
+                config.preload.push(text);
+            }
+        }
+    }
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err(format!(
+            "serve needs at least one listener\n{}",
+            serve_usage()
+        ));
+    }
+    Ok(config)
+}
+
+fn run_serve(config: ServeConfig) -> Result<(), String> {
+    let handle = unigen_net::serve(config).map_err(|e| e.to_string())?;
+    // Block until a wire `Shutdown` frame stops the loop (requires
+    // --allow-shutdown) or the process is killed.
+    handle.wait();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `client` subcommand: talk to a daemon over TCP or a unix socket
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ClientOptions {
+    /// TCP address of the daemon (mutually exclusive with `unix`).
+    connect: Option<String>,
+    /// Unix-domain socket path of the daemon.
+    unix: Option<PathBuf>,
+    /// DIMACS file to send inline (omit when using `fingerprint`).
+    file: Option<String>,
+    /// Request a formula already prepared in the server's registry.
+    fingerprint: Option<u64>,
+    samples: u64,
+    /// Master seed of the requested batch.
+    seed: u64,
+    epsilon: f64,
+    /// Prepare-phase seed sent in the spec (`None` = server default).
+    prepare_seed: Option<u64>,
+    /// Per-item budget in seconds (0 on the wire = unbounded).
+    timeout: Option<u64>,
+    health: bool,
+    /// Re-run the batch in-process and assert wire bit-identity.
+    selftest: bool,
+    /// Submit and cancel a second, larger request mid-stream.
+    cancel_demo: bool,
+    /// Send a `Shutdown` frame after everything else.
+    shutdown: bool,
+}
+
+fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
+    let mut options = ClientOptions {
+        connect: None,
+        unix: None,
+        file: None,
+        fingerprint: None,
+        samples: 10,
+        seed: 1,
+        epsilon: 6.0,
+        prepare_seed: None,
+        timeout: None,
+        health: false,
+        selftest: false,
+        cancel_demo: false,
+        shutdown: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => {
+                options.connect = Some(iter.next().ok_or("--connect needs an address")?.clone());
+            }
+            "--unix" => {
+                options.unix = Some(PathBuf::from(
+                    iter.next().ok_or("--unix needs a socket path")?,
+                ));
+            }
+            "--samples" => {
+                options.samples = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--samples needs an unsigned integer")?;
+            }
+            "--seed" => {
+                options.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--epsilon" => {
+                options.epsilon = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--epsilon needs a number > 1.71")?;
+            }
+            "--prepare-seed" => {
+                options.prepare_seed = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--prepare-seed needs an unsigned integer")?,
+                );
+            }
+            "--timeout" => {
+                options.timeout = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout needs a number of seconds")?,
+                );
+            }
+            "--fingerprint" => {
+                let hex = iter.next().ok_or("--fingerprint needs 16 hex digits")?;
+                options.fingerprint = Some(
+                    u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+                        .map_err(|_| "--fingerprint needs 16 hex digits".to_string())?,
+                );
+            }
+            "--health" => options.health = true,
+            "--selftest" => options.selftest = true,
+            "--cancel-demo" => options.cancel_demo = true,
+            "--shutdown" => options.shutdown = true,
+            "--help" | "-h" => return Err(client_usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown client option `{other}`\n{}",
+                    client_usage()
+                ));
+            }
+            file => {
+                if options.file.is_some() {
+                    return Err(format!(
+                        "unexpected extra argument `{file}`\n{}",
+                        client_usage()
+                    ));
+                }
+                options.file = Some(file.to_string());
+            }
+        }
+    }
+    match (&options.connect, &options.unix) {
+        (Some(_), Some(_)) => {
+            return Err(format!(
+                "--connect and --unix are mutually exclusive\n{}",
+                client_usage()
+            ))
+        }
+        (None, None) => {
+            return Err(format!(
+                "client needs --connect ADDR or --unix PATH\n{}",
+                client_usage()
+            ))
+        }
+        _ => {}
+    }
+    if options.file.is_some() && options.fingerprint.is_some() {
+        return Err("pass either FILE.cnf or --fingerprint, not both".to_string());
+    }
+    if options.file.is_none()
+        && options.fingerprint.is_none()
+        && !options.health
+        && !options.shutdown
+    {
+        return Err(format!(
+            "nothing to do: pass FILE.cnf, --fingerprint, --health, or --shutdown\n{}",
+            client_usage()
+        ));
+    }
+    if options.selftest && options.file.is_none() {
+        return Err("--selftest needs the FILE.cnf positional argument".to_string());
+    }
+    if options.cancel_demo && options.file.is_none() && options.fingerprint.is_none() {
+        return Err("--cancel-demo needs FILE.cnf or --fingerprint".to_string());
+    }
+    Ok(options)
+}
+
+/// Print a wire witness as a DIMACS `v` line (projection on the
+/// sampling set, matching the in-process front end's output).
+fn print_wire_witness(sampling_set: &[u32], bits: &[bool]) {
+    let lits: Vec<String> = sampling_set
+        .iter()
+        .zip(bits)
+        .map(|(&var, &value)| {
+            let lit = i64::from(var) + 1;
+            if value { lit } else { -lit }.to_string()
+        })
+        .collect();
+    println!("v {} 0", lits.join(" "));
+}
+
+fn wire_kind_name(kind: WireOutcomeKind) -> &'static str {
+    match kind {
+        WireOutcomeKind::Witness => "witness",
+        WireOutcomeKind::Bottom => "bottom",
+        WireOutcomeKind::Interrupted => "interrupted",
+        WireOutcomeKind::Faulted => "faulted",
+    }
+}
+
+/// Re-run the batch in-process with the same spec and assert the wire
+/// outcomes are bit-identical — the end-to-end determinism contract.
+fn run_selftest(
+    options: &ClientOptions,
+    batch: &unigen_net::WireBatch,
+    prepare_seed: u64,
+) -> Result<(), String> {
+    let file = options
+        .file
+        .as_ref()
+        .ok_or("--selftest needs the FILE.cnf positional argument")?;
+    let formula = dimacs::parse_file(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let sampling_set = formula.sampling_set_or_all();
+    let wire_set: Vec<u32> = sampling_set.iter().map(|v| v.index() as u32).collect();
+    if batch.sampling_set != wire_set {
+        return Err(format!(
+            "selftest: wire sampling set {:?} != local {:?}",
+            batch.sampling_set, wire_set
+        ));
+    }
+    let built = SamplerBuilder::unigen(&formula)
+        .epsilon(options.epsilon)
+        .seed(prepare_seed)
+        .build()
+        .map_err(|e| format!("selftest: in-process build failed: {e}"))?;
+    let mut sampler: UniGen = built
+        .as_unigen()
+        .cloned()
+        .expect("a UniGen spec builds a UniGen sampler");
+    let reference = sampler.sample_batch(options.samples as usize, options.seed);
+    if reference.len() != batch.outcomes.len() {
+        return Err(format!(
+            "selftest: wire batch has {} outcomes, in-process has {}",
+            batch.outcomes.len(),
+            reference.len()
+        ));
+    }
+    for (i, (wire, local)) in batch.outcomes.iter().zip(&reference).enumerate() {
+        let local_kind = match local.kind {
+            OutcomeKind::Witness => WireOutcomeKind::Witness,
+            OutcomeKind::Bottom => WireOutcomeKind::Bottom,
+            OutcomeKind::Interrupted => WireOutcomeKind::Interrupted,
+            OutcomeKind::Faulted => WireOutcomeKind::Faulted,
+        };
+        if wire.kind != local_kind {
+            return Err(format!(
+                "selftest: outcome {i} kind mismatch: wire {} vs in-process {}",
+                wire_kind_name(wire.kind),
+                kind_name(local.kind)
+            ));
+        }
+        let local_bits: Option<Vec<bool>> = local
+            .witness
+            .as_ref()
+            .map(|model| sampling_set.iter().map(|&v| model.value(v)).collect());
+        if wire.witness != local_bits {
+            return Err(format!("selftest: outcome {i} witness bits differ"));
+        }
+    }
+    eprintln!(
+        "c selftest: {} outcomes bit-identical to in-process sample_batch",
+        reference.len()
+    );
+    Ok(())
+}
+
+fn run_client(options: &ClientOptions) -> Result<(), String> {
+    let mut client = match (&options.connect, &options.unix) {
+        (Some(addr), None) => Client::connect_tcp(addr),
+        (None, Some(path)) => Client::connect_unix(path),
+        _ => unreachable!("parse_client_args enforces exactly one endpoint"),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let request = match (&options.file, options.fingerprint) {
+        (Some(file), None) => {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+            Some(ClientRequest::inline(&text, options.samples, options.seed))
+        }
+        (None, Some(fp)) => Some(ClientRequest::by_fingerprint(
+            fp,
+            options.samples,
+            options.seed,
+        )),
+        (None, None) => None,
+        (Some(_), Some(_)) => unreachable!("parse_client_args rejects both"),
+    };
+
+    if let Some(request) = request {
+        let mut spec = default_spec();
+        spec.epsilon_bits = Some(options.epsilon.to_bits());
+        if let Some(seed) = options.prepare_seed {
+            spec.prepare_seed = seed;
+        }
+        let mut request = request.with_spec(spec);
+        if let Some(secs) = options.timeout {
+            request = request.with_budget_micros(secs.saturating_mul(1_000_000));
+        }
+
+        let main_id = client.submit(&request).map_err(|e| e.to_string())?;
+        // Submit the demo request *before* collecting the main one so its
+        // stream is genuinely in flight when the cancel lands.
+        let demo_id = if options.cancel_demo {
+            let demo = ClientRequest {
+                count: options.samples.saturating_mul(8).max(256),
+                master_seed: options.seed.wrapping_add(1),
+                ..request.clone()
+            };
+            Some(client.submit(&demo).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+
+        let batch = client.collect(main_id).map_err(|e| e.to_string())?;
+        eprintln!(
+            "c client: fingerprint {:016x}, |S| = {}",
+            batch.fingerprint,
+            batch.sampling_set.len()
+        );
+        for outcome in &batch.outcomes {
+            match &outcome.witness {
+                Some(bits) => print_wire_witness(&batch.sampling_set, bits),
+                None => println!(
+                    "c sample {} failed ({})",
+                    outcome.index,
+                    wire_kind_name(outcome.kind)
+                ),
+            }
+        }
+        eprintln!(
+            "c client: {} witnesses / {} requested, bsat_calls={} steals={} retries={} \
+             degradations={} faults={} queue_wait={}us wall={}us",
+            batch.successes,
+            options.samples,
+            batch.stats.bsat_calls,
+            batch.stats.steals,
+            batch.stats.retries,
+            batch.stats.degradations,
+            batch.stats.faults_injected,
+            batch.stats.queue_wait_micros,
+            batch.stats.wall_micros
+        );
+
+        if let Some(id) = demo_id {
+            client.cancel(id).map_err(|e| e.to_string())?;
+            match client.collect(id) {
+                Err(ClientError::Rejected {
+                    code: ErrorCode::Cancelled,
+                    ..
+                }) => {
+                    eprintln!("c cancel-demo: request {id} cancelled mid-stream");
+                }
+                Ok(done) => {
+                    // The demo batch raced to completion before the cancel
+                    // frame arrived; that is legal, just note it.
+                    eprintln!(
+                        "c cancel-demo: request {id} finished before the cancel landed \
+                         ({} outcomes)",
+                        done.outcomes.len()
+                    );
+                }
+                Err(err) => return Err(format!("cancel-demo failed: {err}")),
+            }
+        }
+
+        if options.selftest {
+            run_selftest(options, &batch, spec.prepare_seed)?;
+        }
+    }
+
+    if options.health {
+        let health = client.health().map_err(|e| e.to_string())?;
+        eprintln!(
+            "c health: services={} workers={}/{} panics={} respawns={} item_retries={} \
+             faults={} pending_requests={} queued_items={} connections={}",
+            health.services,
+            health.alive_workers,
+            health.configured_workers,
+            health.worker_panics,
+            health.respawns,
+            health.item_retries,
+            health.faults_injected,
+            health.pending_requests,
+            health.queued_items,
+            health.connections
+        );
+    }
+
+    if options.shutdown {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        eprintln!("c shutdown: server acknowledged by closing the connection");
+    }
+
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args) {
-        Ok(options) => match run(&options) {
-            Ok(()) => ExitCode::SUCCESS,
+    let run_result = match args.first().map(String::as_str) {
+        Some("serve") => match parse_serve_args(&args[1..]) {
+            Ok(config) => run_serve(config),
             Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
             }
         },
+        Some("client") => match parse_client_args(&args[1..]) {
+            Ok(options) => run_client(&options),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => match parse_args(&args) {
+            Ok(options) => run(&options),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match run_result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("{message}");
+            eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }

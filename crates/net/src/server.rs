@@ -1,0 +1,1101 @@
+//! The sampler daemon: a readiness loop multiplexing many client
+//! connections onto shared [`SamplerService`] pools.
+//!
+//! One event-loop thread owns every socket (listeners, a self-wake
+//! pipe, and all client connections, nonblocking throughout) via the
+//! [`crate::sys::Poller`] epoll shim. Requests are dispatched to
+//! drainer threads that stream `ResponseHandle` outcomes into bounded
+//! per-connection [`Outbound`] buffers; the loop drains those buffers
+//! round-robin across connections so one firehose client cannot starve
+//! the rest. Prepared formula+spec pairs live in a fingerprint-keyed
+//! registry, so repeat requests (and concurrent clients sampling the
+//! same formula) share a single prepared service.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (flag + wake-pipe nudge) from
+//! the embedding process, or a wire `Shutdown` frame when the daemon
+//! was started with `allow_shutdown` (the CLI's `--allow-shutdown`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use conc::atomic::{AtomicBool, AtomicU64, Ordering};
+use conc::sync::{Condvar, Mutex, MutexGuard};
+use conc::thread::JoinHandle;
+use unigen::{
+    BuildError, SampleRequest, SamplerBuilder, SamplerError, SamplerService, ServiceConfig,
+};
+use unigen_cnf::dimacs;
+use unigen_cnf::Var;
+
+use crate::conn::{run_request, ConnRequests, Outbound, RequestJob};
+use crate::sys::{Poller, Readiness};
+use crate::wire::{
+    self, Decoder, ErrorCode, Family, FormulaRef, Frame, WireHealth, WireSpec, PROTOCOL_VERSION,
+};
+
+const TOKEN_TCP: u64 = 0;
+const TOKEN_UNIX: u64 = 1;
+const TOKEN_WAKE: u64 = 2;
+const TOKEN_CONN_BASE: u64 = 3;
+
+/// Bytes drained per connection per fairness round.
+const DRAIN_SLICE: usize = 16 * 1024;
+
+fn lock_ok<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(_) => panic!("server mutex poisoned"),
+    }
+}
+
+/// Serving-layer error.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level socket or polling failure.
+    Io(io::Error),
+    /// The configuration is unusable (e.g. no listen address).
+    Config(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(err) => write!(f, "socket error: {err}"),
+            NetError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(err: io::Error) -> NetError {
+        NetError::Io(err)
+    }
+}
+
+/// Daemon configuration for [`serve`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `127.0.0.1:4171`); `None` to skip TCP.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path; `None` to skip.
+    pub unix: Option<PathBuf>,
+    /// Workers per prepared service; 0 uses the service default.
+    pub workers: usize,
+    /// Request-queue capacity per prepared service; 0 uses the default.
+    pub queue_capacity: usize,
+    /// Byte capacity of each connection's outbound buffer.
+    pub outbound_capacity: usize,
+    /// `QueueFull` retries before a request is rejected as `Busy`.
+    pub submit_retry_budget: usize,
+    /// Max prepared formula+spec entries in the registry.
+    pub max_formulas: usize,
+    /// Honor wire `Shutdown` frames (the CLI's `--allow-shutdown`).
+    pub allow_shutdown: bool,
+    /// DIMACS texts to prepare (with the default UniGen spec) before
+    /// accepting connections; their fingerprints are logged.
+    pub preload: Vec<String>,
+    /// Suppress the serve log lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            tcp: None,
+            unix: None,
+            workers: 0,
+            queue_capacity: 0,
+            outbound_capacity: 256 * 1024,
+            submit_retry_budget: 64,
+            max_formulas: 64,
+            allow_shutdown: false,
+            preload: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+/// The default wire spec used for preloaded formulas (UniGen, family
+/// defaults, default prepare seed).
+pub fn default_spec() -> WireSpec {
+    WireSpec {
+        family: Family::UniGen,
+        epsilon_bits: None,
+        prepare_seed: unigen::UniGenConfig::default().seed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formula registry
+// ---------------------------------------------------------------------------
+
+/// A fully prepared formula+spec: the shared service plus everything a
+/// response stream needs to echo.
+pub struct PreparedEntry {
+    /// The shared sampling pool for this formula+spec.
+    pub service: SamplerService,
+    /// Canonical projected sampling set.
+    pub sampling_set: Vec<Var>,
+    /// Content fingerprint (see [`wire::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+#[derive(Clone)]
+enum EntryState {
+    Preparing,
+    Ready(Arc<PreparedEntry>),
+    Failed(ErrorCode, String),
+}
+
+struct Registry {
+    max: usize,
+    service_config: ServiceConfig,
+    entries: Mutex<HashMap<u64, EntryState>>,
+    ready: Condvar,
+}
+
+impl Registry {
+    fn new(max: usize, service_config: ServiceConfig) -> Registry {
+        Registry {
+            max: max.max(1),
+            service_config,
+            entries: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Resolve an inline DIMACS request, preparing (and caching) the
+    /// sampler on first sight. Concurrent requests for the same
+    /// fingerprint wait for the single in-flight prepare.
+    fn resolve_inline(
+        &self,
+        dimacs_bytes: &[u8],
+        spec: &WireSpec,
+    ) -> Result<Arc<PreparedEntry>, (ErrorCode, String)> {
+        let text = std::str::from_utf8(dimacs_bytes)
+            .map_err(|_| (ErrorCode::PrepareFailed, "DIMACS is not UTF-8".to_owned()))?;
+        let formula = dimacs::parse(text)
+            .map_err(|err| (ErrorCode::PrepareFailed, format!("DIMACS parse: {err}")))?;
+        let canonical = dimacs::to_dimacs_string(&formula);
+        let fingerprint = wire::fingerprint(canonical.as_bytes(), spec);
+
+        let mut entries = lock_ok(&self.entries);
+        loop {
+            match entries.get(&fingerprint).cloned() {
+                Some(EntryState::Ready(entry)) => return Ok(entry),
+                Some(EntryState::Failed(code, detail)) => return Err((code, detail)),
+                Some(EntryState::Preparing) => {
+                    entries = match self.ready.wait(entries) {
+                        Ok(guard) => guard,
+                        Err(_) => panic!("server mutex poisoned"),
+                    };
+                }
+                None => {
+                    if entries.len() >= self.max {
+                        return Err((
+                            ErrorCode::RegistryFull,
+                            format!("registry holds {} prepared formulas (max)", self.max),
+                        ));
+                    }
+                    entries.insert(fingerprint, EntryState::Preparing);
+                    drop(entries);
+                    let built = build_entry(&formula, spec, fingerprint, self.service_config);
+                    let state = match &built {
+                        Ok(entry) => EntryState::Ready(Arc::clone(entry)),
+                        Err((code, detail)) => EntryState::Failed(*code, detail.clone()),
+                    };
+                    let mut entries = lock_ok(&self.entries);
+                    entries.insert(fingerprint, state);
+                    self.ready.notify_all();
+                    drop(entries);
+                    return built;
+                }
+            }
+        }
+    }
+
+    /// Resolve a fingerprint-referenced request against already
+    /// prepared entries (waiting out an in-flight prepare).
+    fn resolve_fingerprint(
+        &self,
+        fingerprint: u64,
+    ) -> Result<Arc<PreparedEntry>, (ErrorCode, String)> {
+        let mut entries = lock_ok(&self.entries);
+        loop {
+            match entries.get(&fingerprint).cloned() {
+                Some(EntryState::Ready(entry)) => return Ok(entry),
+                Some(EntryState::Failed(code, detail)) => return Err((code, detail)),
+                Some(EntryState::Preparing) => {
+                    entries = match self.ready.wait(entries) {
+                        Ok(guard) => guard,
+                        Err(_) => panic!("server mutex poisoned"),
+                    };
+                }
+                None => {
+                    return Err((
+                        ErrorCode::UnknownFingerprint,
+                        format!("fingerprint {fingerprint:016x} is not registered"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Aggregate `ServiceHealth` across every ready entry.
+    fn health(&self) -> WireHealth {
+        let mut agg = WireHealth::default();
+        for state in lock_ok(&self.entries).values() {
+            if let EntryState::Ready(entry) = state {
+                let h = entry.service.health();
+                agg.services += 1;
+                agg.configured_workers += h.configured_workers as u64;
+                agg.alive_workers += h.alive_workers as u64;
+                agg.worker_panics += h.worker_panics;
+                agg.respawns += h.respawns;
+                agg.item_retries += h.item_retries;
+                agg.faults_injected += h.faults_injected;
+                agg.pending_requests += h.pending_requests as u64;
+                agg.queued_items += h.queued_items as u64;
+            }
+        }
+        agg
+    }
+}
+
+fn build_entry(
+    formula: &unigen_cnf::CnfFormula,
+    spec: &WireSpec,
+    fingerprint: u64,
+    service_config: ServiceConfig,
+) -> Result<Arc<PreparedEntry>, (ErrorCode, String)> {
+    let mut builder = match spec.family {
+        Family::UniGen => SamplerBuilder::unigen(formula),
+        Family::UniWit => SamplerBuilder::uniwit(formula),
+        Family::XorSamplePrime => SamplerBuilder::xorsample(formula),
+        Family::Uniform => SamplerBuilder::uniform(formula),
+    };
+    builder = builder.seed(spec.prepare_seed);
+    if let Some(bits) = spec.epsilon_bits {
+        builder = builder.epsilon(f64::from_bits(bits));
+    }
+    let service = builder.into_service(service_config).map_err(|err| {
+        let code = match &err {
+            BuildError::Prepare(SamplerError::Unsatisfiable) => ErrorCode::Unsat,
+            BuildError::UnsupportedOption { .. } => ErrorCode::Unsupported,
+            _ => ErrorCode::PrepareFailed,
+        };
+        (code, err.to_string())
+    })?;
+    Ok(Arc::new(PreparedEntry {
+        service,
+        sampling_set: formula.sampling_set_or_all(),
+        fingerprint,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Transport {
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Transport::Tcp(s) => s.as_raw_fd(),
+            Transport::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+struct Conn {
+    transport: Transport,
+    peer: String,
+    decoder: Decoder,
+    outbound: Arc<Outbound>,
+    requests: Arc<ConnRequests>,
+    submit_retries: Arc<AtomicU64>,
+    /// Frame currently being written, and how much of it went out.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    greeted: bool,
+    /// Registered for write readiness in the poller.
+    want_write: bool,
+    /// Flush what is queued, then disconnect (protocol errors).
+    closing: bool,
+}
+
+impl Conn {
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len() || self.outbound.queued_frames() > 0
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    stop: AtomicBool,
+    allow_shutdown: bool,
+    submit_retry_budget: usize,
+    quiet: bool,
+}
+
+impl Shared {
+    fn log(&self, line: fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("c serve: {line}");
+        }
+    }
+}
+
+/// Handle to a running daemon (returned by [`serve`]).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    wake: UnixStream,
+    thread: Option<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// Bound TCP address, if TCP was enabled (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Bound unix-socket path, if enabled.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = (&self.wake).write(&[1u8]);
+        if let Some(thread) = self.thread.take() {
+            if thread.join().is_err() && !std::thread::panicking() {
+                panic!("server event loop panicked");
+            }
+        }
+    }
+
+    /// Stop the loop, close every connection, and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the loop exits on its own (a wire `Shutdown` frame
+    /// under `allow_shutdown`).
+    pub fn wait(mut self) {
+        if let Some(thread) = self.thread.take() {
+            if thread.join().is_err() && !std::thread::panicking() {
+                panic!("server event loop panicked");
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Bind the configured listeners and start the daemon's event loop on a
+/// background thread.
+pub fn serve(config: ServeConfig) -> Result<ServerHandle, NetError> {
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err(NetError::Config("serve needs --listen and/or --unix"));
+    }
+
+    let mut service_config = ServiceConfig::default();
+    if config.workers > 0 {
+        service_config = service_config.with_workers(config.workers);
+    }
+    if config.queue_capacity > 0 {
+        service_config = service_config.with_queue_capacity(config.queue_capacity);
+    }
+
+    let shared = Arc::new(Shared {
+        registry: Registry::new(config.max_formulas, service_config),
+        stop: AtomicBool::new(false),
+        allow_shutdown: config.allow_shutdown,
+        submit_retry_budget: config.submit_retry_budget,
+        quiet: config.quiet,
+    });
+
+    for text in &config.preload {
+        match shared
+            .registry
+            .resolve_inline(text.as_bytes(), &default_spec())
+        {
+            Ok(entry) => shared.log(format_args!(
+                "preloaded formula fp={:016x} |S|={}",
+                entry.fingerprint,
+                entry.sampling_set.len()
+            )),
+            Err((code, detail)) => {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("preload failed ({}): {detail}", code.name()),
+                )))
+            }
+        }
+    }
+
+    let poller = Poller::new()?;
+
+    let tcp_listener = match &config.tcp {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            poller.register(listener.as_raw_fd(), TOKEN_TCP, true, false)?;
+            Some(listener)
+        }
+        None => None,
+    };
+    let tcp_addr = match &tcp_listener {
+        Some(listener) => Some(listener.local_addr()?),
+        None => None,
+    };
+
+    let unix_listener = match &config.unix {
+        Some(path) => {
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            poller.register(listener.as_raw_fd(), TOKEN_UNIX, true, false)?;
+            Some(listener)
+        }
+        None => None,
+    };
+
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, true, false)?;
+
+    if let Some(addr) = tcp_addr {
+        shared.log(format_args!("listening on tcp {addr}"));
+    }
+    if let Some(path) = &config.unix {
+        shared.log(format_args!("listening on unix {}", path.display()));
+    }
+
+    let loop_shared = Arc::clone(&shared);
+    let loop_wake_tx = wake_tx.try_clone()?;
+    let unix_path = config.unix.clone();
+    let thread = conc::thread::spawn(move || {
+        let mut event_loop = EventLoop {
+            shared: loop_shared,
+            poller,
+            tcp_listener,
+            unix_listener,
+            wake_rx,
+            wake_tx: loop_wake_tx,
+            conns: HashMap::new(),
+            next_token: TOKEN_CONN_BASE,
+            rr_cursor: 0,
+            workers: Vec::new(),
+            outbound_capacity: config.outbound_capacity,
+        };
+        event_loop.run();
+    });
+
+    Ok(ServerHandle {
+        shared,
+        wake: wake_tx,
+        thread: Some(thread),
+        tcp_addr,
+        unix_path,
+    })
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    tcp_listener: Option<TcpListener>,
+    unix_listener: Option<UnixListener>,
+    wake_rx: UnixStream,
+    wake_tx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rr_cursor: usize,
+    workers: Vec<JoinHandle<()>>,
+    outbound_capacity: usize,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<Readiness> = Vec::new();
+        loop {
+            events.clear();
+            if let Err(err) = self.poller.wait(&mut events, -1) {
+                self.shared.log(format_args!("poll failed: {err}"));
+                break;
+            }
+            let mut dead: Vec<u64> = Vec::new();
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_TCP => self.accept_tcp(),
+                    TOKEN_UNIX => self.accept_unix(),
+                    TOKEN_WAKE => self.drain_wake_pipe(),
+                    token => {
+                        if (ev.readable || ev.hangup) && self.read_conn(token) == ConnFate::Dead {
+                            dead.push(token);
+                        }
+                    }
+                }
+            }
+            for token in dead {
+                self.disconnect(token, "read error or peer hangup");
+            }
+            if self.shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            self.drain_phase();
+            self.reap_workers();
+        }
+        self.teardown();
+    }
+
+    fn reap_workers(&mut self) {
+        let mut live = Vec::with_capacity(self.workers.len());
+        for worker in self.workers.drain(..) {
+            if worker.is_finished() {
+                let _ = worker.join();
+            } else {
+                live.push(worker);
+            }
+        }
+        self.workers = live;
+    }
+
+    fn accept_tcp(&mut self) {
+        loop {
+            let listener = match &self.tcp_listener {
+                Some(listener) => listener,
+                None => return,
+            };
+            match listener.accept() {
+                Ok((stream, addr)) => {
+                    self.install_conn(Transport::Tcp(stream), format!("tcp {addr}"));
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => {
+                    self.shared.log(format_args!("tcp accept failed: {err}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn accept_unix(&mut self) {
+        loop {
+            let listener = match &self.unix_listener {
+                Some(listener) => listener,
+                None => return,
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.install_conn(Transport::Unix(stream), "unix".to_owned());
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => {
+                    self.shared.log(format_args!("unix accept failed: {err}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn install_conn(&mut self, transport: Transport, peer: String) {
+        let nonblocking = match &transport {
+            Transport::Tcp(s) => s.set_nonblocking(true),
+            Transport::Unix(s) => s.set_nonblocking(true),
+        };
+        if let Err(err) = nonblocking {
+            self.shared
+                .log(format_args!("set_nonblocking failed: {err}"));
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if let Err(err) = self.poller.register(transport.raw_fd(), token, true, false) {
+            self.shared.log(format_args!("register failed: {err}"));
+            return;
+        }
+        let waker = self.make_waker();
+        let conn = Conn {
+            transport,
+            peer,
+            decoder: Decoder::new(),
+            outbound: Arc::new(Outbound::new(self.outbound_capacity, waker)),
+            requests: Arc::new(ConnRequests::new()),
+            submit_retries: Arc::new(AtomicU64::new(0)),
+            wbuf: Vec::new(),
+            wpos: 0,
+            greeted: false,
+            want_write: false,
+            closing: false,
+        };
+        self.shared
+            .log(format_args!("conn {token} accepted ({})", conn.peer));
+        self.conns.insert(token, conn);
+    }
+
+    fn make_waker(&self) -> Box<dyn Fn() + Send + Sync> {
+        match self.wake_tx.try_clone() {
+            Ok(tx) => Box::new(move || {
+                let _ = (&tx).write(&[1u8]);
+            }),
+            // Out of fds: fall back to a no-op waker; the loop still
+            // drains on its next readiness event.
+            Err(_) => Box::new(|| {}),
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut sink) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, token: u64) -> ConnFate {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(conn) => conn,
+                None => return ConnFate::Alive,
+            };
+            match conn.transport.read(&mut scratch) {
+                Ok(0) => return ConnFate::Dead,
+                Ok(n) => {
+                    conn.decoder.feed(&scratch[..n]);
+                    if self.process_frames(token) == ConnFate::Dead {
+                        return ConnFate::Dead;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return ConnFate::Alive,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ConnFate::Dead,
+            }
+        }
+    }
+
+    fn process_frames(&mut self, token: u64) -> ConnFate {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(conn) => conn,
+                None => return ConnFate::Alive,
+            };
+            if conn.closing {
+                return ConnFate::Alive;
+            }
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if self.handle_frame(token, frame) == ConnFate::Dead {
+                        return ConnFate::Dead;
+                    }
+                }
+                Ok(None) => return ConnFate::Alive,
+                Err(err) => {
+                    let _ = conn.outbound.send_now(
+                        Frame::Error {
+                            id: 0,
+                            code: ErrorCode::Malformed,
+                            detail: err.to_string(),
+                        }
+                        .encode(),
+                    );
+                    conn.closing = true;
+                    self.shared
+                        .log(format_args!("conn {token} protocol error: {err}"));
+                    return ConnFate::Alive;
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, token: u64, frame: Frame) -> ConnFate {
+        let conn = match self.conns.get_mut(&token) {
+            Some(conn) => conn,
+            None => return ConnFate::Alive,
+        };
+        if !conn.greeted {
+            return match frame {
+                Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                    conn.greeted = true;
+                    let _ = conn.outbound.send_now(
+                        Frame::HelloAck {
+                            version: PROTOCOL_VERSION,
+                        }
+                        .encode(),
+                    );
+                    ConnFate::Alive
+                }
+                Frame::Hello { version } => {
+                    let _ = conn.outbound.send_now(
+                        Frame::Error {
+                            id: 0,
+                            code: ErrorCode::UnsupportedVersion,
+                            detail: format!(
+                                "client speaks protocol {version}, server speaks {PROTOCOL_VERSION}"
+                            ),
+                        }
+                        .encode(),
+                    );
+                    conn.closing = true;
+                    ConnFate::Alive
+                }
+                _ => {
+                    let _ = conn.outbound.send_now(
+                        Frame::Error {
+                            id: 0,
+                            code: ErrorCode::Malformed,
+                            detail: "expected Hello before any other frame".to_owned(),
+                        }
+                        .encode(),
+                    );
+                    conn.closing = true;
+                    ConnFate::Alive
+                }
+            };
+        }
+        match frame {
+            Frame::Hello { .. } => {
+                let _ = conn.outbound.send_now(
+                    Frame::Error {
+                        id: 0,
+                        code: ErrorCode::Malformed,
+                        detail: "duplicate Hello".to_owned(),
+                    }
+                    .encode(),
+                );
+                conn.closing = true;
+                ConnFate::Alive
+            }
+            Frame::Request {
+                id,
+                formula,
+                spec,
+                count,
+                master_seed,
+                budget_micros,
+            } => {
+                self.dispatch_request(token, id, formula, spec, count, master_seed, budget_micros);
+                ConnFate::Alive
+            }
+            Frame::Cancel { id } => {
+                conn.requests.cancel(id);
+                ConnFate::Alive
+            }
+            Frame::HealthReq => {
+                let mut health = self.shared.registry.health();
+                health.connections = self.conns.len() as u64;
+                let conn = match self.conns.get_mut(&token) {
+                    Some(conn) => conn,
+                    None => return ConnFate::Alive,
+                };
+                let _ = conn.outbound.send_now(Frame::Health(health).encode());
+                ConnFate::Alive
+            }
+            Frame::Shutdown => {
+                if self.shared.allow_shutdown {
+                    self.shared
+                        .log(format_args!("conn {token} requested shutdown"));
+                    self.shared.stop.store(true, Ordering::Release);
+                } else {
+                    let _ = conn.outbound.send_now(
+                        Frame::Error {
+                            id: 0,
+                            code: ErrorCode::ShutdownDisabled,
+                            detail: "daemon was not started with --allow-shutdown".to_owned(),
+                        }
+                        .encode(),
+                    );
+                }
+                ConnFate::Alive
+            }
+            // Server→client frames arriving from a client are protocol
+            // errors.
+            Frame::HelloAck { .. }
+            | Frame::StreamBegin { .. }
+            | Frame::Chunk { .. }
+            | Frame::Done { .. }
+            | Frame::Error { .. }
+            | Frame::Health(_) => {
+                let _ = conn.outbound.send_now(
+                    Frame::Error {
+                        id: 0,
+                        code: ErrorCode::Malformed,
+                        detail: "response-direction frame sent by client".to_owned(),
+                    }
+                    .encode(),
+                );
+                conn.closing = true;
+                ConnFate::Alive
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // lint: wire request fields arrive as one tuple-shaped frame
+    fn dispatch_request(
+        &mut self,
+        token: u64,
+        id: u64,
+        formula: FormulaRef,
+        spec: WireSpec,
+        count: u64,
+        master_seed: u64,
+        budget_micros: u64,
+    ) {
+        let conn = match self.conns.get_mut(&token) {
+            Some(conn) => conn,
+            None => return,
+        };
+        let cancel = match conn.requests.begin(id) {
+            Some(flag) => flag,
+            None => {
+                let _ = conn.outbound.send_now(
+                    Frame::Error {
+                        id,
+                        code: ErrorCode::Malformed,
+                        detail: format!("request id {id} is already in flight"),
+                    }
+                    .encode(),
+                );
+                return;
+            }
+        };
+        let shared = Arc::clone(&self.shared);
+        let outbound = Arc::clone(&conn.outbound);
+        let requests = Arc::clone(&conn.requests);
+        let submit_retries = Arc::clone(&conn.submit_retries);
+        let worker = conc::thread::spawn(move || {
+            let resolved = match &formula {
+                FormulaRef::Inline(bytes) => shared.registry.resolve_inline(bytes, &spec),
+                FormulaRef::Fingerprint(fp) => shared.registry.resolve_fingerprint(*fp),
+            };
+            match resolved {
+                Err((code, detail)) => {
+                    let _ = outbound.send_now(
+                        Frame::Error {
+                            id,
+                            code,
+                            detail: detail.clone(),
+                        }
+                        .encode(),
+                    );
+                    requests.finish(id);
+                    shared.log(format_args!(
+                        "conn {token} req {id}: rejected ({}) {detail}",
+                        code.name()
+                    ));
+                }
+                Ok(entry) => {
+                    let mut request = SampleRequest::new(count as usize, master_seed);
+                    if budget_micros > 0 {
+                        request = request.with_budget(Duration::from_micros(budget_micros));
+                    }
+                    let job = RequestJob {
+                        id,
+                        request,
+                        fingerprint: entry.fingerprint,
+                        sampling_set: entry.sampling_set.clone(),
+                    };
+                    let end = run_request(
+                        &entry.service,
+                        job,
+                        &outbound,
+                        &cancel,
+                        &submit_retries,
+                        shared.submit_retry_budget,
+                    );
+                    requests.finish(id);
+                    let health = entry.service.health();
+                    shared.log(format_args!(
+                        "conn {token} req {id}: {end:?} fp={:016x} submit_retries={} \
+                         outbound_bytes={} pending_requests={} queued_items={}",
+                        entry.fingerprint,
+                        submit_retries.load(Ordering::Relaxed),
+                        outbound.queued_bytes(),
+                        health.pending_requests,
+                        health.queued_items,
+                    ));
+                }
+            }
+        });
+        self.workers.push(worker);
+    }
+
+    /// Round-robin drain: give each connection a bounded byte slice per
+    /// round, looping until nobody makes progress. Fairness is the
+    /// point — a firehose stream cannot monopolize the loop.
+    fn drain_phase(&mut self) {
+        loop {
+            let mut tokens: Vec<u64> = self.conns.keys().copied().collect();
+            tokens.sort_unstable();
+            if tokens.is_empty() {
+                return;
+            }
+            self.rr_cursor = self.rr_cursor.wrapping_add(1) % tokens.len();
+            tokens.rotate_left(self.rr_cursor);
+            let mut progressed = false;
+            let mut dead: Vec<(u64, &'static str)> = Vec::new();
+            for &token in &tokens {
+                match self.flush_conn(token) {
+                    FlushResult::Progress => progressed = true,
+                    FlushResult::Idle => {}
+                    FlushResult::Dead(reason) => dead.push((token, reason)),
+                }
+            }
+            let had_dead = !dead.is_empty();
+            for (token, reason) in dead {
+                self.disconnect(token, reason);
+            }
+            if !progressed && !had_dead {
+                return;
+            }
+        }
+    }
+
+    fn flush_conn(&mut self, token: u64) -> FlushResult {
+        let conn = match self.conns.get_mut(&token) {
+            Some(conn) => conn,
+            None => return FlushResult::Idle,
+        };
+        let mut written = 0usize;
+        let mut progressed = false;
+        loop {
+            if conn.wpos >= conn.wbuf.len() {
+                match conn.outbound.pop() {
+                    Some(frame) => {
+                        conn.wbuf = frame;
+                        conn.wpos = 0;
+                    }
+                    None => break,
+                }
+            }
+            if written >= DRAIN_SLICE {
+                // Round slice exhausted; come back next round so other
+                // connections get their turn.
+                return FlushResult::Progress;
+            }
+            let end = conn.wbuf.len().min(conn.wpos + (DRAIN_SLICE - written));
+            match conn.transport.write(&conn.wbuf[conn.wpos..end]) {
+                Ok(0) => return FlushResult::Dead("write returned 0"),
+                Ok(n) => {
+                    conn.wpos += n;
+                    written += n;
+                    progressed = true;
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self
+                            .poller
+                            .reregister(conn.transport.raw_fd(), token, true, true);
+                    }
+                    return if progressed {
+                        FlushResult::Progress
+                    } else {
+                        FlushResult::Idle
+                    };
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushResult::Dead("write error"),
+            }
+        }
+        // Fully drained.
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = self
+                .poller
+                .reregister(conn.transport.raw_fd(), token, true, false);
+        }
+        if conn.closing && !conn.has_pending_write() {
+            return FlushResult::Dead("closed after protocol error");
+        }
+        if progressed {
+            FlushResult::Progress
+        } else {
+            FlushResult::Idle
+        }
+    }
+
+    fn disconnect(&mut self, token: u64, reason: &str) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.transport.raw_fd());
+            conn.outbound.close();
+            conn.requests.cancel_all();
+            self.shared.log(format_args!(
+                "conn {token} closed ({}): {reason}; submit_retries={} in_flight={}",
+                conn.peer,
+                conn.submit_retries.load(Ordering::Relaxed),
+                conn.requests.active(),
+            ));
+        }
+    }
+
+    fn teardown(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.disconnect(token, "daemon shutting down");
+        }
+        self.tcp_listener = None;
+        self.unix_listener = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.log(format_args!("event loop exited"));
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ConnFate {
+    Alive,
+    Dead,
+}
+
+enum FlushResult {
+    Progress,
+    Idle,
+    Dead(&'static str),
+}

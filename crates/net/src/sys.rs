@@ -1,0 +1,274 @@
+//! Thin libc-style syscall shim: epoll readiness polling on Linux.
+//!
+//! This is the only module in the workspace allowed to contain `unsafe`
+//! or `extern "C"` (enforced by the `ffi-confined` rule in
+//! `cargo run -p xtask -- lint`). Everything above it talks to the safe
+//! [`Poller`] wrapper, which owns the epoll file descriptor and
+//! bounds-checks every buffer it hands to the kernel.
+//!
+//! On non-Linux targets the module still compiles but [`Poller::new`]
+//! returns `ErrorKind::Unsupported`; the serving layer surfaces that as
+//! a clean CLI error instead of a build break.
+
+/// Readiness report for one registered file descriptor.
+#[derive(Debug, Clone, Copy)]
+pub struct Readiness {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Descriptor is readable (or has pending accepts).
+    pub readable: bool,
+    /// Descriptor is writable.
+    pub writable: bool,
+    /// Peer hung up or the descriptor errored; treat as readable so the
+    /// owner observes EOF/error on the next read.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::Readiness;
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+
+    const EPOLL_CLOEXEC: c_int = 0x8_0000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel `struct epoll_event`. Packed on x86-64 (kernel ABI);
+    /// naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Safe owner of an epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Create a new epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return
+            // is reported via errno.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Option<(u64, bool, bool)>) -> io::Result<()> {
+            let mut storage;
+            let event_ptr = match interest {
+                Some((token, read, write)) => {
+                    let mut mask = EPOLLRDHUP;
+                    if read {
+                        mask |= EPOLLIN;
+                    }
+                    if write {
+                        mask |= EPOLLOUT;
+                    }
+                    storage = EpollEvent {
+                        events: mask,
+                        data: token,
+                    };
+                    &mut storage as *mut EpollEvent
+                }
+                None => std::ptr::null_mut(),
+            };
+            // SAFETY: `event_ptr` is either null (DEL, where the kernel
+            // ignores it) or points at a live stack EpollEvent for the
+            // duration of the call.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, event_ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` with the given interest set.
+        pub fn register(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some((token, read, write)))
+        }
+
+        /// Replace the interest set for an already-registered `fd`.
+        pub fn reregister(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some((token, read, write)))
+        }
+
+        /// Remove `fd` from the interest set.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Wait for readiness, appending into `out`.
+        ///
+        /// `timeout_ms < 0` blocks indefinitely. EINTR is retried.
+        pub fn wait(&self, out: &mut Vec<Readiness>, timeout_ms: i32) -> io::Result<()> {
+            const CAPACITY: usize = 64;
+            let mut events = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let n = loop {
+                // SAFETY: `events` is a live buffer of CAPACITY entries
+                // and we pass exactly that capacity; the kernel writes at
+                // most `n <= CAPACITY` entries.
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        events.as_mut_ptr(),
+                        CAPACITY as c_int,
+                        timeout_ms as c_int,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in events.iter().take(n) {
+                // Copy out of the (possibly packed) struct before use.
+                let mask = { ev.events };
+                let token = { ev.data };
+                out.push(Readiness {
+                    token,
+                    readable: mask & EPOLLIN != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    hangup: mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: we own `epfd` and close it exactly once.
+            unsafe {
+                let _ = close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::Readiness;
+    use std::io;
+
+    /// Stub poller for non-Linux targets: compiles everywhere, fails at
+    /// runtime with `Unsupported`.
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always returns `ErrorKind::Unsupported` on this target.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the unigen-net readiness loop requires epoll (Linux)",
+            ))
+        }
+
+        /// Unreachable on this target (`new` never succeeds).
+        pub fn register(&self, _fd: i32, _token: u64, _read: bool, _write: bool) -> io::Result<()> {
+            Err(io::Error::from(io::ErrorKind::Unsupported))
+        }
+
+        /// Unreachable on this target (`new` never succeeds).
+        pub fn reregister(
+            &self,
+            _fd: i32,
+            _token: u64,
+            _read: bool,
+            _write: bool,
+        ) -> io::Result<()> {
+            Err(io::Error::from(io::ErrorKind::Unsupported))
+        }
+
+        /// Unreachable on this target (`new` never succeeds).
+        pub fn deregister(&self, _fd: i32) -> io::Result<()> {
+            Err(io::Error::from(io::ErrorKind::Unsupported))
+        }
+
+        /// Unreachable on this target (`new` never succeeds).
+        pub fn wait(&self, _out: &mut Vec<Readiness>, _timeout_ms: i32) -> io::Result<()> {
+            Err(io::Error::from(io::ErrorKind::Unsupported))
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_readability() {
+        let poller = Poller::new().expect("epoll_create1");
+        let (mut tx, rx) = UnixStream::pair().expect("socketpair");
+        rx.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(rx.as_raw_fd(), 42, true, false)
+            .expect("register");
+
+        let mut out = Vec::new();
+        poller.wait(&mut out, 0).expect("wait");
+        assert!(out.is_empty(), "no data yet: {out:?}");
+
+        tx.write_all(b"x").expect("write");
+        poller.wait(&mut out, 1000).expect("wait");
+        assert!(out.iter().any(|r| r.token == 42 && r.readable));
+
+        poller.deregister(rx.as_raw_fd()).expect("deregister");
+    }
+
+    #[test]
+    fn poller_reregister_toggles_write_interest() {
+        let poller = Poller::new().expect("epoll_create1");
+        let (tx, _rx) = UnixStream::pair().expect("socketpair");
+        tx.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(tx.as_raw_fd(), 7, true, false)
+            .expect("register");
+        let mut out = Vec::new();
+        poller.wait(&mut out, 0).expect("wait");
+        assert!(!out.iter().any(|r| r.token == 7 && r.writable));
+
+        poller
+            .reregister(tx.as_raw_fd(), 7, true, true)
+            .expect("reregister");
+        out.clear();
+        poller.wait(&mut out, 1000).expect("wait");
+        assert!(out.iter().any(|r| r.token == 7 && r.writable));
+    }
+}

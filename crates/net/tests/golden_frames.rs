@@ -1,0 +1,155 @@
+//! Golden-vector pinning for the wire protocol: each canonical frame's
+//! encoding is committed as a hex string, so any byte-level change to
+//! the format (field order, varint width, tag values, magic) fails this
+//! test and forces a deliberate `PROTOCOL_VERSION` bump. The decode
+//! direction is asserted too: the committed bytes must round-trip back
+//! to the identical frame value.
+
+use unigen_net::wire::{
+    pack_bits, ErrorCode, Family, FormulaRef, WireHealth, WireOutcomeKind, WireSpec, WireStats,
+};
+use unigen_net::{Decoder, Frame, PROTOCOL_VERSION};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "odd hex literal");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("bad hex literal"))
+        .collect()
+}
+
+/// Assert both directions: `frame` encodes to exactly `golden`, and
+/// `golden` decodes back to `frame`.
+fn pin(frame: &Frame, golden: &str) {
+    let encoded = frame.encode();
+    assert_eq!(
+        hex(&encoded),
+        golden,
+        "encoding drifted for {frame:?}; if intentional, bump PROTOCOL_VERSION and re-pin"
+    );
+    let mut decoder = Decoder::new();
+    decoder.feed(&unhex(golden));
+    let decoded = decoder
+        .next_frame()
+        .expect("golden bytes must decode")
+        .expect("golden bytes hold one complete frame");
+    assert_eq!(&decoded, frame, "golden bytes decoded to a different frame");
+    assert!(
+        decoder.next_frame().expect("no trailing error").is_none(),
+        "golden bytes held more than one frame"
+    );
+}
+
+#[test]
+fn hello_and_ack_are_pinned() {
+    assert_eq!(PROTOCOL_VERSION, 1, "re-pin every golden vector on a bump");
+    pin(
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        "060155474e5701",
+    );
+    pin(
+        &Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+        },
+        "020201",
+    );
+}
+
+#[test]
+fn request_frame_is_pinned() {
+    let frame = Frame::Request {
+        id: 7,
+        formula: FormulaRef::Inline(b"p cnf 2 1\n1 2 0\n".to_vec()),
+        spec: WireSpec {
+            family: Family::UniGen,
+            epsilon_bits: Some(6.0f64.to_bits()),
+            prepare_seed: 42,
+        },
+        count: 16,
+        master_seed: 0xdead_beef,
+        budget_micros: 1_500_000,
+    };
+    pin(&frame, "32030700107020636e66203220310a31203220300a000100000000000018402a0000000000000010efbeadde00000000e0c65b");
+}
+
+#[test]
+fn chunk_frame_is_pinned() {
+    let frame = Frame::Chunk {
+        id: 7,
+        index: 3,
+        kind: WireOutcomeKind::Witness,
+        bits: pack_bits(&[true, false, true, true, false]),
+    };
+    pin(&frame, "0607070300010d");
+}
+
+#[test]
+fn cancel_frame_is_pinned() {
+    pin(&Frame::Cancel { id: 7 }, "020407");
+}
+
+#[test]
+fn error_frame_is_pinned() {
+    let frame = Frame::Error {
+        id: 7,
+        code: ErrorCode::Busy,
+        detail: "queue full".to_string(),
+    };
+    pin(&frame, "0e0907030a71756575652066756c6c");
+}
+
+#[test]
+fn health_frame_is_pinned() {
+    let frame = Frame::Health(WireHealth {
+        services: 1,
+        configured_workers: 4,
+        alive_workers: 4,
+        worker_panics: 0,
+        respawns: 0,
+        item_retries: 2,
+        faults_injected: 0,
+        pending_requests: 1,
+        queued_items: 3,
+        connections: 2,
+    });
+    pin(&frame, "0b0a01040400000200010302");
+}
+
+#[test]
+fn done_frame_is_pinned() {
+    let frame = Frame::Done {
+        id: 7,
+        successes: 16,
+        stats: WireStats {
+            bsat_calls: 123,
+            steals: 1,
+            retries: 0,
+            degradations: 0,
+            faults_injected: 0,
+            queue_wait_micros: 250,
+            wall_micros: 9001,
+        },
+    };
+    pin(&frame, "0c0807107b01000000fa01a946");
+}
+
+/// A `Hello` carrying an unsupported version must still *parse* (the
+/// version field is readable on every protocol revision — that is what
+/// makes negotiation possible); rejecting it is the server's job and is
+/// covered in `serve_end_to_end.rs`.
+#[test]
+fn future_version_hello_still_parses() {
+    let frame = Frame::Hello { version: 99 };
+    let mut decoder = Decoder::new();
+    decoder.feed(&frame.encode());
+    assert_eq!(
+        decoder.next_frame().expect("parses").expect("complete"),
+        frame
+    );
+}

@@ -21,6 +21,11 @@
 //! * **`allow-justify`** — `#[allow(…)]` attributes in library code must
 //!   carry a trailing `// lint: <why>` justification: a lint opt-out with
 //!   no recorded reason is indistinguishable from a shortcut.
+//! * **`ffi-confined`** — `unsafe` and `extern "C"` are forbidden
+//!   everywhere except `crates/net/src/sys.rs`, the one sanctioned
+//!   syscall shim (epoll FFI): every other crate carries
+//!   `#![forbid(unsafe_code)]`, and this rule keeps new FFI from
+//!   sprouting outside the shim where it would escape that audit.
 //!
 //! Pre-existing violations are grandfathered in the repo-root
 //! `lint-allow.txt` (format: `<rule> <path>` per line, `#` comments).
@@ -50,7 +55,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The lint rules, in the order they are applied.
-pub const RULES: [&str; 4] = ["std-sync", "wall-clock", "no-unwrap", "allow-justify"];
+pub const RULES: [&str; 5] = [
+    "std-sync",
+    "wall-clock",
+    "no-unwrap",
+    "allow-justify",
+    "ffi-confined",
+];
 
 /// A single lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -355,6 +366,11 @@ fn applicable_rules(path: &str) -> Vec<&'static str> {
         return Vec::new();
     }
     let mut rules = vec!["std-sync"];
+    // The epoll FFI shim is the one sanctioned home of `unsafe`; every
+    // other file (library, test, or binary) must stay FFI-free.
+    if path != "crates/net/src/sys.rs" {
+        rules.push("ffi-confined");
+    }
     let is_bench = path.starts_with("crates/bench/") || path.contains("/benches/");
     if !is_bench {
         rules.push("wall-clock");
@@ -474,6 +490,14 @@ fn match_rule(rule: &str, code: &str, raw: &str) -> Option<String> {
         }
         "wall-clock" => hit("Instant::now").or_else(|| hit("SystemTime")),
         "no-unwrap" => hit(".unwrap()").or_else(|| hit(".expect(")),
+        "ffi-confined" => {
+            // `unsafe_code` is the *ban* on unsafe (`#![forbid(unsafe_code)]`),
+            // not a use of it.
+            if code.contains("unsafe") && !code.contains("unsafe_code") {
+                return Some(code.trim().to_string());
+            }
+            hit("extern \"C\"")
+        }
         _ => None,
     }
 }
@@ -513,6 +537,27 @@ mod tests {
         assert!(lint_source("crates/conc/src/rt.rs", src).is_empty());
         assert!(lint_source("crates/xtask/src/lib.rs", src).is_empty());
         assert!(lint_source("vendor/rand/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_unsafe_and_extern_c_outside_the_syscall_shim() {
+        let src =
+            "fn f() { unsafe { libc_call() }; }\nextern \"C\" { fn close(fd: i32) -> i32; }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/service.rs", src)),
+            vec!["ffi-confined", "ffi-confined"]
+        );
+        // Tests and binaries are covered too: FFI is confined, not
+        // merely discouraged in library code.
+        assert_eq!(
+            rules_of(&lint_source("crates/net/tests/model_conn.rs", src)),
+            vec!["ffi-confined", "ffi-confined"]
+        );
+        // The shim itself is the sanctioned home.
+        assert!(lint_source("crates/net/src/sys.rs", src).is_empty());
+        // The *ban* on unsafe is not a use of it.
+        let forbid = "#![forbid(unsafe_code)]\n";
+        assert!(lint_source("crates/core/src/lib.rs", forbid).is_empty());
     }
 
     #[test]
